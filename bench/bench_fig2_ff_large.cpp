@@ -1,0 +1,49 @@
+// E4 — Fig. 2: a 17-ball adversarial instance for FF with equal unit bins
+// where the optimal uses 8 bins and first-fit uses 9.
+//
+// The paper's exact instance is reproduced verbatim, and the search
+// analyzer independently finds another gap>=1 instance at that scale (the
+// exact MILP does not scale to 17 balls — that is the paper's own point
+// about why subspace search matters).
+#include <iostream>
+
+#include "analyzer/search_analyzer.h"
+#include "util/table.h"
+#include "vbp/optimal.h"
+
+int main() {
+  using namespace xplain;
+  // The ball sizes printed in Fig. 2, in arrival order (column by column).
+  std::vector<double> fig2 = {0.3,  0.8,  0.2,  0.4, 0.7,  0.7, 0.15, 0.85,
+                              0.25, 0.25, 0.3,  0.75, 0.75, 0.6, 0.12, 0.4,
+                              0.4};
+  vbp::VbpInstance inst;
+  inst.num_balls = static_cast<int>(fig2.size());
+  inst.num_bins = inst.num_balls;
+  inst.dims = 1;
+  inst.capacity = 1.0;
+
+  auto ff = vbp::first_fit(inst, fig2);
+  auto opt = vbp::optimal_packing(inst, fig2);
+
+  std::cout << "E4 / Fig. 2 — 17-ball FF adversarial instance\n\n";
+  util::Table t({"algorithm", "bins used", "paper"});
+  t.add_row({"first-fit", std::to_string(ff.bins_used), "9"});
+  t.add_row({"optimal", std::to_string(opt.bins), "8"});
+  t.print(std::cout);
+
+  // Independent rediscovery at the same scale via search.
+  analyzer::VbpGapEvaluator eval(inst);
+  analyzer::SearchOptions sopts;
+  sopts.restarts = 16;
+  analyzer::SearchAnalyzer an(sopts);
+  auto ex = an.find_adversarial(eval, 1.0, {});
+  std::cout << "\nSearch analyzer at 17 balls: "
+            << (ex ? "found gap " + util::format_double(ex->gap)
+                   : std::string("found nothing"))
+            << "\n";
+
+  const bool ok = ff.bins_used == 9 && opt.bins == 8 && ex.has_value();
+  std::cout << (ok ? "[REPRODUCED]" : "[MISMATCH]") << "\n";
+  return ok ? 0 : 1;
+}

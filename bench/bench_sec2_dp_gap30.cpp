@@ -1,0 +1,58 @@
+// E2 — §2 inline claim: "MetaOpt ... shows it could underperform by 30%".
+//
+// The paper's number is for Microsoft's production WAN; we reproduce the
+// *shape* — the analyzer proves double-digit relative underperformance —
+// on the Fig. 1a-class instances, reporting gap / OPT.
+#include <iostream>
+
+#include "analyzer/dp_milp_analyzer.h"
+#include "analyzer/search_analyzer.h"
+#include "generalize/instance_generator.h"
+#include "te/maxflow.h"
+#include "util/table.h"
+
+int main() {
+  using namespace xplain;
+  std::cout << "E2 / §2 — relative DP underperformance (gap / OPT)\n\n";
+
+  util::Table t({"instance", "worst gap", "OPT at that point", "gap/OPT %"});
+  double worst_ratio = 0.0;
+
+  for (int chain_len = 2; chain_len <= 4; ++chain_len) {
+    generalize::DpFamilyParams params;
+    params.chain_len = chain_len;
+    auto inst = generalize::make_dp_family_instance(params);
+    te::DpConfig cfg{params.threshold};
+    analyzer::DpGapEvaluator eval(inst, cfg);
+    analyzer::SearchAnalyzer an;
+    auto ex = an.find_adversarial(eval, 0.0, {});
+    if (!ex) continue;
+    auto opt = te::solve_max_flow(inst, ex->input);
+    const double ratio = opt.total > 0 ? 100.0 * ex->gap / opt.total : 0.0;
+    worst_ratio = std::max(worst_ratio, ratio);
+    t.add_row({"chain-" + std::to_string(chain_len),
+               util::format_double(ex->gap), util::format_double(opt.total),
+               util::format_double(ratio)});
+  }
+  // And the paper's own Fig. 1a example.
+  {
+    auto inst = te::TeInstance::fig1a_example();
+    analyzer::DpGapEvaluator eval(inst, te::DpConfig{50.0});
+    analyzer::DpMilpAnalyzer milp(inst, te::DpConfig{50.0}, {});
+    auto ex = milp.find_adversarial(eval, 0.0, {});
+    if (ex) {
+      auto opt = te::solve_max_flow(inst, ex->input);
+      const double ratio = 100.0 * ex->gap / opt.total;
+      worst_ratio = std::max(worst_ratio, ratio);
+      t.add_row({"fig1a (exact MILP)", util::format_double(ex->gap),
+                 util::format_double(opt.total),
+                 util::format_double(ratio)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper claim: DP can underperform by ~30% on a production "
+               "WAN.\nMeasured worst relative gap here: " << worst_ratio
+            << "% — same double-digit shape.\n";
+  std::cout << (worst_ratio >= 20.0 ? "[REPRODUCED]" : "[MISMATCH]") << "\n";
+  return worst_ratio >= 20.0 ? 0 : 1;
+}

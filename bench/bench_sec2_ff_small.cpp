@@ -1,0 +1,57 @@
+// E3 — §2 inline: "MetaOpt produces the adversarial ball sizes 1%, 49%,
+// 51%, 51% ... the optimal uses 2 bins while FF uses 3" (4 balls, 3 bins).
+//
+// We check the paper's point verbatim, then let our exact analyzer find
+// its own adversarial sizes and verify they have the same gap.
+#include <cmath>
+#include <iostream>
+
+#include "analyzer/ff_milp_analyzer.h"
+#include "util/table.h"
+#include "vbp/optimal.h"
+
+int main() {
+  using namespace xplain;
+  vbp::VbpInstance inst;
+  inst.num_balls = 4;
+  inst.num_bins = 3;
+  inst.dims = 1;
+  inst.capacity = 1.0;
+
+  std::cout << "E3 / §2 — FF adversarial example, 4 balls / 3 unit bins\n\n";
+
+  util::Table t({"input", "Y", "FF bins", "OPT bins", "gap"});
+  std::vector<double> paper = {0.01, 0.49, 0.51, 0.51};
+  auto ff = vbp::first_fit(inst, paper);
+  auto opt = vbp::optimal_packing(inst, paper);
+  t.add_row({"paper", "{1%,49%,51%,51%}", std::to_string(ff.bins_used),
+             std::to_string(opt.bins),
+             std::to_string(ff.bins_used - opt.bins)});
+
+  analyzer::FfMilpAnalyzer an(inst);
+  auto ex = an.solve({});
+  bool found = false;
+  int ff2 = 0, opt2 = 0;
+  if (ex) {
+    std::string ystr = "{";
+    for (std::size_t i = 0; i < ex->input.size(); ++i)
+      ystr += (i ? "," : "") + util::format_double(ex->input[i]);
+    ystr += "}";
+    auto ffp = vbp::first_fit(inst, ex->input);
+    auto optp = vbp::optimal_packing(inst, ex->input);
+    ff2 = ffp.bins_used;
+    opt2 = optp.bins;
+    t.add_row({"our MILP analyzer", ystr, std::to_string(ff2),
+               std::to_string(opt2), std::to_string(ff2 - opt2)});
+    found = (ff2 - opt2) >= 1;
+  }
+  t.print(std::cout);
+
+  const bool paper_ok = ff.bins_used == 3 && opt.bins == 2;
+  std::cout << "\nPaper: FF 3 vs OPT 2.  Verbatim point "
+            << (paper_ok ? "reproduced" : "MISMATCH")
+            << "; analyzer independently finds a gap-1 instance: "
+            << (found ? "yes" : "no") << "\n";
+  std::cout << ((paper_ok && found) ? "[REPRODUCED]" : "[MISMATCH]") << "\n";
+  return (paper_ok && found) ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+// Bring-your-own heuristic: XPlain on a user-defined algorithm.
+//
+// The paper positions XPlain as a *general* wrapper around heuristic
+// analyzers: anything you can express as a gap evaluator (plus, for Type-2
+// explanations, a DSL network) can go through the pipeline.  This example
+// analyzes Best-Fit (instead of First-Fit) without touching library code:
+//   * a GapEvaluator subclass scoring BestFit vs optimal;
+//   * the same Fig. 4b network reused for the explanation (placements are
+//     placements, whichever greedy rule produced them).
+#include <iostream>
+
+#include "explain/heatmap.h"
+#include "xplain/pipeline.h"
+
+using namespace xplain;
+
+namespace {
+
+class BestFitEvaluator : public analyzer::GapEvaluator {
+ public:
+  explicit BestFitEvaluator(vbp::VbpInstance inst) : inst_(std::move(inst)) {}
+
+  int dim() const override { return inst_.input_dim(); }
+  analyzer::Box input_box() const override {
+    analyzer::Box b;
+    b.lo.assign(dim(), 0.0);
+    b.hi.assign(dim(), inst_.capacity);
+    return b;
+  }
+  double gap(const std::vector<double>& x) const override {
+    return vbp::vbp_gap(inst_, x, vbp::VbpHeuristic::kBestFit);
+  }
+  std::vector<double> quantize(const std::vector<double>& x) const override {
+    std::vector<double> q(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+      q[i] = std::clamp(std::round(x[i] * 100.0) / 100.0, 0.0,
+                        inst_.capacity);
+    return q;
+  }
+  std::string name() const override { return "vbp_best_fit"; }
+
+  const vbp::VbpInstance& instance() const { return inst_; }
+
+ private:
+  vbp::VbpInstance inst_;
+};
+
+}  // namespace
+
+int main() {
+  vbp::VbpInstance inst;
+  inst.num_balls = 5;
+  inst.num_bins = 4;
+  inst.dims = 1;
+  inst.capacity = 1.0;
+
+  std::cout << "== Custom heuristic: Best-Fit through the XPlain pipeline ==\n\n";
+
+  BestFitEvaluator eval(inst);
+  analyzer::SearchAnalyzer an;
+
+  // Type-2 oracle: Best-Fit placements vs optimal packing on the shared
+  // ball/bin network.
+  auto ffn = vbp::build_ff_network(inst);
+  explain::FlowOracle oracle = [&](const std::vector<double>& x,
+                                   std::vector<double>& h,
+                                   std::vector<double>& b) {
+    auto heur = vbp::best_fit(inst, x);
+    if (!heur.complete) return false;
+    auto opt = vbp::optimal_packing(inst, x);
+    h = vbp::ff_network_flows(ffn, inst, x, heur);
+    b = vbp::ff_network_flows(ffn, inst, x, opt.packing);
+    return true;
+  };
+
+  PipelineOptions opts;
+  opts.min_gap = 1.0;
+  opts.subspace.max_subspaces = 2;
+  opts.explain.samples = 1000;
+  auto result = run_pipeline(eval, an, ffn.net, oracle, opts);
+
+  std::cout << "Found " << result.subspaces.size()
+            << " adversarial subspaces for Best-Fit:\n";
+  const auto names = eval.dim_names();
+  for (std::size_t i = 0; i < result.subspaces.size(); ++i) {
+    const auto& s = result.subspaces[i];
+    std::cout << "\nD" << i << " (seed gap " << s.seed_gap << ", p="
+              << s.p_value << "):\n" << s.region.to_string(names) << "\n";
+  }
+  if (!result.explanations.empty()) {
+    std::cout << "\nExplanation for D0:\n";
+    explain::print_heatmap(std::cout, ffn.net, result.explanations[0]);
+  }
+  std::cout << "\nBest-Fit also underperforms (the paper: 'this is harder "
+               "in FF and other VBP heuristics, such as best fit') — the "
+               "same pipeline explains both.\n";
+  return 0;
+}

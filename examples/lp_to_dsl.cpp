@@ -1,0 +1,72 @@
+// Theorem A.1 in action: encode an arbitrary MILP into the XPlain DSL's
+// six node behaviors, compile it back into an optimization, and verify both
+// sides agree.  Prints the constructed network so you can see the App. A
+// machinery (split rows, multiply terms, all-equal fan-outs, pick binaries).
+#include <iostream>
+
+#include "flowgraph/compiler.h"
+#include "flowgraph/dot.h"
+#include "flowgraph/encode_lp.h"
+#include "solver/milp.h"
+
+int main() {
+  using namespace xplain;
+  namespace xs = xplain::solver;
+
+  std::cout << "== Theorem A.1: any linear program as a flow network ==\n\n";
+
+  // A small mixed-integer program:
+  //   max 3x + 2y + 5a   s.t.  x + y <= 4;  x + 2a <= 3;  y + a <= 3
+  //   0 <= x,y <= 4, a binary.
+  xs::LpProblem p;
+  p.sense = xs::Sense::kMaximize;
+  int x = p.add_col(0, 4, 3, false, "x");
+  int y = p.add_col(0, 4, 2, false, "y");
+  int a = p.add_col(0, 1, 5, true, "a");
+  p.add_row({{x, 1}, {y, 1}}, xs::RowSense::kLe, 4);
+  p.add_row({{x, 1}, {a, 2}}, xs::RowSense::kLe, 3);
+  p.add_row({{y, 1}, {a, 1}}, xs::RowSense::kLe, 3);
+
+  std::cout << "Original problem:\n" << p.to_string() << "\n";
+
+  auto direct = xs::solve_milp(p);
+  std::cout << "Direct MILP solve: objective " << direct.obj << "\n\n";
+
+  // Encode per App. A and compile the network back into a model.
+  auto enc = flowgraph::encode_lp(p);
+  std::cout << "Encoded network '" << enc.net.name() << "': "
+            << enc.net.num_nodes() << " nodes, " << enc.net.num_edges()
+            << " edges\n";
+  int split = 0, pick = 0, mult = 0, alleq = 0;
+  for (const auto& n : enc.net.nodes()) {
+    switch (n.kind) {
+      case flowgraph::NodeKind::kSplit: ++split; break;
+      case flowgraph::NodeKind::kMultiply: ++mult; break;
+      case flowgraph::NodeKind::kAllEqual: ++alleq; break;
+      case flowgraph::NodeKind::kSource:
+        if (n.source_behavior == flowgraph::NodeKind::kPick) ++pick;
+        break;
+      default: break;
+    }
+  }
+  std::cout << "  split (S1 rows): " << split
+            << ", multiply (S2 terms): " << mult
+            << ", all-equal (S3 fan-outs): " << alleq
+            << ", pick sources (S4 binaries): " << pick << "\n\n";
+
+  auto compiled = flowgraph::compile(enc.net);
+  auto r = compiled.model.solve();
+  std::cout << "Flow-network solve: objective "
+            << enc.recover_objective(r.obj) << "\n";
+  std::cout << "Recovered variable values: x="
+            << r.x[compiled.flow(enc.var_edge[x]).index] + enc.var_shift[x]
+            << " y="
+            << r.x[compiled.flow(enc.var_edge[y]).index] + enc.var_shift[y]
+            << " a="
+            << r.x[compiled.flow(enc.var_edge[a]).index] + enc.var_shift[a]
+            << "\n\n";
+
+  std::cout << "Graphviz of the encoded network (dot -Tpng):\n\n"
+            << flowgraph::to_dot(enc.net) << "\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Traffic-engineering deep dive: the full XPlain story on Demand Pinning,
+// including the Type-3 generalizer across generated WAN instances.
+//
+// This is the workload the paper's introduction motivates: a production
+// WAN heuristic (deployed in Microsoft's wide-area network) whose
+// performance gap the operator wants to understand — not just one bad
+// demand matrix, but *all* the regions where it underperforms and *why*.
+#include <fstream>
+#include <iostream>
+
+#include "explain/heatmap.h"
+#include "generalize/generalizer.h"
+#include "xplain/pipeline.h"
+
+int main() {
+  using namespace xplain;
+
+  std::cout << "== Demand Pinning: Types 1, 2 and 3 ==\n\n";
+
+  // --- A slightly larger WAN than Fig. 1a: a 4-hop chain with detour. ---
+  generalize::DpFamilyParams params;
+  params.chain_len = 3;
+  params.main_capacity = 100;
+  params.detour_capacity = 50;
+  params.threshold = 50;
+  params.d_max = 100;
+  te::TeInstance inst = generalize::make_dp_family_instance(params);
+  te::DpConfig cfg{params.threshold};
+
+  std::cout << "Instance: " << inst.topo.num_nodes() << " nodes, "
+            << inst.topo.num_links() << " links, " << inst.num_pairs()
+            << " demands; pinning threshold " << cfg.threshold << "\n\n";
+
+  PipelineOptions opts;
+  opts.min_gap = 30.0;
+  opts.subspace.max_subspaces = 4;
+  opts.explain.samples = 800;
+  auto out = run_dp_pipeline(inst, cfg, opts);
+
+  analyzer::DpGapEvaluator eval(inst, cfg);
+  const auto names = eval.dim_names();
+  std::cout << "Type 1 — " << out.result.subspaces.size()
+            << " adversarial subspaces (analyzer calls: "
+            << out.result.trace.analyzer_calls
+            << ", gap evaluations: " << out.result.trace.gap_evaluations
+            << "):\n";
+  for (std::size_t i = 0; i < out.result.subspaces.size(); ++i) {
+    const auto& s = out.result.subspaces[i];
+    std::cout << "\nD" << i << " (seed gap " << s.seed_gap << ", p="
+              << s.p_value << "):\n"
+              << s.region.to_string(names) << "\n";
+  }
+
+  if (!out.result.explanations.empty()) {
+    std::cout << "\nType 2 — heatmap for D0:\n";
+    explain::print_heatmap(std::cout, out.network.net,
+                           out.result.explanations[0]);
+    // Also drop a Graphviz rendering a user can `dot -Tpng`.
+    std::ofstream dot("dp_explanation.dot");
+    dot << explain::heatmap_dot(out.network.net, out.result.explanations[0]);
+    std::cout << "\n(wrote dp_explanation.dot)\n";
+  }
+
+  // --- Type 3: generalize across the instance family. ---
+  std::cout << "\nType 3 — mining trends across 16 generated instances...\n";
+  generalize::GeneralizerOptions gopts;
+  gopts.instances = 16;
+  gopts.search.restarts = 10;
+  gopts.search.presamples = 150;
+  auto gres = generalize::generalize(generalize::dp_case_factory(), gopts);
+  for (const auto& p : gres.predicates)
+    std::cout << "  " << p.to_string() << "  (rho=" << p.rho
+              << ", p=" << p.p_value << ", n=" << p.support << ")\n";
+  std::cout << "\nThe paper's predicted predicate is increasing("
+               "pinned_sp_hops): the longer the pinned demands' shortest\n"
+               "paths, the more capacity pinning wastes, the larger the "
+               "gap.\n";
+  return 0;
+}

@@ -1,0 +1,34 @@
+// HeuristicAnalyzer: the MetaOpt-shaped interface (paper §2).
+//
+// Given a gap evaluator and a set of already-found adversarial subspaces to
+// exclude, an analyzer returns one input instance where the heuristic
+// underperforms — exactly the contract XPlain's adversarial subspace
+// generator builds on (find -> expand -> exclude -> repeat, §5.2).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analyzer/evaluator.h"
+
+namespace xplain::analyzer {
+
+struct AdversarialExample {
+  std::vector<double> input;
+  double gap = 0.0;
+};
+
+class HeuristicAnalyzer {
+ public:
+  virtual ~HeuristicAnalyzer() = default;
+
+  /// Finds an input with gap >= min_gap outside every box in `excluded`;
+  /// nullopt when no such input is found (search exhausted / proven none).
+  virtual std::optional<AdversarialExample> find_adversarial(
+      const GapEvaluator& eval, double min_gap,
+      const std::vector<Box>& excluded) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace xplain::analyzer

@@ -1,0 +1,223 @@
+#include "analyzer/dp_milp_analyzer.h"
+
+#include <cmath>
+
+#include "model/helpers.h"
+#include "model/model.h"
+#include "util/logging.h"
+
+namespace xplain::analyzer {
+
+using model::LinExpr;
+using model::Var;
+
+namespace {
+
+// Quantized non-negative variable: value = quantum * sum_b 2^b * bit_b,
+// clamped to [0, max_value].
+struct QuantizedVar {
+  std::vector<Var> bits;
+  std::vector<double> weights;  // quantum * 2^b
+  LinExpr value;
+};
+
+QuantizedVar add_quantized(model::Model& m, double quantum, double max_value,
+                           const std::string& name) {
+  QuantizedVar q;
+  const int levels = static_cast<int>(std::floor(max_value / quantum + 1e-9));
+  int bits = 1;
+  while ((1 << bits) - 1 < levels) ++bits;
+  for (int b = 0; b < bits; ++b) {
+    Var bit = m.add_binary(name + "_b" + std::to_string(b));
+    q.bits.push_back(bit);
+    q.weights.push_back(quantum * static_cast<double>(1 << b));
+    q.value += q.weights.back() * LinExpr(bit);
+  }
+  m.add(q.value <= LinExpr(max_value));
+  return q;
+}
+
+}  // namespace
+
+DpMilpAnalyzer::DpMilpAnalyzer(te::TeInstance inst, te::DpConfig cfg,
+                               DpMilpOptions opts)
+    : inst_(std::move(inst)), cfg_(cfg), opts_(opts) {}
+
+std::optional<AdversarialExample> DpMilpAnalyzer::solve(
+    const std::vector<Box>& excluded) {
+  const int K = inst_.num_pairs();
+  const int L = inst_.topo.num_links();
+  model::Model m;
+  model::HelperConfig hcfg;
+  hcfg.big_m = 4.0 * inst_.d_max * std::max(1, K);
+  hcfg.eps = opts_.quantum / 2.0;
+
+  // --- Input: quantized demands. ---
+  std::vector<QuantizedVar> d(K);
+  for (int k = 0; k < K; ++k)
+    d[k] = add_quantized(m, opts_.quantum, inst_.d_max,
+                         "d" + std::to_string(k));
+
+  // --- pin_k <=> d_k <= T (exact on the grid since eps < quantum). ---
+  std::vector<Var> pin(K);
+  for (int k = 0; k < K; ++k)
+    pin[k] = model::indicator_leq(m, d[k].value, cfg_.threshold, hcfg);
+
+  // omega_kb = pin_k AND bit_kb, so pinned_load_k = sum_b w_b * omega_kb
+  // equals pin_k * d_k exactly.
+  std::vector<std::vector<Var>> omega(K);
+  std::vector<LinExpr> pinned_amount(K);
+  for (int k = 0; k < K; ++k) {
+    for (std::size_t b = 0; b < d[k].bits.size(); ++b) {
+      Var w = model::product_binary_binary(m, pin[k], d[k].bits[b]);
+      omega[k].push_back(w);
+      pinned_amount[k] += d[k].weights[b] * LinExpr(w);
+    }
+  }
+
+  // --- Benchmark: a feasible max-flow g (optimal by outer maximization). --
+  std::vector<std::vector<Var>> g(K);
+  std::vector<LinExpr> g_link(L);
+  LinExpr opt_total;
+  for (int k = 0; k < K; ++k) {
+    LinExpr routed;
+    for (std::size_t p = 0; p < inst_.pairs[k].paths.size(); ++p) {
+      Var v = m.add_continuous(0, solver::kInf,
+                               "g" + std::to_string(k) + "_" +
+                                   std::to_string(p));
+      g[k].push_back(v);
+      routed += LinExpr(v);
+      for (te::LinkId l : inst_.pairs[k].paths[p].links(inst_.topo))
+        g_link[l.v] += LinExpr(v);
+    }
+    m.add(routed <= d[k].value);
+    opt_total += routed;
+  }
+  for (int l = 0; l < L; ++l)
+    m.add(g_link[l] <= LinExpr(inst_.topo.link(te::LinkId{l}).capacity));
+
+  // --- Heuristic primal: residual max-flow u over unpinned demands. ---
+  // Residual capacity: rescap_l = cap_l - sum_k [l on sp_k] pin_k d_k >= 0.
+  std::vector<LinExpr> rescap(L);
+  for (int l = 0; l < L; ++l)
+    rescap[l] = LinExpr(inst_.topo.link(te::LinkId{l}).capacity);
+  for (int k = 0; k < K; ++k)
+    for (te::LinkId l : inst_.pairs[k].paths[0].links(inst_.topo))
+      rescap[l.v] -= pinned_amount[k];
+  for (int l = 0; l < L; ++l)
+    m.add(rescap[l] >= LinExpr(0.0));  // pinned overload => input excluded
+
+  std::vector<std::vector<Var>> u(K);
+  std::vector<LinExpr> u_link(L);
+  LinExpr heur_residual_total;
+  for (int k = 0; k < K; ++k) {
+    LinExpr routed;
+    for (std::size_t p = 0; p < inst_.pairs[k].paths.size(); ++p) {
+      Var v = m.add_continuous(0, solver::kInf,
+                               "u" + std::to_string(k) + "_" +
+                                   std::to_string(p));
+      u[k].push_back(v);
+      routed += LinExpr(v);
+      for (te::LinkId l : inst_.pairs[k].paths[p].links(inst_.topo))
+        u_link[l.v] += LinExpr(v);
+    }
+    // Unpinned cap: routed <= d_k - pin_k d_k  (0 when pinned).
+    m.add(routed <= d[k].value - pinned_amount[k]);
+    heur_residual_total += routed;
+  }
+  for (int l = 0; l < L; ++l) m.add(u_link[l] <= rescap[l]);
+
+  // --- Heuristic dual (z per demand, y per link, both in [0,1]). ---
+  std::vector<Var> z(K);
+  std::vector<Var> y(L);
+  for (int k = 0; k < K; ++k)
+    z[k] = m.add_continuous(0, 1, "z" + std::to_string(k));
+  for (int l = 0; l < L; ++l)
+    y[l] = m.add_continuous(0, 1, "y" + std::to_string(l));
+  for (int k = 0; k < K; ++k)
+    for (std::size_t p = 0; p < inst_.pairs[k].paths.size(); ++p) {
+      LinExpr lhs = LinExpr(z[k]);
+      for (te::LinkId l : inst_.pairs[k].paths[p].links(inst_.topo))
+        lhs += LinExpr(y[l.v]);
+      // Disabled for pinned k (their primal columns are forced to zero).
+      m.add(lhs >= LinExpr(1.0) - LinExpr(pin[k]));
+    }
+
+  // Dual objective with McCormick-linearized products:
+  //   D = sum_k (d_k - pin_k d_k) z_k + sum_l rescap_l y_l.
+  LinExpr dual_obj;
+  for (int k = 0; k < K; ++k) {
+    for (std::size_t b = 0; b < d[k].bits.size(); ++b) {
+      // (bit_kb - omega_kb) in {0,1}: the unpinned part of the bit.
+      Var unpinned_bit = m.add_binary();
+      m.add(LinExpr(unpinned_bit) ==
+            LinExpr(d[k].bits[b]) - LinExpr(omega[k][b]));
+      Var prod = model::product_binary_continuous(m, unpinned_bit,
+                                                  LinExpr(z[k]), 1.0);
+      dual_obj += d[k].weights[b] * LinExpr(prod);
+    }
+  }
+  for (int l = 0; l < L; ++l) {
+    dual_obj += inst_.topo.link(te::LinkId{l}).capacity * LinExpr(y[l]);
+    // Subtract pinned load * y_l term by term.
+  }
+  for (int k = 0; k < K; ++k)
+    for (te::LinkId l : inst_.pairs[k].paths[0].links(inst_.topo))
+      for (std::size_t b = 0; b < d[k].bits.size(); ++b) {
+        Var prod = model::product_binary_continuous(m, omega[k][b],
+                                                    LinExpr(y[l.v]), 1.0);
+        dual_obj -= d[k].weights[b] * LinExpr(prod);
+      }
+
+  // Strong duality: primal >= dual forces the residual flow to be optimal.
+  m.add(heur_residual_total >= dual_obj);
+
+  // --- Exclusion of already-found boxes (disjunctive big-M). ---
+  for (const auto& box : excluded) {
+    LinExpr any_outside;
+    for (int k = 0; k < K; ++k) {
+      Var below = m.add_binary();
+      m.add(d[k].value <= LinExpr(box.lo[k] - opts_.quantum) +
+                              hcfg.big_m * (LinExpr(1.0) - LinExpr(below)));
+      Var above = m.add_binary();
+      m.add(d[k].value >= LinExpr(box.hi[k] + opts_.quantum) -
+                              hcfg.big_m * (LinExpr(1.0) - LinExpr(above)));
+      any_outside += LinExpr(below) + LinExpr(above);
+    }
+    m.add(any_outside >= LinExpr(1.0));
+  }
+
+  // --- Objective: gap = OPT - DP. ---
+  LinExpr dp_total = heur_residual_total;
+  for (int k = 0; k < K; ++k) dp_total += pinned_amount[k];
+  m.set_objective(solver::Sense::kMaximize, opt_total - dp_total);
+
+  solver::MilpOptions mopts;
+  mopts.time_limit_s = opts_.time_limit_s;
+  mopts.max_nodes = opts_.max_nodes;
+  auto r = m.solve(mopts);
+  if (r.status != solver::Status::kOptimal &&
+      r.status != solver::Status::kLimit)
+    return std::nullopt;
+  if (r.x.empty()) return std::nullopt;
+
+  AdversarialExample ex;
+  ex.gap = r.obj;
+  ex.input.resize(K);
+  for (int k = 0; k < K; ++k) ex.input[k] = d[k].value.eval(r.x);
+  XPLAIN_INFO << "dp_milp: gap " << ex.gap << " (" << r.nodes << " nodes)";
+  return ex;
+}
+
+std::optional<AdversarialExample> DpMilpAnalyzer::find_adversarial(
+    const GapEvaluator& eval, double min_gap, const std::vector<Box>& excluded) {
+  auto ex = solve(excluded);
+  if (!ex) return std::nullopt;
+  // Report the *simulated* gap at the MILP's point: keeps the analyzer
+  // honest against encoding artifacts.
+  ex->gap = eval.gap(ex->input);
+  if (ex->gap < min_gap) return std::nullopt;
+  return ex;
+}
+
+}  // namespace xplain::analyzer

@@ -1,0 +1,52 @@
+// Exact MetaOpt-style analyzer for Demand Pinning (paper §2: "MetaOpt
+// solves a bi-level optimization that produces the performance gap and the
+// demand that causes it").
+//
+// The bi-level problem  max_d [ OPT(d) - DP(d) ]  is rewritten single-level:
+//   * OPT(d) enters the objective positively, so primal feasibility of a
+//     max-flow suffices (the outer maximization chooses the best flow);
+//   * DP(d)'s residual max-flow enters negatively, so it must be *certified
+//     optimal*: we add its dual (z per demand, y per link, both in [0,1])
+//     and force primal objective >= dual objective (strong duality);
+//   * pinning indicators pin_k <=> d_k <= T are big-M indicators, exact
+//     because demands are quantized to a grid;
+//   * the d*z and pin*d*y bilinear terms become exact McCormick products of
+//     quantization bits with the bounded duals.
+//
+// This mirrors MetaOpt's quantization+duality rewrite and is exact on the
+// demand grid.  Cost grows quickly with pairs x bits; intended for the
+// small instances the paper's figures use (the search analyzer scales).
+#pragma once
+
+#include "analyzer/analyzer.h"
+#include "te/demand_pinning.h"
+
+namespace xplain::analyzer {
+
+struct DpMilpOptions {
+  double quantum = 5.0;       // demand grid
+  double time_limit_s = 60.0;
+  long max_nodes = 200'000;
+};
+
+class DpMilpAnalyzer : public HeuristicAnalyzer {
+ public:
+  DpMilpAnalyzer(te::TeInstance inst, te::DpConfig cfg, DpMilpOptions opts = {});
+
+  std::optional<AdversarialExample> find_adversarial(
+      const GapEvaluator& eval, double min_gap,
+      const std::vector<Box>& excluded) override;
+
+  /// Direct entry point (the evaluator argument above is only used to
+  /// cross-check the reported gap by simulation).
+  std::optional<AdversarialExample> solve(const std::vector<Box>& excluded);
+
+  std::string name() const override { return "dp_milp"; }
+
+ private:
+  te::TeInstance inst_;
+  te::DpConfig cfg_;
+  DpMilpOptions opts_;
+};
+
+}  // namespace xplain::analyzer

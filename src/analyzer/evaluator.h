@@ -1,0 +1,99 @@
+// GapEvaluator: the function the whole XPlain pipeline revolves around.
+//
+// An evaluator wraps a (heuristic, benchmark, problem instance) triple and
+// exposes gap(input) = how much worse the heuristic performs than the
+// benchmark at that input point.  The subspace generator samples it, the
+// search analyzer maximizes it, and the significance checker tests it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "te/demand_pinning.h"
+#include "vbp/optimal.h"
+
+namespace xplain::analyzer {
+
+/// Axis-aligned input box.
+struct Box {
+  std::vector<double> lo, hi;
+
+  int dim() const { return static_cast<int>(lo.size()); }
+  bool contains(const std::vector<double>& x, double tol = 0.0) const;
+  double volume() const;
+  /// Intersection; empty result boxes have lo > hi in some dimension.
+  Box intersect(const Box& o) const;
+  bool empty() const;
+  std::vector<double> center() const;
+  std::string to_string() const;
+};
+
+class GapEvaluator {
+ public:
+  virtual ~GapEvaluator() = default;
+
+  /// Input dimensionality.
+  virtual int dim() const = 0;
+  /// The input space the analyzer searches.
+  virtual Box input_box() const = 0;
+  /// Heuristic-vs-benchmark gap at `x` (>= 0 in the usual case; 0 for
+  /// points the heuristic cannot run on).
+  virtual double gap(const std::vector<double>& x) const = 0;
+  /// Snaps a point to the evaluator's input quantization (identity when the
+  /// input space is continuous).  The MILP analyzers only certify points on
+  /// their grid.
+  virtual std::vector<double> quantize(const std::vector<double>& x) const {
+    return x;
+  }
+  /// Names for each input dimension (for explanations and trees).
+  virtual std::vector<std::string> dim_names() const;
+  virtual std::string name() const = 0;
+};
+
+/// Demand Pinning vs optimal max-flow on a TE instance.
+class DpGapEvaluator : public GapEvaluator {
+ public:
+  DpGapEvaluator(te::TeInstance inst, te::DpConfig cfg,
+                 double quantum = 1.0);
+
+  int dim() const override;
+  Box input_box() const override;
+  double gap(const std::vector<double>& x) const override;
+  std::vector<double> quantize(const std::vector<double>& x) const override;
+  std::vector<std::string> dim_names() const override;
+  std::string name() const override { return "demand_pinning"; }
+
+  const te::TeInstance& instance() const { return inst_; }
+  const te::DpConfig& config() const { return cfg_; }
+
+ private:
+  te::TeInstance inst_;
+  te::DpConfig cfg_;
+  double quantum_;
+};
+
+/// A VBP heuristic vs exact optimal packing.
+class VbpGapEvaluator : public GapEvaluator {
+ public:
+  VbpGapEvaluator(vbp::VbpInstance inst,
+                  vbp::VbpHeuristic h = vbp::VbpHeuristic::kFirstFit,
+                  double quantum = 0.01);
+
+  int dim() const override;
+  Box input_box() const override;
+  double gap(const std::vector<double>& x) const override;
+  std::vector<double> quantize(const std::vector<double>& x) const override;
+  std::vector<std::string> dim_names() const override;
+  std::string name() const override;
+
+  const vbp::VbpInstance& instance() const { return inst_; }
+  vbp::VbpHeuristic heuristic() const { return h_; }
+
+ private:
+  vbp::VbpInstance inst_;
+  vbp::VbpHeuristic h_;
+  double quantum_;
+};
+
+}  // namespace xplain::analyzer

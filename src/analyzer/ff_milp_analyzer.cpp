@@ -1,0 +1,110 @@
+#include "analyzer/ff_milp_analyzer.h"
+
+#include "flowgraph/compiler.h"
+#include "model/helpers.h"
+#include "util/logging.h"
+
+namespace xplain::analyzer {
+
+using model::LinExpr;
+using model::Var;
+
+FfMilpAnalyzer::FfMilpAnalyzer(vbp::VbpInstance inst, FfMilpOptions opts)
+    : inst_(std::move(inst)), opts_(opts) {}
+
+std::optional<AdversarialExample> FfMilpAnalyzer::solve(
+    const std::vector<Box>& excluded) {
+  const int n = inst_.num_balls;
+  const int mbins = inst_.num_bins;
+  model::HelperConfig hcfg;
+  hcfg.big_m = 4.0 * inst_.capacity * std::max(1, n);
+  hcfg.eps = 0.01 * inst_.capacity;
+
+  // --- FF side: the Fig. 4b network + Fig. 1c rule over free inputs Y. ---
+  auto ffn = vbp::build_ff_network(inst_);
+  auto c = flowgraph::compile(ffn.net);
+  vbp::add_first_fit_rule(c, ffn, inst_, hcfg);
+  model::Model& m = c.model;
+
+  std::vector<LinExpr> y_in(n);
+  for (int i = 0; i < n; ++i)
+    y_in[i] = LinExpr(c.injection[ffn.ball_nodes[i].v]);
+
+  // Bins used by FF: load_j > used_eps.
+  LinExpr ff_bins;
+  for (int j = 0; j < mbins; ++j) {
+    LinExpr load;
+    for (int i = 0; i < n; ++i)
+      load += LinExpr(c.flow(ffn.ball_bin_edges[i][j]));
+    Var used = model::indicator_geq(m, load, opts_.used_eps, hcfg);
+    ff_bins += LinExpr(used);
+  }
+
+  // --- OPT side: feasible packing, minimized by the outer objective. ---
+  // o[i][j] for j <= i (symmetry breaking), w = Y_i * o_ij by McCormick.
+  std::vector<Var> opt_used(mbins);
+  for (int j = 0; j < mbins; ++j) opt_used[j] = m.add_binary();
+  std::vector<LinExpr> opt_load(mbins);
+  for (int i = 0; i < n; ++i) {
+    LinExpr one;
+    for (int j = 0; j <= i && j < mbins; ++j) {
+      Var o = m.add_binary();
+      one += LinExpr(o);
+      m.add(LinExpr(o) <= LinExpr(opt_used[j]));
+      Var w = model::product_binary_continuous(m, o, y_in[i], inst_.capacity);
+      opt_load[j] += LinExpr(w);
+    }
+    m.add(one == LinExpr(1.0));
+  }
+  LinExpr opt_bins;
+  for (int j = 0; j < mbins; ++j) {
+    m.add(opt_load[j] <= inst_.capacity * LinExpr(opt_used[j]));
+    opt_bins += LinExpr(opt_used[j]);
+    if (j + 1 < mbins)
+      m.add(LinExpr(opt_used[j + 1]) <= LinExpr(opt_used[j]));
+  }
+
+  // --- Exclusion boxes over the inputs. ---
+  for (const auto& box : excluded) {
+    LinExpr any_outside;
+    for (int i = 0; i < n; ++i) {
+      Var below = m.add_binary();
+      m.add(y_in[i] <= LinExpr(box.lo[i] - 0.01) +
+                           hcfg.big_m * (LinExpr(1.0) - LinExpr(below)));
+      Var above = m.add_binary();
+      m.add(y_in[i] >= LinExpr(box.hi[i] + 0.01) -
+                           hcfg.big_m * (LinExpr(1.0) - LinExpr(above)));
+      any_outside += LinExpr(below) + LinExpr(above);
+    }
+    m.add(any_outside >= LinExpr(1.0));
+  }
+
+  m.set_objective(solver::Sense::kMaximize, ff_bins - opt_bins);
+
+  solver::MilpOptions mopts;
+  mopts.time_limit_s = opts_.time_limit_s;
+  mopts.max_nodes = opts_.max_nodes;
+  auto r = m.solve(mopts);
+  if ((r.status != solver::Status::kOptimal &&
+       r.status != solver::Status::kLimit) ||
+      r.x.empty())
+    return std::nullopt;
+
+  AdversarialExample ex;
+  ex.gap = r.obj;
+  ex.input.resize(n);
+  for (int i = 0; i < n; ++i) ex.input[i] = y_in[i].eval(r.x);
+  XPLAIN_INFO << "ff_milp: gap " << ex.gap << " (" << r.nodes << " nodes)";
+  return ex;
+}
+
+std::optional<AdversarialExample> FfMilpAnalyzer::find_adversarial(
+    const GapEvaluator& eval, double min_gap, const std::vector<Box>& excluded) {
+  auto ex = solve(excluded);
+  if (!ex) return std::nullopt;
+  ex->gap = eval.gap(ex->input);  // report the simulated gap
+  if (ex->gap < min_gap) return std::nullopt;
+  return ex;
+}
+
+}  // namespace xplain::analyzer

@@ -1,0 +1,42 @@
+// Exact MetaOpt-style analyzer for First-Fit (paper §2 + Fig. 1c).
+//
+// max_Y [ FF_bins(Y) - OPT_bins(Y) ] over ball sizes Y in [0, C]^n:
+//   * FF is deterministic-constructive, so its behavior is *encoded*, not
+//     optimized: the Fig. 1c first-fit rule (alpha_ij indicators) pins the
+//     placement exactly; bins-used counts load > 0 indicators;
+//   * OPT enters the objective negatively, so a feasible packing encoding
+//     suffices — the outer maximization drives it to the true minimum;
+//     Y_i * o_ij products are exact McCormick envelopes (o binary).
+#pragma once
+
+#include "analyzer/analyzer.h"
+#include "vbp/ff_model.h"
+
+namespace xplain::analyzer {
+
+struct FfMilpOptions {
+  double time_limit_s = 120.0;
+  long max_nodes = 400'000;
+  /// A bin counts as used when its load exceeds this (keeps the used-bin
+  /// indicator off the eps boundary; inputs are effectively quantized).
+  double used_eps = 0.02;
+};
+
+class FfMilpAnalyzer : public HeuristicAnalyzer {
+ public:
+  explicit FfMilpAnalyzer(vbp::VbpInstance inst, FfMilpOptions opts = {});
+
+  std::optional<AdversarialExample> find_adversarial(
+      const GapEvaluator& eval, double min_gap,
+      const std::vector<Box>& excluded) override;
+
+  std::optional<AdversarialExample> solve(const std::vector<Box>& excluded);
+
+  std::string name() const override { return "ff_milp"; }
+
+ private:
+  vbp::VbpInstance inst_;
+  FfMilpOptions opts_;
+};
+
+}  // namespace xplain::analyzer

@@ -1,0 +1,131 @@
+#include "analyzer/search_analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace xplain::analyzer {
+
+namespace {
+
+bool excluded_point(const std::vector<Box>& excluded,
+                    const std::vector<double>& x) {
+  for (const auto& b : excluded)
+    if (b.contains(x)) return true;
+  return false;
+}
+
+// Gap with exclusion: excluded points score -inf so the search leaves them.
+double score(const GapEvaluator& eval, const std::vector<Box>& excluded,
+             const std::vector<double>& x) {
+  if (excluded_point(excluded, x))
+    return -std::numeric_limits<double>::infinity();
+  return eval.gap(x);
+}
+
+}  // namespace
+
+std::optional<AdversarialExample> SearchAnalyzer::find_adversarial(
+    const GapEvaluator& eval, double min_gap, const std::vector<Box>& excluded) {
+  const Box box = eval.input_box();
+  const int n = box.dim();
+  util::Rng rng(opts_.seed);
+
+  AdversarialExample best;
+  best.gap = -std::numeric_limits<double>::infinity();
+
+  // Starting points: (1) the best few of a random presample, (2) structured
+  // seeds (box-width fractions, where heuristic thresholds live), (3) random
+  // restarts.
+  std::vector<std::vector<double>> starts;
+  {
+    std::vector<std::pair<double, std::vector<double>>> pre;
+    pre.reserve(opts_.presamples);
+    for (int s = 0; s < opts_.presamples; ++s) {
+      auto x = eval.quantize(rng.uniform_point(box.lo, box.hi));
+      pre.emplace_back(score(eval, excluded, x), std::move(x));
+    }
+    std::partial_sort(pre.begin(),
+                      pre.begin() + std::min<std::size_t>(
+                                        pre.size(), opts_.presample_starts),
+                      pre.end(), [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    for (int s = 0;
+         s < opts_.presample_starts && s < static_cast<int>(pre.size()); ++s)
+      starts.push_back(pre[s].second);
+  }
+  for (double fa : opts_.seed_fracs) {
+    for (double fb : opts_.seed_fracs) {
+      std::vector<double> x(n);
+      for (int i = 0; i < n; ++i) {
+        const double f = (i % 2 == 0) ? fa : fb;
+        x[i] = box.lo[i] + f * (box.hi[i] - box.lo[i]);
+      }
+      starts.push_back(eval.quantize(x));
+      if (static_cast<int>(starts.size()) >= 3 * opts_.restarts / 4) break;
+    }
+    if (static_cast<int>(starts.size()) >= 3 * opts_.restarts / 4) break;
+  }
+  while (static_cast<int>(starts.size()) < opts_.restarts)
+    starts.push_back(eval.quantize(rng.uniform_point(box.lo, box.hi)));
+
+  for (const auto& start : starts) {
+    std::vector<double> x = start;
+    double fx = score(eval, excluded, x);
+    double step = opts_.init_step_frac;
+    int iters = 0;
+    while (step >= opts_.min_step_frac && iters < opts_.max_iters) {
+      bool improved = false;
+      for (int i = 0; i < n && iters < opts_.max_iters; ++i) {
+        const double width = box.hi[i] - box.lo[i];
+        if (width <= 0) continue;
+        for (double dir : {+1.0, -1.0}) {
+          std::vector<double> y = x;
+          y[i] = std::clamp(y[i] + dir * step * width, box.lo[i], box.hi[i]);
+          y = eval.quantize(y);
+          if (y[i] == x[i]) continue;
+          ++iters;
+          const double fy = score(eval, excluded, y);
+          if (fy > fx + 1e-12) {
+            x = std::move(y);
+            fx = fy;
+            improved = true;
+            break;
+          }
+        }
+      }
+      if (!improved) step *= 0.5;
+    }
+    if (fx > best.gap) {
+      best.gap = fx;
+      best.input = x;
+    }
+  }
+
+  if (!std::isfinite(best.gap) || best.gap < min_gap) return std::nullopt;
+  XPLAIN_DEBUG << "search analyzer: gap " << best.gap;
+  return best;
+}
+
+std::optional<AdversarialExample> SearchAnalyzer::random_baseline(
+    const GapEvaluator& eval, double min_gap, const std::vector<Box>& excluded,
+    int samples, std::uint64_t seed) {
+  const Box box = eval.input_box();
+  util::Rng rng(seed);
+  AdversarialExample best;
+  best.gap = -std::numeric_limits<double>::infinity();
+  for (int s = 0; s < samples; ++s) {
+    auto x = eval.quantize(rng.uniform_point(box.lo, box.hi));
+    const double g = score(eval, excluded, x);
+    if (g > best.gap) {
+      best.gap = g;
+      best.input = std::move(x);
+    }
+  }
+  if (!std::isfinite(best.gap) || best.gap < min_gap) return std::nullopt;
+  return best;
+}
+
+}  // namespace xplain::analyzer

@@ -1,0 +1,53 @@
+// Derivative-free search analyzer.
+//
+// MetaOpt's exact bi-level rewriting does not scale past small instances,
+// and the paper notes plain random search "may not even find an adversarial
+// point" — this analyzer sits in between: multi-start coordinate pattern
+// search (adaptive step halving) over the evaluator's quantized input box,
+// seeded from structured corners (threshold values, capacity fractions)
+// plus random restarts.  It is the scalable backend; the MILP analyzers
+// cross-validate it on small instances.
+#pragma once
+
+#include "analyzer/analyzer.h"
+#include "util/random.h"
+
+namespace xplain::analyzer {
+
+struct SearchOptions {
+  int restarts = 24;          // multi-start count
+  int max_iters = 400;        // pattern-search evaluations per start
+  double init_step_frac = 0.25;  // initial step as a fraction of box width
+  double min_step_frac = 1e-3;
+  std::uint64_t seed = 1234;
+  /// Structured seed values tried in every dimension (fractions of the box
+  /// width) in addition to random starts; heuristic thresholds live at such
+  /// fractions, which is where DP/FF break.
+  std::vector<double> seed_fracs = {0.01, 0.26, 0.49, 0.5, 0.51, 0.99};
+  /// Random presample whose best points become extra starts — this makes
+  /// the pattern search dominate the pure-random baseline by construction.
+  int presamples = 300;
+  int presample_starts = 4;
+};
+
+class SearchAnalyzer : public HeuristicAnalyzer {
+ public:
+  explicit SearchAnalyzer(SearchOptions opts = {}) : opts_(opts) {}
+
+  std::optional<AdversarialExample> find_adversarial(
+      const GapEvaluator& eval, double min_gap,
+      const std::vector<Box>& excluded) override;
+
+  std::string name() const override { return "pattern_search"; }
+
+  /// Pure random sampling baseline (the strawman the paper dismisses);
+  /// exposed for the ablation bench.
+  static std::optional<AdversarialExample> random_baseline(
+      const GapEvaluator& eval, double min_gap, const std::vector<Box>& excluded,
+      int samples, std::uint64_t seed);
+
+ private:
+  SearchOptions opts_;
+};
+
+}  // namespace xplain::analyzer

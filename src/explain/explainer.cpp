@@ -1,0 +1,87 @@
+#include "explain/explainer.h"
+
+#include "subspace/sampler.h"
+#include "vbp/optimal.h"
+
+namespace xplain::explain {
+
+std::map<int, double> Explanation::heat_map() const {
+  std::map<int, double> m;
+  for (std::size_t e = 0; e < edges.size(); ++e) m[static_cast<int>(e)] =
+      edges[e].heat;
+  return m;
+}
+
+Explanation explain_subspace(const analyzer::GapEvaluator& eval,
+                             const subspace::Polytope& region,
+                             const flowgraph::FlowNetwork& net,
+                             const FlowOracle& oracle,
+                             const ExplainOptions& opts) {
+  Explanation out;
+  out.edges.assign(net.num_edges(), {});
+  util::Rng rng(opts.seed);
+
+  std::vector<double> hflow, bflow;
+  int collected = 0;
+  int attempts = 0;
+  const int max_attempts = 64 * opts.samples;
+  while (collected < opts.samples && attempts < max_attempts) {
+    ++attempts;
+    auto x = eval.quantize(rng.uniform_point(region.box.lo, region.box.hi));
+    if (!region.contains(x, 1e-9)) continue;
+    if (!oracle(x, hflow, bflow)) continue;
+    for (int e = 0; e < net.num_edges(); ++e) {
+      const bool h = hflow[e] > opts.flow_eps;
+      const bool b = bflow[e] > opts.flow_eps;
+      EdgeScore& s = out.edges[e];
+      if (h && b)
+        ++s.both;
+      else if (b)
+        ++s.benchmark_only;
+      else if (h)
+        ++s.heuristic_only;
+      else
+        ++s.neither;
+    }
+    ++collected;
+  }
+  out.samples_used = collected;
+  for (auto& s : out.edges) {
+    const int n = s.both + s.benchmark_only + s.heuristic_only + s.neither;
+    if (n > 0)
+      s.heat = (static_cast<double>(s.benchmark_only) -
+                static_cast<double>(s.heuristic_only)) /
+               static_cast<double>(n);
+  }
+  return out;
+}
+
+FlowOracle make_dp_oracle(const te::DpNetwork& dp, const te::TeInstance& inst,
+                          const te::DpConfig& cfg) {
+  return [&dp, &inst, cfg](const std::vector<double>& x,
+                           std::vector<double>& hflow,
+                           std::vector<double>& bflow) {
+    auto heur = te::run_demand_pinning(inst, cfg, x);
+    if (!heur.feasible) return false;
+    auto opt = te::solve_max_flow(inst, x);
+    if (!opt.feasible) return false;
+    hflow = te::dp_network_flows(dp, inst, x, heur.flow);
+    bflow = te::dp_network_flows(dp, inst, x, opt.flow);
+    return true;
+  };
+}
+
+FlowOracle make_ff_oracle(const vbp::FfNetwork& ff,
+                          const vbp::VbpInstance& inst) {
+  return [&ff, inst](const std::vector<double>& x, std::vector<double>& hflow,
+                     std::vector<double>& bflow) {
+    auto heur = vbp::first_fit(inst, x);
+    if (!heur.complete) return false;
+    auto opt = vbp::optimal_packing(inst, x);
+    hflow = vbp::ff_network_flows(ff, inst, x, heur);
+    bflow = vbp::ff_network_flows(ff, inst, x, opt.packing);
+    return true;
+  };
+}
+
+}  // namespace xplain::explain

@@ -1,0 +1,70 @@
+// The explainer (paper §5.3): runs samples from a contiguous adversarial
+// subspace through the DSL network for both the heuristic and the benchmark
+// and scores every edge:
+//     0  both send flow on the edge,
+//    +1  only the benchmark sends flow,
+//    -1  only the heuristic sends flow.
+// Averaged over samples this yields the Fig. 4 heatmap: intense blue edges
+// are where the optimal goes and the heuristic does not; intense red edges
+// are the heuristic's (bad) choices.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "flowgraph/network.h"
+#include "subspace/region.h"
+#include "te/demand_pinning.h"
+#include "vbp/ff_model.h"
+
+namespace xplain::explain {
+
+struct ExplainOptions {
+  int samples = 3000;       // the paper uses 3000 per figure
+  double flow_eps = 1e-6;   // an edge "carries flow" above this
+  std::uint64_t seed = 99;
+};
+
+struct EdgeScore {
+  double heat = 0.0;  // mean score in [-1, +1]
+  int benchmark_only = 0;
+  int heuristic_only = 0;
+  int both = 0;
+  int neither = 0;
+};
+
+struct Explanation {
+  std::vector<EdgeScore> edges;  // indexed by EdgeId::v
+  int samples_used = 0;
+
+  /// Heat keyed by edge id (direct input to flowgraph::to_dot).
+  std::map<int, double> heat_map() const;
+};
+
+/// Produces (heuristic flows, benchmark flows) on the network's edges for
+/// one input point; returns false when the point is infeasible for the
+/// heuristic (it is then skipped).
+using FlowOracle =
+    std::function<bool(const std::vector<double>& x,
+                       std::vector<double>& heuristic_flows,
+                       std::vector<double>& benchmark_flows)>;
+
+/// Scores every edge of `net` over samples drawn from `region`.
+Explanation explain_subspace(const analyzer::GapEvaluator& eval,
+                             const subspace::Polytope& region,
+                             const flowgraph::FlowNetwork& net,
+                             const FlowOracle& oracle,
+                             const ExplainOptions& opts = {});
+
+/// DP oracle: heuristic = demand-pinning simulation, benchmark = optimal
+/// max-flow, both mapped onto the Fig. 4a network's edges.
+FlowOracle make_dp_oracle(const te::DpNetwork& dp, const te::TeInstance& inst,
+                          const te::DpConfig& cfg);
+
+/// FF oracle: heuristic = first-fit, benchmark = exact optimal packing, on
+/// the Fig. 4b network.
+FlowOracle make_ff_oracle(const vbp::FfNetwork& ff,
+                          const vbp::VbpInstance& inst);
+
+}  // namespace xplain::explain

@@ -1,0 +1,58 @@
+#include "explain/heatmap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "flowgraph/dot.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace xplain::explain {
+
+void print_heatmap(std::ostream& os, const flowgraph::FlowNetwork& net,
+                   const Explanation& ex, const HeatmapRenderOptions& opts) {
+  std::vector<int> order(net.num_edges());
+  for (int e = 0; e < net.num_edges(); ++e) order[e] = e;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return std::fabs(ex.edges[a].heat) > std::fabs(ex.edges[b].heat);
+  });
+  util::Table table({"edge", "heat", "reading", "bench_only", "heur_only",
+                     "both"});
+  int rows = 0;
+  for (int e : order) {
+    const auto& s = ex.edges[e];
+    if (std::fabs(s.heat) < opts.min_heat || rows >= opts.max_rows) break;
+    const char* reading = s.heat > 0 ? "benchmark prefers (blue)"
+                                     : "heuristic insists (red)";
+    table.add_row({net.edge(flowgraph::EdgeId{e}).name,
+                   util::format_double(s.heat), reading,
+                   std::to_string(s.benchmark_only),
+                   std::to_string(s.heuristic_only), std::to_string(s.both)});
+    ++rows;
+  }
+  os << "Type-2 explanation over " << ex.samples_used << " samples:\n";
+  table.print(os);
+}
+
+void write_heatmap_csv(const std::string& path,
+                       const flowgraph::FlowNetwork& net,
+                       const Explanation& ex) {
+  util::CsvWriter csv(path, {"edge", "heat", "benchmark_only",
+                             "heuristic_only", "both", "neither"});
+  for (int e = 0; e < net.num_edges(); ++e) {
+    const auto& s = ex.edges[e];
+    csv.row({net.edge(flowgraph::EdgeId{e}).name, util::format_double(s.heat),
+             std::to_string(s.benchmark_only), std::to_string(s.heuristic_only),
+             std::to_string(s.both), std::to_string(s.neither)});
+  }
+}
+
+std::string heatmap_dot(const flowgraph::FlowNetwork& net,
+                        const Explanation& ex) {
+  const auto heat = ex.heat_map();
+  flowgraph::DotOptions opts;
+  opts.edge_heat = &heat;
+  return flowgraph::to_dot(net, opts);
+}
+
+}  // namespace xplain::explain

@@ -1,0 +1,33 @@
+// Rendering for Type-2 explanations: ranked text tables, CSV series, and
+// Graphviz heatmaps (the three ways to look at Fig. 4).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "explain/explainer.h"
+
+namespace xplain::explain {
+
+struct HeatmapRenderOptions {
+  /// Only edges with |heat| >= this are listed in the text table.
+  double min_heat = 0.01;
+  int max_rows = 40;
+};
+
+/// Ranked table: strongest benchmark-only (blue) and heuristic-only (red)
+/// edges first.
+void print_heatmap(std::ostream& os, const flowgraph::FlowNetwork& net,
+                   const Explanation& ex,
+                   const HeatmapRenderOptions& opts = {});
+
+/// CSV: edge, heat, benchmark_only, heuristic_only, both, neither.
+void write_heatmap_csv(const std::string& path,
+                       const flowgraph::FlowNetwork& net,
+                       const Explanation& ex);
+
+/// Graphviz with heat coloring (paper Fig. 4 edge colors).
+std::string heatmap_dot(const flowgraph::FlowNetwork& net,
+                        const Explanation& ex);
+
+}  // namespace xplain::explain

@@ -1,0 +1,103 @@
+#include "flowgraph/builder.h"
+
+#include <stdexcept>
+
+namespace xplain::flowgraph {
+
+NodeId NetworkBuilder::require_node(const std::string& name) const {
+  NodeId id = net_.find_node(name);
+  if (!id.valid())
+    throw std::invalid_argument("builder: unknown node '" + name + "'");
+  return id;
+}
+
+NetworkBuilder& NetworkBuilder::source(const std::string& name) {
+  cur_node_ = net_.add_node(name, NodeKind::kSource);
+  cur_edge_ = EdgeId{};
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::sink(const std::string& name) {
+  cur_node_ = net_.add_node(name, NodeKind::kSink);
+  cur_edge_ = EdgeId{};
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::node(const std::string& name, NodeKind kind) {
+  cur_node_ = net_.add_node(name, kind);
+  cur_edge_ = EdgeId{};
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::edge(const std::string& from,
+                                     const std::string& to,
+                                     const std::string& name) {
+  cur_edge_ = net_.add_edge(require_node(from), require_node(to), name);
+  cur_node_ = NodeId{};
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::split() {
+  net_.set_source_behavior(cur_node_, NodeKind::kSplit);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::pick() {
+  net_.set_source_behavior(cur_node_, NodeKind::kPick);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::range(double lo, double hi) {
+  net_.set_injection_range(cur_node_, lo, hi, /*is_input=*/true);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::injection(double value) {
+  net_.set_injection(cur_node_, value);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::multiplier(double c) {
+  net_.set_multiplier(cur_node_, c);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::node_meta(const std::string& k,
+                                          const std::string& v) {
+  net_.set_node_meta(cur_node_, k, v);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::cap(double capacity) {
+  net_.set_capacity(cur_edge_, capacity);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::fixed(double value) {
+  net_.set_fixed(cur_edge_, value);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::edge_meta(const std::string& k,
+                                          const std::string& v) {
+  net_.set_edge_meta(cur_edge_, k, v);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::objective(const std::string& sink_name,
+                                          bool maximize) {
+  net_.set_objective(require_node(sink_name), maximize);
+  return *this;
+}
+
+FlowNetwork NetworkBuilder::build() const {
+  auto errs = net_.validate();
+  if (!errs.empty()) {
+    std::string msg = "builder: invalid network:";
+    for (const auto& e : errs) msg += "\n  " + e;
+    throw std::invalid_argument(msg);
+  }
+  return net_;
+}
+
+}  // namespace xplain::flowgraph

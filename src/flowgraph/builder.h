@@ -1,0 +1,60 @@
+// LINQ-style fluent builder for FlowNetwork (the paper implements its DSL
+// "in a LINQ-style language"; this is the C++ equivalent).
+//
+//   FlowNetwork net = NetworkBuilder("dp")
+//       .source("d12").range(0, 100).split()
+//       .source("d13").range(0, 100).split()
+//       .node("path_1_2", NodeKind::kCopy)
+//       .sink("met")
+//       .edge("d12", "path_1_2").cap(100)
+//       .objective("met", /*maximize=*/true)
+//       .build();
+//
+// Builder methods return the builder, so heuristic descriptions read as one
+// declarative chain.  `source/node/sink/edge` set the "current" element that
+// the modifier methods (range, cap, fixed, meta, ...) apply to.
+#pragma once
+
+#include <string>
+
+#include "flowgraph/network.h"
+
+namespace xplain::flowgraph {
+
+class NetworkBuilder {
+ public:
+  explicit NetworkBuilder(std::string name) : net_(std::move(name)) {}
+
+  NetworkBuilder& source(const std::string& name);
+  NetworkBuilder& sink(const std::string& name);
+  NetworkBuilder& node(const std::string& name, NodeKind kind);
+  NetworkBuilder& edge(const std::string& from, const std::string& to,
+                       const std::string& name = {});
+
+  // --- Modifiers for the current node. ---
+  NetworkBuilder& split();  // source behavior
+  NetworkBuilder& pick();   // source behavior
+  NetworkBuilder& range(double lo, double hi);     // input injection range
+  NetworkBuilder& injection(double value);         // constant injection
+  NetworkBuilder& multiplier(double c);
+  NetworkBuilder& node_meta(const std::string& k, const std::string& v);
+
+  // --- Modifiers for the current edge. ---
+  NetworkBuilder& cap(double capacity);
+  NetworkBuilder& fixed(double value);
+  NetworkBuilder& edge_meta(const std::string& k, const std::string& v);
+
+  NetworkBuilder& objective(const std::string& sink_name, bool maximize);
+
+  /// Finalizes; throws std::invalid_argument when validation fails.
+  FlowNetwork build() const;
+
+ private:
+  NodeId require_node(const std::string& name) const;
+
+  FlowNetwork net_;
+  NodeId cur_node_;
+  EdgeId cur_edge_;
+};
+
+}  // namespace xplain::flowgraph

@@ -1,0 +1,137 @@
+#include "flowgraph/compiler.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace xplain::flowgraph {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using model::LinExpr;
+using model::Var;
+
+LinExpr sum_flows(const CompiledNetwork& c, const std::vector<EdgeId>& es) {
+  LinExpr total;
+  for (EdgeId e : es) total += LinExpr(c.edge_flow[e.v]);
+  return total;
+}
+}  // namespace
+
+std::vector<double> CompiledNetwork::flows(const std::vector<double>& x) const {
+  std::vector<double> f(edge_flow.size());
+  for (std::size_t e = 0; e < edge_flow.size(); ++e)
+    f[e] = x[edge_flow[e].index];
+  return f;
+}
+
+CompiledNetwork compile(const FlowNetwork& net, const CompileOptions& opts) {
+  {
+    auto errs = net.validate();
+    if (!errs.empty()) {
+      std::string msg = "invalid flow network '" + net.name() + "':";
+      for (const auto& e : errs) msg += "\n  " + e;
+      throw std::invalid_argument(msg);
+    }
+  }
+
+  CompiledNetwork c;
+  c.edge_flow.reserve(net.num_edges());
+  c.injection.assign(net.num_nodes(), Var{});
+  c.pick_choice.assign(net.num_nodes(), {});
+
+  // Edge flow variables with capacity/fixed bounds.
+  for (int e = 0; e < net.num_edges(); ++e) {
+    const Edge& ed = net.edge(EdgeId{e});
+    double lo = 0.0, hi = ed.capacity;
+    if (ed.fixed) lo = hi = *ed.fixed;
+    c.edge_flow.push_back(c.model.add_continuous(lo, hi, "f_" + ed.name));
+  }
+
+  auto add_pick_one_hot = [&](NodeId id) {
+    const auto& outs = net.out_edges(id);
+    LinExpr choice_sum;
+    auto& choices = c.pick_choice[id.v];
+    for (EdgeId e : outs) {
+      Var b = c.model.add_binary("pick_" + net.edge(e).name);
+      choices.push_back(b);
+      choice_sum += LinExpr(b);
+      const double cap = net.edge(e).capacity;
+      const double m = (cap == kInf) ? opts.big_m : cap;
+      c.model.add(LinExpr(c.edge_flow[e.v]) <= m * LinExpr(b),
+                  "pickcap_" + net.edge(e).name);
+    }
+    c.model.add(choice_sum == LinExpr(1.0), "pick1_" + net.node(id).name);
+  };
+
+  for (int i = 0; i < net.num_nodes(); ++i) {
+    const NodeId id{i};
+    const Node& n = net.node(id);
+    const auto& ins = net.in_edges(id);
+    const auto& outs = net.out_edges(id);
+    switch (n.kind) {
+      case NodeKind::kSplit:
+        c.model.add(sum_flows(c, ins) == sum_flows(c, outs),
+                    "cons_" + n.name);
+        break;
+      case NodeKind::kPick:
+        c.model.add(sum_flows(c, ins) == sum_flows(c, outs),
+                    "cons_" + n.name);
+        add_pick_one_hot(id);
+        break;
+      case NodeKind::kMultiply:
+        c.model.add(LinExpr(c.edge_flow[outs[0].v]) ==
+                        n.multiplier * LinExpr(c.edge_flow[ins[0].v]),
+                    "mult_" + n.name);
+        break;
+      case NodeKind::kAllEqual: {
+        // All incident edges carry the same flow as the first one.
+        Var ref;
+        for (EdgeId e : ins) {
+          if (!ref.valid()) {
+            ref = c.edge_flow[e.v];
+            continue;
+          }
+          c.model.add(LinExpr(c.edge_flow[e.v]) == LinExpr(ref),
+                      "alleq_" + net.edge(e).name);
+        }
+        for (EdgeId e : outs) {
+          if (!ref.valid()) {
+            ref = c.edge_flow[e.v];
+            continue;
+          }
+          c.model.add(LinExpr(c.edge_flow[e.v]) == LinExpr(ref),
+                      "alleq_" + net.edge(e).name);
+        }
+        break;
+      }
+      case NodeKind::kCopy: {
+        const LinExpr in_total = sum_flows(c, ins);
+        for (EdgeId e : outs)
+          c.model.add(LinExpr(c.edge_flow[e.v]) == in_total,
+                      "copy_" + net.edge(e).name);
+        break;
+      }
+      case NodeKind::kSource: {
+        Var inj = c.model.add_continuous(n.injection_lo, n.injection_hi,
+                                         "inj_" + n.name);
+        c.injection[i] = inj;
+        c.model.add(sum_flows(c, outs) == LinExpr(inj), "src_" + n.name);
+        if (n.source_behavior == NodeKind::kPick) add_pick_one_hot(id);
+        break;
+      }
+      case NodeKind::kSink:
+        break;  // objective handled below
+    }
+  }
+
+  if (net.objective_sink().valid()) {
+    const LinExpr inflow = sum_flows(c, net.in_edges(net.objective_sink()));
+    c.model.set_objective(net.objective_maximize() ? solver::Sense::kMaximize
+                                                   : solver::Sense::kMinimize,
+                          inflow);
+  }
+  return c;
+}
+
+}  // namespace xplain::flowgraph

@@ -1,0 +1,43 @@
+// Compiles a FlowNetwork into an optimization model (paper Fig. 3: the
+// "Compiler" box).  One flow variable per edge; one constraint block per
+// node behavior; the designated sink's inflow becomes the objective.
+//
+// Domain rule modules (e.g. demand pinning, first-fit) take the returned
+// CompiledNetwork and append their heuristic-decision constraints on top of
+// the structural ones — mirroring how the paper layers heuristic "rules"
+// over the flow abstraction.
+#pragma once
+
+#include <vector>
+
+#include "flowgraph/network.h"
+#include "model/model.h"
+
+namespace xplain::flowgraph {
+
+struct CompileOptions {
+  /// Big-M used for pick-node one-hot constraints on uncapacitated edges.
+  double big_m = 1e4;
+};
+
+struct CompiledNetwork {
+  model::Model model;
+  /// Flow variable per edge (index = EdgeId::v).
+  std::vector<model::Var> edge_flow;
+  /// Injection variable per node (valid only for sources).
+  std::vector<model::Var> injection;
+  /// For pick nodes (and pick-behavior sources): one binary per outgoing
+  /// edge, aligned with FlowNetwork::out_edges order.
+  std::vector<std::vector<model::Var>> pick_choice;
+
+  model::Var flow(EdgeId e) const { return edge_flow[e.v]; }
+
+  /// Extracts per-edge flows from a solution vector.
+  std::vector<double> flows(const std::vector<double>& x) const;
+};
+
+/// Compiles `net`; throws std::invalid_argument when validate() fails.
+CompiledNetwork compile(const FlowNetwork& net,
+                        const CompileOptions& opts = {});
+
+}  // namespace xplain::flowgraph

@@ -1,0 +1,78 @@
+#include "flowgraph/dot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace xplain::flowgraph {
+
+namespace {
+
+const char* shape_for(NodeKind k) {
+  switch (k) {
+    case NodeKind::kSource: return "invtriangle";
+    case NodeKind::kSink: return "doublecircle";
+    case NodeKind::kPick: return "diamond";
+    case NodeKind::kMultiply: return "box";
+    case NodeKind::kAllEqual: return "hexagon";
+    case NodeKind::kCopy: return "trapezium";
+    case NodeKind::kSplit: return "ellipse";
+  }
+  return "ellipse";
+}
+
+// Heat in [-1,1] -> #RRGGBB: -1 = strong red, +1 = strong blue, 0 = gray.
+std::string heat_color(double h) {
+  h = std::clamp(h, -1.0, 1.0);
+  const double mag = std::abs(h);
+  const int base = 176;  // gray level at zero heat
+  int r = base, g = base, b = base;
+  if (h < 0) {
+    r = base + static_cast<int>((255 - base) * mag);
+    g = static_cast<int>(base * (1 - mag));
+    b = static_cast<int>(base * (1 - mag));
+  } else if (h > 0) {
+    b = base + static_cast<int>((255 - base) * mag);
+    g = static_cast<int>(base * (1 - mag));
+    r = static_cast<int>(base * (1 - mag));
+  }
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "#%02X%02X%02X", r, g, b);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_dot(const FlowNetwork& net, const DotOptions& opts) {
+  std::ostringstream os;
+  os << "digraph \"" << net.name() << "\" {\n  rankdir=TB;\n";
+  for (int i = 0; i < net.num_nodes(); ++i) {
+    const Node& n = net.node(NodeId{i});
+    os << "  n" << i << " [label=\"" << n.name << "\" shape="
+       << shape_for(n.kind);
+    if (net.objective_sink().valid() && net.objective_sink().v == i)
+      os << " style=bold";
+    os << "];\n";
+  }
+  for (int e = 0; e < net.num_edges(); ++e) {
+    const Edge& ed = net.edge(EdgeId{e});
+    os << "  n" << ed.from << " -> n" << ed.to << " [label=\"" << ed.name;
+    if (opts.show_capacities && std::isfinite(ed.capacity))
+      os << " (cap " << ed.capacity << ")";
+    if (ed.fixed) os << " (=" << *ed.fixed << ")";
+    os << "\"";
+    if (opts.edge_heat) {
+      auto it = opts.edge_heat->find(e);
+      if (it != opts.edge_heat->end()) {
+        os << " color=\"" << heat_color(it->second) << "\" penwidth="
+           << 1.0 + 3.0 * std::abs(it->second);
+      }
+    }
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace xplain::flowgraph

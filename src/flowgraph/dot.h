@@ -1,0 +1,21 @@
+// Graphviz export of a FlowNetwork, optionally colored by an explanation
+// heatmap (paper Fig. 4: red = heuristic-only edges, blue = benchmark-only).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "flowgraph/network.h"
+
+namespace xplain::flowgraph {
+
+struct DotOptions {
+  /// Per-edge heat in [-1, 1]: negative = heuristic-only (red), positive =
+  /// benchmark-only (blue), 0 = both/neither (gray).  Keyed by EdgeId::v.
+  const std::map<int, double>* edge_heat = nullptr;
+  bool show_capacities = true;
+};
+
+std::string to_dot(const FlowNetwork& net, const DotOptions& opts = {});
+
+}  // namespace xplain::flowgraph

@@ -1,0 +1,182 @@
+#include "flowgraph/encode_lp.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace xplain::flowgraph {
+
+namespace {
+
+// A row normalized to:  sum_j a_j * v_j <= b  over shifted variables v >= 0.
+struct NormRow {
+  std::vector<std::pair<int, double>> coef;
+  double rhs = 0.0;
+};
+
+}  // namespace
+
+EncodedLp encode_lp(const solver::LpProblem& p) {
+  const int n = p.num_cols();
+  EncodedLp enc;
+  enc.was_minimize = (p.sense == solver::Sense::kMinimize);
+  enc.var_shift.resize(n);
+  enc.var_edge.resize(n);
+
+  // --- Normalize columns: v_j = x_j - lo_j in [0, U_j]. ---
+  std::vector<double> U(n), cost(n);
+  std::vector<bool> binary(n, false);
+  double obj_const = 0.0;  // from shifting: c'x = c'v + c'lo
+  for (int j = 0; j < n; ++j) {
+    const double lo = p.lo(j), hi = p.hi(j);
+    if (!std::isfinite(lo))
+      throw std::invalid_argument(
+          "encode_lp: column '" + p.col_name(j) +
+          "' has an infinite lower bound; shift it first");
+    if (!std::isfinite(hi))
+      throw std::invalid_argument(
+          "encode_lp: column '" + p.col_name(j) +
+          "' needs a finite upper bound for the flow encoding");
+    enc.var_shift[j] = lo;
+    U[j] = hi - lo;
+    const double c = enc.was_minimize ? -p.obj(j) : p.obj(j);
+    cost[j] = c;
+    obj_const += c * lo;
+    if (p.integer(j)) {
+      if (std::abs(U[j] - 1.0) > 1e-12 && U[j] != 0.0)
+        throw std::invalid_argument(
+            "encode_lp: integer column '" + p.col_name(j) +
+            "' is not binary after shifting (split general integers into "
+            "binaries first)");
+      binary[j] = U[j] != 0.0;
+    }
+  }
+
+  // --- Normalize rows to <=. ---
+  std::vector<NormRow> rows;
+  auto push_le = [&](const std::vector<std::pair<int, double>>& coef,
+                     double rhs, double scale) {
+    NormRow r;
+    r.rhs = rhs * scale;
+    for (const auto& [j, a] : coef) {
+      r.coef.emplace_back(j, a * scale);
+      r.rhs -= a * scale * enc.var_shift[j];  // shift into rhs... (see below)
+    }
+    rows.push_back(std::move(r));
+  };
+  // Note: row over x becomes row over v: sum a_j (v_j + lo_j) <= b, i.e.
+  // sum a_j v_j <= b - sum a_j lo_j.  push_le folds the shift into rhs.
+  for (const auto& row : p.rows()) {
+    switch (row.sense) {
+      case solver::RowSense::kLe: push_le(row.coef, row.rhs, 1.0); break;
+      case solver::RowSense::kGe: push_le(row.coef, row.rhs, -1.0); break;
+      case solver::RowSense::kEq:
+        push_le(row.coef, row.rhs, 1.0);
+        push_le(row.coef, row.rhs, -1.0);
+        break;
+    }
+  }
+
+  // --- Objective row p = c'v + K (two inequalities), K keeps p >= 0. ---
+  double K = 1.0;
+  for (int j = 0; j < n; ++j)
+    if (cost[j] < 0) K += -cost[j] * U[j];
+  double p_max = K;
+  for (int j = 0; j < n; ++j)
+    if (cost[j] > 0) p_max += cost[j] * U[j];
+  enc.offset = K - obj_const;  // sink measures c'v + K = obj' - c'lo + K
+
+  // --- Build the network. ---
+  FlowNetwork net("thmA1(" + std::to_string(n) + "x" +
+                  std::to_string(p.num_rows()) + ")");
+  NodeId const_src = net.add_node("const_src", NodeKind::kSource);
+  net.set_injection_range(const_src, 0, solver::kInf, /*is_input=*/false);
+  NodeId slack_src = net.add_node("slack_src", NodeKind::kSource);
+  net.set_injection_range(slack_src, 0, solver::kInf, /*is_input=*/false);
+  NodeId const_sink = net.add_node("const_sink", NodeKind::kSink);
+  NodeId waste_sink = net.add_node("waste_sink", NodeKind::kSink);
+  NodeId obj_sink = net.add_node("objective", NodeKind::kSink);
+
+  // Variable sources and their ALL-EQUAL fan-out nodes (S4 + T3).
+  std::vector<NodeId> alleq(n);
+  for (int j = 0; j < n; ++j) {
+    const std::string vn = p.col_name(j);
+    alleq[j] = net.add_node("alleq_" + vn, NodeKind::kAllEqual);
+    if (binary[j]) {
+      NodeId src = net.add_node("bin_" + vn, NodeKind::kSource);
+      net.set_source_behavior(src, NodeKind::kPick);
+      net.set_injection(src, 1.0);
+      EdgeId ve = net.add_edge(src, alleq[j], "x_" + vn);
+      net.set_capacity(ve, 1.0);
+      net.add_edge(src, waste_sink, "not_" + vn);
+      enc.var_edge[j] = ve;
+    } else {
+      NodeId src = net.add_node("var_" + vn, NodeKind::kSource);
+      net.set_injection_range(src, 0.0, U[j], /*is_input=*/false);
+      enc.var_edge[j] = net.add_edge(src, alleq[j], "x_" + vn);
+    }
+  }
+  // The objective variable p gets the same treatment plus a sink tap.
+  NodeId alleq_p = net.add_node("alleq_p", NodeKind::kAllEqual);
+  {
+    NodeId src = net.add_node("var_p", NodeKind::kSource);
+    net.set_injection_range(src, 0.0, p_max, /*is_input=*/false);
+    net.add_edge(src, alleq_p, "x_p");
+    net.add_edge(alleq_p, obj_sink, "p_measure");
+  }
+  const int p_col = n;  // pseudo-column index for p in objective rows
+
+  // Objective equality p - c'v = K as two <= rows.
+  {
+    std::vector<std::pair<int, double>> coef;
+    coef.emplace_back(p_col, 1.0);
+    for (int j = 0; j < n; ++j)
+      if (cost[j] != 0.0) coef.emplace_back(j, -cost[j]);
+    NormRow r1;
+    r1.coef = coef;
+    r1.rhs = K;
+    rows.push_back(r1);
+    NormRow r2;
+    for (auto [j, a] : coef) r2.coef.emplace_back(j, -a);
+    r2.rhs = -K;
+    rows.push_back(r2);
+  }
+
+  // S1/S2/S3: one split node per row; multiply nodes per term.
+  auto alleq_of = [&](int j) { return j == p_col ? alleq_p : alleq[j]; };
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const NormRow& r = rows[i];
+    const std::string rn = "r" + std::to_string(i);
+    NodeId split = net.add_node("split_" + rn, NodeKind::kSplit);
+    for (const auto& [j, a] : r.coef) {
+      if (a == 0.0) continue;
+      const std::string tn = rn + "_" + (j == p_col ? "p" : p.col_name(j));
+      if (a > 0) {
+        NodeId mul = net.add_node("mul+_" + tn, NodeKind::kMultiply);
+        net.set_multiplier(mul, a);
+        net.add_edge(alleq_of(j), mul, "xp_" + tn);
+        net.add_edge(mul, split, "u+_" + tn);
+      } else {
+        NodeId mul = net.add_node("mul-_" + tn, NodeKind::kMultiply);
+        net.set_multiplier(mul, 1.0 / (-a));
+        net.add_edge(split, mul, "u-_" + tn);
+        net.add_edge(mul, alleq_of(j), "xm_" + tn);
+      }
+    }
+    if (r.rhs > 0) {
+      EdgeId e = net.add_edge(split, const_sink, "b+_" + rn);
+      net.set_fixed(e, r.rhs);
+    } else if (r.rhs < 0) {
+      EdgeId e = net.add_edge(const_src, split, "b-_" + rn);
+      net.set_fixed(e, -r.rhs);
+    }
+    net.add_edge(slack_src, split, "f_" + rn);
+  }
+
+  net.set_objective(obj_sink, /*maximize=*/true);
+  enc.net = std::move(net);
+  return enc;
+}
+
+}  // namespace xplain::flowgraph

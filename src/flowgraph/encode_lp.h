@@ -1,0 +1,50 @@
+// Theorem A.1 constructive proof: any linear program (LP or MILP with
+// binary integer columns) can be expressed as a FlowNetwork using only the
+// split / pick / multiply / all-equal / sink behaviors.
+//
+// The construction follows App. A of the paper exactly:
+//   T1  split coefficient matrices and rhs into positive/negative parts;
+//   T2  replace each coefficient*variable term with an auxiliary edge
+//       produced by a MULTIPLY node;
+//   T3  fan copies of each variable out through an ALL-EQUAL node so every
+//       term edge carries the variable's value;
+//   S1  one SPLIT node per row enforces the (slackened) row as flow
+//       conservation, with constant b+/b- edges;
+//   S4  binaries become PICK nodes fed by a constant-1 edge;
+//   objective: an extra row p = c'x + K (K an offset keeping p >= 0) and a
+//   SINK measuring p.
+//
+// Requirements checked at runtime: continuous columns need finite lower
+// bounds >= 0 is NOT required (finite lowers are shifted), but -inf lowers
+// are rejected; integer columns must be binary after shifting.
+#pragma once
+
+#include "flowgraph/network.h"
+#include "solver/lp.h"
+
+namespace xplain::flowgraph {
+
+struct EncodedLp {
+  FlowNetwork net;
+  /// Objective offset: true objective = sink inflow - offset (for kMaximize
+  /// originals; minimization is encoded by negating costs first).
+  double offset = 0.0;
+  /// Was the original problem a minimization? (Result must be negated back.)
+  bool was_minimize = false;
+  /// Edge carrying each original column's value (after lower-bound shift:
+  /// edge flow == x_j - lo_j).
+  std::vector<EdgeId> var_edge;
+  std::vector<double> var_shift;  // x_j = flow + var_shift[j]
+
+  /// Recovers the original-problem objective value from a solved sink value.
+  double recover_objective(double sink_inflow) const {
+    const double obj = sink_inflow - offset;
+    return was_minimize ? -obj : obj;
+  }
+};
+
+/// Encodes `p` per Theorem A.1.  Throws std::invalid_argument for columns
+/// with infinite lower bounds or non-binary integers.
+EncodedLp encode_lp(const solver::LpProblem& p);
+
+}  // namespace xplain::flowgraph

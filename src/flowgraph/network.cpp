@@ -1,0 +1,158 @@
+#include "flowgraph/network.h"
+
+#include <limits>
+
+namespace xplain::flowgraph {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+const char* to_string(NodeKind k) {
+  switch (k) {
+    case NodeKind::kSplit: return "split";
+    case NodeKind::kPick: return "pick";
+    case NodeKind::kMultiply: return "multiply";
+    case NodeKind::kAllEqual: return "all_equal";
+    case NodeKind::kCopy: return "copy";
+    case NodeKind::kSource: return "source";
+    case NodeKind::kSink: return "sink";
+  }
+  return "?";
+}
+
+NodeId FlowNetwork::add_node(std::string name, NodeKind kind) {
+  NodeId id{num_nodes()};
+  Node n;
+  n.name = std::move(name);
+  n.kind = kind;
+  nodes_.push_back(std::move(n));
+  in_.emplace_back();
+  out_.emplace_back();
+  return id;
+}
+
+EdgeId FlowNetwork::add_edge(NodeId from, NodeId to, std::string name) {
+  EdgeId id{num_edges()};
+  Edge e;
+  e.from = from.v;
+  e.to = to.v;
+  e.capacity = kInf;
+  if (name.empty())
+    name = nodes_[from.v].name + "->" + nodes_[to.v].name;
+  e.name = std::move(name);
+  edges_.push_back(std::move(e));
+  out_[from.v].push_back(id);
+  in_[to.v].push_back(id);
+  return id;
+}
+
+void FlowNetwork::set_capacity(EdgeId e, double cap) {
+  edges_[e.v].capacity = cap;
+}
+void FlowNetwork::set_fixed(EdgeId e, double value) {
+  edges_[e.v].fixed = value;
+}
+void FlowNetwork::set_multiplier(NodeId n, double c) {
+  nodes_[n.v].multiplier = c;
+}
+void FlowNetwork::set_source_behavior(NodeId n, NodeKind behavior) {
+  nodes_[n.v].source_behavior = behavior;
+}
+void FlowNetwork::set_injection(NodeId n, double value) {
+  nodes_[n.v].injection_lo = value;
+  nodes_[n.v].injection_hi = value;
+  nodes_[n.v].is_input = false;
+}
+void FlowNetwork::set_injection_range(NodeId n, double lo, double hi,
+                                      bool is_input) {
+  nodes_[n.v].injection_lo = lo;
+  nodes_[n.v].injection_hi = hi;
+  nodes_[n.v].is_input = is_input;
+}
+void FlowNetwork::set_node_meta(NodeId n, const std::string& k,
+                                const std::string& v) {
+  nodes_[n.v].metadata[k] = v;
+}
+void FlowNetwork::set_edge_meta(EdgeId e, const std::string& k,
+                                const std::string& v) {
+  edges_[e.v].metadata[k] = v;
+}
+
+void FlowNetwork::set_objective(NodeId sink, bool maximize) {
+  objective_sink_ = sink;
+  objective_maximize_ = maximize;
+}
+
+std::vector<NodeId> FlowNetwork::input_sources() const {
+  std::vector<NodeId> out;
+  for (int i = 0; i < num_nodes(); ++i)
+    if (nodes_[i].kind == NodeKind::kSource && nodes_[i].is_input)
+      out.push_back(NodeId{i});
+  return out;
+}
+
+NodeId FlowNetwork::find_node(const std::string& name) const {
+  for (int i = 0; i < num_nodes(); ++i)
+    if (nodes_[i].name == name) return NodeId{i};
+  return NodeId{};
+}
+
+EdgeId FlowNetwork::find_edge(const std::string& name) const {
+  for (int i = 0; i < num_edges(); ++i)
+    if (edges_[i].name == name) return EdgeId{i};
+  return EdgeId{};
+}
+
+std::vector<std::string> FlowNetwork::validate() const {
+  std::vector<std::string> errs;
+  for (int i = 0; i < num_nodes(); ++i) {
+    const Node& n = nodes_[i];
+    const auto ins = in_[i].size(), outs = out_[i].size();
+    switch (n.kind) {
+      case NodeKind::kMultiply:
+        if (ins != 1 || outs != 1)
+          errs.push_back("multiply node '" + n.name +
+                         "' must have exactly one incoming and one outgoing "
+                         "edge");
+        break;
+      case NodeKind::kSink:
+        if (outs != 0)
+          errs.push_back("sink node '" + n.name + "' has outgoing edges");
+        break;
+      case NodeKind::kSource:
+        if (ins != 0)
+          errs.push_back("source node '" + n.name + "' has incoming edges");
+        if (outs == 0)
+          errs.push_back("source node '" + n.name + "' has no outgoing edges");
+        if (n.source_behavior != NodeKind::kSplit &&
+            n.source_behavior != NodeKind::kPick)
+          errs.push_back("source node '" + n.name +
+                         "' behavior must be split or pick");
+        if (n.injection_lo > n.injection_hi)
+          errs.push_back("source node '" + n.name + "' has empty range");
+        break;
+      case NodeKind::kPick:
+        if (outs == 0)
+          errs.push_back("pick node '" + n.name + "' has no outgoing edges");
+        break;
+      default:
+        break;
+    }
+  }
+  if (objective_sink_.valid()) {
+    if (nodes_[objective_sink_.v].kind != NodeKind::kSink)
+      errs.push_back("objective node '" + nodes_[objective_sink_.v].name +
+                     "' is not a sink");
+  }
+  for (int e = 0; e < num_edges(); ++e) {
+    const Edge& ed = edges_[e];
+    if (ed.fixed && (*ed.fixed < 0 || *ed.fixed > ed.capacity))
+      errs.push_back("edge '" + ed.name + "' fixed value outside [0, cap]");
+    if (ed.capacity < 0)
+      errs.push_back("edge '" + ed.name + "' has negative capacity");
+  }
+  return errs;
+}
+
+}  // namespace xplain::flowgraph

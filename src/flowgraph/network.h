@@ -1,0 +1,137 @@
+// The XPlain domain-specific language (paper §5.1, App. A).
+//
+// A FlowNetwork is a directed graph whose edges carry non-negative flow and
+// whose nodes impose "behaviors" on the flows around them:
+//
+//   SPLIT     flow conservation (sum in == sum out), optional edge caps
+//   PICK      conservation + exactly one outgoing edge carries flow
+//   MULTIPLY  single-in single-out, out = C * in
+//   ALL_EQUAL every incident edge carries the same flow
+//   COPY      every outgoing edge carries the full incoming sum
+//   SOURCE    produces traffic (the problem *input*), with split or pick
+//             behavior over its outgoing edges
+//   SINK      consumes traffic; a designated sink is the objective
+//
+// Nodes and edges carry free-form metadata (the paper uses it to improve
+// explanations and to drive the generalizer's feature extraction).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xplain::flowgraph {
+
+enum class NodeKind {
+  kSplit,
+  kPick,
+  kMultiply,
+  kAllEqual,
+  kCopy,
+  kSource,
+  kSink,
+};
+
+const char* to_string(NodeKind k);
+
+struct NodeId {
+  int v = -1;
+  bool valid() const { return v >= 0; }
+  friend bool operator==(NodeId a, NodeId b) { return a.v == b.v; }
+};
+
+struct EdgeId {
+  int v = -1;
+  bool valid() const { return v >= 0; }
+  friend bool operator==(EdgeId a, EdgeId b) { return a.v == b.v; }
+};
+
+struct Node {
+  std::string name;
+  NodeKind kind = NodeKind::kSplit;
+  /// For kSource: the conservation behavior enforced over outgoing edges.
+  NodeKind source_behavior = NodeKind::kSplit;
+  /// For kMultiply: the constant C.
+  double multiplier = 1.0;
+  /// For kSource: injection range [lo, hi]; lo == hi pins it. A source whose
+  /// range is marked `is_input` is one dimension of the analyzer's input
+  /// space (MetaOpt's OuterVar).
+  double injection_lo = 0.0;
+  double injection_hi = 0.0;
+  bool is_input = false;
+  std::map<std::string, std::string> metadata;
+};
+
+struct Edge {
+  std::string name;
+  int from = -1;
+  int to = -1;
+  /// Upper bound on flow (capacity constraint); infinity when absent.
+  double capacity;
+  /// When set, the edge must carry exactly this flow (constant edges in the
+  /// App. A construction).
+  std::optional<double> fixed;
+  std::map<std::string, std::string> metadata;
+};
+
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(std::string name = "net") : name_(std::move(name)) {}
+
+  NodeId add_node(std::string name, NodeKind kind);
+  EdgeId add_edge(NodeId from, NodeId to, std::string name = {});
+
+  void set_capacity(EdgeId e, double cap);
+  void set_fixed(EdgeId e, double value);
+  void set_multiplier(NodeId n, double c);
+  void set_source_behavior(NodeId n, NodeKind behavior);
+  /// Fixed injection (a constant input).
+  void set_injection(NodeId n, double value);
+  /// Ranged injection; `is_input` marks it as an analyzer input dimension.
+  void set_injection_range(NodeId n, double lo, double hi,
+                           bool is_input = true);
+  void set_node_meta(NodeId n, const std::string& k, const std::string& v);
+  void set_edge_meta(EdgeId e, const std::string& k, const std::string& v);
+
+  /// Chooses which sink's total inflow is the objective and the direction.
+  void set_objective(NodeId sink, bool maximize);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const Node& node(NodeId n) const { return nodes_[n.v]; }
+  const Edge& edge(EdgeId e) const { return edges_[e.v]; }
+  Node& node(NodeId n) { return nodes_[n.v]; }
+  Edge& edge(EdgeId e) { return edges_[e.v]; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  const std::vector<EdgeId>& in_edges(NodeId n) const { return in_[n.v]; }
+  const std::vector<EdgeId>& out_edges(NodeId n) const { return out_[n.v]; }
+
+  NodeId objective_sink() const { return objective_sink_; }
+  bool objective_maximize() const { return objective_maximize_; }
+
+  /// All source nodes marked as input dimensions, in id order. The vector of
+  /// their injections is the analyzer's input point.
+  std::vector<NodeId> input_sources() const;
+
+  /// Finds a node/edge by name; invalid id when absent.
+  NodeId find_node(const std::string& name) const;
+  EdgeId find_edge(const std::string& name) const;
+
+  /// Structural validation; returns human-readable problems (empty == ok).
+  std::vector<std::string> validate() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> in_, out_;
+  NodeId objective_sink_;
+  bool objective_maximize_ = true;
+};
+
+}  // namespace xplain::flowgraph

@@ -1,0 +1,195 @@
+#include "flowgraph/optimize.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace xplain::flowgraph {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Mutable working copy.
+struct Work {
+  struct WEdge {
+    Edge data;
+    bool alive = true;
+    // original edges folded into this one (for edge_map)
+    std::vector<int> origins;
+  };
+  std::vector<Node> nodes;
+  std::vector<bool> node_alive;
+  std::vector<WEdge> edges;
+  int objective_node = -1;
+  bool maximize = true;
+
+  std::vector<int> in_of(int n) const {
+    std::vector<int> r;
+    for (int e = 0; e < static_cast<int>(edges.size()); ++e)
+      if (edges[e].alive && edges[e].data.to == n) r.push_back(e);
+    return r;
+  }
+  std::vector<int> out_of(int n) const {
+    std::vector<int> r;
+    for (int e = 0; e < static_cast<int>(edges.size()); ++e)
+      if (edges[e].alive && edges[e].data.from == n) r.push_back(e);
+    return r;
+  }
+};
+
+bool conserving(NodeKind k) {
+  return k == NodeKind::kSplit || k == NodeKind::kPick;
+}
+
+// Pass 1: edges that cannot carry flow.
+bool prune_dead_edges(Work& w) {
+  bool changed = false;
+  for (auto& e : w.edges) {
+    if (!e.alive) continue;
+    const bool zero_cap = e.data.capacity <= 0.0;
+    const bool zero_fixed = e.data.fixed && *e.data.fixed == 0.0;
+    if (zero_cap || zero_fixed) {
+      e.alive = false;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+// Pass 2: contract pass-through conserving nodes.
+bool contract_chains(Work& w) {
+  bool changed = false;
+  for (int n = 0; n < static_cast<int>(w.nodes.size()); ++n) {
+    if (!w.node_alive[n]) continue;
+    const Node& node = w.nodes[n];
+    const bool contractible = (node.kind == NodeKind::kSplit ||
+                               node.kind == NodeKind::kAllEqual) &&
+                              n != w.objective_node;
+    if (!contractible) continue;
+    auto ins = w.in_of(n), outs = w.out_of(n);
+    if (ins.size() != 1 || outs.size() != 1) continue;
+    Work::WEdge& a = w.edges[ins[0]];
+    Work::WEdge& b = w.edges[outs[0]];
+    if (a.data.from == n || b.data.to == n) continue;  // self loop
+    if (a.data.fixed && b.data.fixed && *a.data.fixed != *b.data.fixed)
+      continue;  // contradictory; leave for the solver to report infeasible
+    // Merge b into a: a now runs from a.from to b.to.
+    a.data.to = b.data.to;
+    a.data.capacity = std::min(a.data.capacity, b.data.capacity);
+    if (b.data.fixed) a.data.fixed = b.data.fixed;
+    if (a.data.fixed)
+      a.data.capacity = std::max(a.data.capacity, *a.data.fixed);
+    a.data.name += "+" + b.data.name;
+    for (const auto& [k, v] : b.data.metadata) a.data.metadata.emplace(k, v);
+    a.origins.insert(a.origins.end(), b.origins.begin(), b.origins.end());
+    b.alive = false;
+    w.node_alive[n] = false;
+    changed = true;
+  }
+  return changed;
+}
+
+// Pass 3: conserving nodes with no outlet (or no inlet, for non-sources)
+// force their incident flows to zero.
+bool prune_dangling(Work& w) {
+  bool changed = false;
+  for (int n = 0; n < static_cast<int>(w.nodes.size()); ++n) {
+    if (!w.node_alive[n]) continue;
+    const Node& node = w.nodes[n];
+    if (node.kind == NodeKind::kSink || n == w.objective_node) continue;
+    auto ins = w.in_of(n), outs = w.out_of(n);
+    if (ins.empty() && outs.empty()) {
+      if (node.kind != NodeKind::kSource) {
+        w.node_alive[n] = false;
+        changed = true;
+      }
+      continue;
+    }
+    if (!conserving(node.kind) && node.kind != NodeKind::kCopy) continue;
+    if (node.kind == NodeKind::kSource) continue;
+    if (outs.empty() && !ins.empty()) {
+      // Conservation forces all in-flows to zero.
+      for (int e : ins) {
+        if (w.edges[e].data.fixed && *w.edges[e].data.fixed > 0) continue;
+        w.edges[e].data.capacity = 0.0;
+        changed = true;
+      }
+    }
+    if (ins.empty() && !outs.empty()) {
+      for (int e : outs) {
+        if (w.edges[e].data.fixed && *w.edges[e].data.fixed > 0) continue;
+        w.edges[e].data.capacity = 0.0;
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+OptimizeResult optimize(const FlowNetwork& input) {
+  Work w;
+  w.nodes = input.nodes();
+  w.node_alive.assign(w.nodes.size(), true);
+  w.edges.reserve(input.num_edges());
+  for (int e = 0; e < input.num_edges(); ++e) {
+    Work::WEdge we;
+    we.data = input.edge(EdgeId{e});
+    we.origins = {e};
+    w.edges.push_back(std::move(we));
+  }
+  if (input.objective_sink().valid())
+    w.objective_node = input.objective_sink().v;
+  w.maximize = input.objective_maximize();
+
+  const std::size_t nodes_before =
+      static_cast<std::size_t>(input.num_nodes());
+  int contracted = 0;
+  for (bool changed = true; changed;) {
+    changed = false;
+    changed |= prune_dead_edges(w);
+    const int alive_before = static_cast<int>(
+        std::count(w.node_alive.begin(), w.node_alive.end(), true));
+    if (contract_chains(w)) {
+      changed = true;
+      contracted += alive_before -
+                    static_cast<int>(std::count(w.node_alive.begin(),
+                                                w.node_alive.end(), true));
+    }
+    changed |= prune_dangling(w);
+  }
+
+  // Rebuild a clean network.
+  OptimizeResult res;
+  res.contracted_nodes = contracted;
+  FlowNetwork out(input.name() + "_opt");
+  std::vector<int> node_map(w.nodes.size(), -1);
+  for (int n = 0; n < static_cast<int>(w.nodes.size()); ++n) {
+    if (!w.node_alive[n]) continue;
+    NodeId id = out.add_node(w.nodes[n].name, w.nodes[n].kind);
+    out.node(id) = w.nodes[n];
+    node_map[n] = id.v;
+  }
+  res.edge_map.assign(input.num_edges(), -1);
+  for (const auto& we : w.edges) {
+    if (!we.alive) {
+      res.removed_edges++;
+      continue;
+    }
+    NodeId from{node_map[we.data.from]}, to{node_map[we.data.to]};
+    EdgeId id = out.add_edge(from, to, we.data.name);
+    Edge& stored = out.edge(id);
+    stored.capacity = we.data.capacity;
+    stored.fixed = we.data.fixed;
+    stored.metadata = we.data.metadata;
+    for (int orig : we.origins) res.edge_map[orig] = id.v;
+  }
+  if (w.objective_node >= 0 && node_map[w.objective_node] >= 0)
+    out.set_objective(NodeId{node_map[w.objective_node]}, w.maximize);
+  res.pruned_nodes = static_cast<int>(nodes_before) - out.num_nodes() -
+                     res.contracted_nodes;
+  res.net = std::move(out);
+  return res;
+}
+
+}  // namespace xplain::flowgraph

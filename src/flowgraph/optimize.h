@@ -1,0 +1,35 @@
+// Redundancy elimination over FlowNetworks (paper §5.1: "our DSL allows us
+// to find redundant constraints and variables", which is where the compiled
+// DSL's speedup over hand-written models comes from).
+//
+// Passes (applied to fixpoint):
+//   1. dead-edge pruning    — capacity-0 / fixed-0 edges disappear;
+//   2. chain contraction    — a conserving pass-through node (split/all-eq
+//                             with one in- and one out-edge) merges its two
+//                             edges into one variable;
+//   3. dangling-node pruning— conserving nodes with no outlet force their
+//                             in-flows to zero, which cascades into pass 1.
+//
+// Unlike a solver presolve (the paper's footnote about Gurobi), the passes
+// preserve the network *vocabulary*: `edge_map` links every original edge to
+// the surviving variable so explanations can still name user-level edges.
+#pragma once
+
+#include <vector>
+
+#include "flowgraph/network.h"
+
+namespace xplain::flowgraph {
+
+struct OptimizeResult {
+  FlowNetwork net;
+  /// old edge id -> new edge id (-1 when the edge was removed as dead).
+  std::vector<int> edge_map;
+  int removed_edges = 0;
+  int contracted_nodes = 0;
+  int pruned_nodes = 0;
+};
+
+OptimizeResult optimize(const FlowNetwork& input);
+
+}  // namespace xplain::flowgraph

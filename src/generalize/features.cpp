@@ -1,0 +1,44 @@
+#include "generalize/features.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace xplain::generalize {
+
+FeatureMap dp_instance_features(const te::TeInstance& inst,
+                                const te::DpConfig& cfg) {
+  FeatureMap f;
+  double hops_sum = 0.0, hops_max = 0.0;
+  double min_cap = std::numeric_limits<double>::infinity();
+  double alt_sum = 0.0;
+  for (const auto& pair : inst.pairs) {
+    const auto& sp = pair.paths[0];
+    hops_sum += sp.hops();
+    hops_max = std::max<double>(hops_max, sp.hops());
+    min_cap = std::min(min_cap, te::bottleneck_capacity(inst.topo, sp));
+    alt_sum += static_cast<double>(pair.paths.size()) - 1.0;
+  }
+  const double n = std::max<std::size_t>(inst.pairs.size(), 1);
+  f["pinned_sp_hops"] = hops_sum / n;
+  f["pinned_sp_max_hops"] = hops_max;
+  f["pinned_sp_min_cap"] = std::isfinite(min_cap) ? min_cap : 0.0;
+  f["alt_paths"] = alt_sum / n;
+  double global_min_cap = std::numeric_limits<double>::infinity();
+  for (const auto& l : inst.topo.links())
+    global_min_cap = std::min(global_min_cap, l.capacity);
+  f["threshold_ratio"] =
+      global_min_cap > 0 ? cfg.threshold / global_min_cap : 0.0;
+  f["num_pairs"] = static_cast<double>(inst.num_pairs());
+  return f;
+}
+
+FeatureMap vbp_instance_features(const vbp::VbpInstance& inst) {
+  FeatureMap f;
+  f["num_balls"] = inst.num_balls;
+  f["num_bins"] = inst.num_bins;
+  f["dims"] = inst.dims;
+  f["capacity"] = inst.capacity;
+  return f;
+}
+
+}  // namespace xplain::generalize

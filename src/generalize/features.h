@@ -1,0 +1,31 @@
+// Feature extraction for the generalizer (paper §5.4): functions F(I) of
+// the problem instance, built from the DSL metadata and the network-flow
+// structure, over which the predicate grammar expresses trends like
+// increasing(P) where P is the set of pinned shortest paths.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "te/demand_pinning.h"
+#include "vbp/instance.h"
+
+namespace xplain::generalize {
+
+using FeatureMap = std::map<std::string, double>;
+
+/// DP instance features:
+///   pinned_sp_hops      mean shortest-path hop count over pairs (|P| in the
+///                       paper's increasing(P) example)
+///   pinned_sp_max_hops  max shortest-path hop count
+///   pinned_sp_min_cap   min bottleneck capacity among shortest paths
+///   alt_paths           mean number of alternate (non-shortest) paths
+///   threshold_ratio     pinning threshold / min link capacity
+///   num_pairs
+FeatureMap dp_instance_features(const te::TeInstance& inst,
+                                const te::DpConfig& cfg);
+
+/// VBP instance features: num_balls, num_bins, dims, capacity.
+FeatureMap vbp_instance_features(const vbp::VbpInstance& inst);
+
+}  // namespace xplain::generalize

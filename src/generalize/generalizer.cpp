@@ -1,0 +1,56 @@
+#include "generalize/generalizer.h"
+
+#include "util/logging.h"
+
+namespace xplain::generalize {
+
+GeneralizerResult generalize(const CaseFactory& factory,
+                             const GeneralizerOptions& opts) {
+  GeneralizerResult result;
+  util::Rng rng(opts.seed);
+
+  for (int i = 0; i < opts.instances; ++i) {
+    Case c = factory(rng);
+    analyzer::SearchOptions sopts = opts.search;
+    sopts.seed = rng.engine()();
+    analyzer::SearchAnalyzer an(sopts);
+    auto ex = an.find_adversarial(*c.eval, opts.min_gap, {});
+
+    InstanceObservation obs;
+    obs.features = std::move(c.features);
+    obs.max_gap = ex ? ex->gap : 0.0;
+    if (opts.normalize_gap && c.gap_scale > 0) obs.max_gap /= c.gap_scale;
+    XPLAIN_DEBUG << "generalizer: instance " << i << " gap " << obs.max_gap;
+    result.observations.push_back(std::move(obs));
+  }
+
+  result.predicates = mine_predicates(result.observations, opts.grammar);
+  return result;
+}
+
+CaseFactory dp_case_factory(DpInstanceGenerator gen) {
+  return [gen](util::Rng& rng) {
+    const DpFamilyParams params = gen.next_params(rng);
+    te::TeInstance inst = make_dp_family_instance(params);
+    te::DpConfig cfg{params.threshold};
+    Case c;
+    c.features = dp_instance_features(inst, cfg);
+    c.gap_scale = params.d_max;
+    c.eval = std::make_unique<analyzer::DpGapEvaluator>(
+        std::move(inst), cfg, /*quantum=*/params.d_max / 100.0);
+    return c;
+  };
+}
+
+CaseFactory vbp_case_factory(VbpInstanceGenerator gen) {
+  return [gen](util::Rng& rng) {
+    vbp::VbpInstance inst = gen.next(rng);
+    Case c;
+    c.features = vbp_instance_features(inst);
+    c.gap_scale = 1.0;
+    c.eval = std::make_unique<analyzer::VbpGapEvaluator>(inst);
+    return c;
+  };
+}
+
+}  // namespace xplain::generalize

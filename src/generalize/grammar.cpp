@@ -1,0 +1,60 @@
+#include "generalize/grammar.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/spearman.h"
+
+namespace xplain::generalize {
+
+std::string Predicate::to_string() const {
+  return std::string(trend == Trend::kIncreasing ? "increasing" : "decreasing") +
+         "(" + feature + ")";
+}
+
+std::vector<Predicate> mine_predicates(
+    const std::vector<InstanceObservation>& observations,
+    const GrammarOptions& opts) {
+  std::vector<Predicate> out;
+  if (observations.size() < 3) return out;
+
+  // Features present in every observation.
+  std::vector<std::string> features;
+  for (const auto& [k, v] : observations.front().features) {
+    bool everywhere = true;
+    for (const auto& obs : observations)
+      if (!obs.features.count(k)) everywhere = false;
+    if (everywhere) features.push_back(k);
+  }
+
+  std::vector<double> gaps;
+  gaps.reserve(observations.size());
+  for (const auto& obs : observations) gaps.push_back(obs.max_gap);
+
+  for (const auto& f : features) {
+    std::vector<double> xs;
+    xs.reserve(observations.size());
+    for (const auto& obs : observations) xs.push_back(obs.features.at(f));
+    auto r = stats::spearman(xs, gaps);
+    if (std::fabs(r.rho) < opts.min_abs_rho) continue;
+    Predicate p;
+    p.feature = f;
+    p.support = r.n;
+    p.rho = r.rho;
+    if (r.rho > 0) {
+      p.trend = Trend::kIncreasing;
+      p.p_value = r.p_value_positive;
+    } else {
+      p.trend = Trend::kDecreasing;
+      p.p_value = r.p_value_negative;
+    }
+    if (p.p_value < opts.p_threshold) out.push_back(std::move(p));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Predicate& a, const Predicate& b) {
+              return a.p_value < b.p_value;
+            });
+  return out;
+}
+
+}  // namespace xplain::generalize

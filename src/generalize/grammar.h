@@ -1,0 +1,47 @@
+// The generalizer's predicate grammar (paper §5.4).  The paper sketches
+//   increasing(P): forall a,b in P, |a| >= |b| -> gap(a) >= gap(b)
+// as an example predicate; we implement the grammar as monotone-trend
+// predicates over instance features, validated by Spearman rank correlation
+// with a significance threshold (enumerative-synthesis style: enumerate all
+// grammar instantiations, keep the statistically significant ones).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "generalize/features.h"
+
+namespace xplain::generalize {
+
+/// One observation: an instance's features and the worst gap the analyzer
+/// found on it.
+struct InstanceObservation {
+  FeatureMap features;
+  double max_gap = 0.0;
+};
+
+enum class Trend { kIncreasing, kDecreasing };
+
+struct Predicate {
+  std::string feature;
+  Trend trend = Trend::kIncreasing;
+  double rho = 0.0;      // Spearman correlation of feature vs gap
+  double p_value = 1.0;
+  int support = 0;       // observations used
+
+  /// "increasing(pinned_sp_hops)" — the paper's presentation style.
+  std::string to_string() const;
+};
+
+struct GrammarOptions {
+  double p_threshold = 0.05;
+  double min_abs_rho = 0.3;  // require a non-trivial effect size
+};
+
+/// Enumerates increasing()/decreasing() over every feature present in all
+/// observations; returns the significant predicates sorted by p-value.
+std::vector<Predicate> mine_predicates(
+    const std::vector<InstanceObservation>& observations,
+    const GrammarOptions& opts = {});
+
+}  // namespace xplain::generalize

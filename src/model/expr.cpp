@@ -1,0 +1,77 @@
+#include "model/expr.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace xplain::model {
+
+LinExpr& LinExpr::operator+=(const LinExpr& o) {
+  constant_ += o.constant_;
+  for (const auto& [j, v] : o.terms_) {
+    double& slot = terms_[j];
+    slot += v;
+    if (std::abs(slot) < 1e-14) terms_.erase(j);
+  }
+  return *this;
+}
+
+LinExpr& LinExpr::operator-=(const LinExpr& o) {
+  constant_ -= o.constant_;
+  for (const auto& [j, v] : o.terms_) {
+    double& slot = terms_[j];
+    slot -= v;
+    if (std::abs(slot) < 1e-14) terms_.erase(j);
+  }
+  return *this;
+}
+
+LinExpr& LinExpr::operator*=(double k) {
+  constant_ *= k;
+  if (k == 0.0) {
+    terms_.clear();
+    return *this;
+  }
+  for (auto& [j, v] : terms_) v *= k;
+  return *this;
+}
+
+double LinExpr::eval(const std::vector<double>& x) const {
+  double v = constant_;
+  for (const auto& [j, c] : terms_) v += c * x[j];
+  return v;
+}
+
+std::string LinExpr::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [j, v] : terms_) {
+    if (!first) os << " + ";
+    os << v << "*v" << j;
+    first = false;
+  }
+  if (constant_ != 0.0 || first) {
+    if (!first) os << " + ";
+    os << constant_;
+  }
+  return os.str();
+}
+
+LinExpr operator+(LinExpr a, const LinExpr& b) { return a += b; }
+LinExpr operator-(LinExpr a, const LinExpr& b) { return a -= b; }
+LinExpr operator-(LinExpr a) { return a *= -1.0; }
+LinExpr operator*(double k, LinExpr e) { return e *= k; }
+LinExpr operator*(LinExpr e, double k) { return e *= k; }
+
+LinExpr sum(const std::vector<Var>& vs) {
+  LinExpr e;
+  for (Var v : vs) e += LinExpr(v);
+  return e;
+}
+
+LinExpr sum(const std::vector<LinExpr>& es) {
+  LinExpr e;
+  for (const auto& x : es) e += x;
+  return e;
+}
+
+}  // namespace xplain::model

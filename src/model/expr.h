@@ -1,0 +1,75 @@
+// Linear-expression algebra for the modeling layer.
+//
+// `Var` is a lightweight handle into a `Model`; `LinExpr` is an affine
+// expression over vars.  Comparisons build `LinConstraint`s that
+// `Model::add` accepts, so heuristic encodings read close to the math in
+// the paper (Fig. 1b/1c).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "solver/lp.h"
+
+namespace xplain::model {
+
+struct Var {
+  int index = -1;
+  bool valid() const { return index >= 0; }
+};
+
+class LinExpr {
+ public:
+  LinExpr() = default;
+  /*implicit*/ LinExpr(double c) : constant_(c) {}
+  /*implicit*/ LinExpr(Var v) { terms_[v.index] = 1.0; }
+
+  double constant() const { return constant_; }
+  const std::map<int, double>& terms() const { return terms_; }
+
+  LinExpr& operator+=(const LinExpr& o);
+  LinExpr& operator-=(const LinExpr& o);
+  LinExpr& operator*=(double k);
+
+  /// Evaluates against a full solution vector.
+  double eval(const std::vector<double>& x) const;
+
+  std::string to_string() const;
+
+ private:
+  double constant_ = 0.0;
+  std::map<int, double> terms_;  // var index -> coefficient
+};
+
+LinExpr operator+(LinExpr a, const LinExpr& b);
+LinExpr operator-(LinExpr a, const LinExpr& b);
+LinExpr operator-(LinExpr a);
+LinExpr operator*(double k, LinExpr e);
+LinExpr operator*(LinExpr e, double k);
+
+inline LinExpr operator+(Var a, Var b) { return LinExpr(a) + LinExpr(b); }
+inline LinExpr operator-(Var a, Var b) { return LinExpr(a) - LinExpr(b); }
+inline LinExpr operator*(double k, Var v) { return k * LinExpr(v); }
+inline LinExpr operator*(Var v, double k) { return k * LinExpr(v); }
+
+struct LinConstraint {
+  LinExpr lhs;  // compared against zero: lhs (sense) 0
+  solver::RowSense sense = solver::RowSense::kLe;
+};
+
+inline LinConstraint operator<=(const LinExpr& a, const LinExpr& b) {
+  return {a - b, solver::RowSense::kLe};
+}
+inline LinConstraint operator>=(const LinExpr& a, const LinExpr& b) {
+  return {a - b, solver::RowSense::kGe};
+}
+inline LinConstraint operator==(const LinExpr& a, const LinExpr& b) {
+  return {a - b, solver::RowSense::kEq};
+}
+
+/// Sum of a collection of vars or exprs.
+LinExpr sum(const std::vector<Var>& vs);
+LinExpr sum(const std::vector<LinExpr>& es);
+
+}  // namespace xplain::model

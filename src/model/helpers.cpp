@@ -1,0 +1,113 @@
+#include "model/helpers.h"
+
+namespace xplain::model {
+
+Var indicator_leq(Model& m, const LinExpr& expr, double threshold,
+                  const HelperConfig& cfg) {
+  Var z = m.add_binary();
+  // z=1 -> expr <= threshold.
+  m.add(expr <= LinExpr(threshold + cfg.big_m) - cfg.big_m * z);
+  // z=0 -> expr >= threshold + eps.
+  m.add(expr + cfg.big_m * z >= threshold + cfg.eps);
+  return z;
+}
+
+Var indicator_geq(Model& m, const LinExpr& expr, double threshold,
+                  const HelperConfig& cfg) {
+  return indicator_leq(m, -expr, -threshold, cfg);
+}
+
+Var indicator_eq(Model& m, const LinExpr& expr, double value,
+                 const HelperConfig& cfg) {
+  Var le = indicator_leq(m, expr, value + cfg.eps / 4, cfg);
+  Var ge = indicator_geq(m, expr, value - cfg.eps / 4, cfg);
+  return logic_and(m, {le, ge});
+}
+
+Var logic_and(Model& m, const std::vector<Var>& vs) {
+  Var z = m.add_binary();
+  LinExpr total;
+  for (Var v : vs) {
+    m.add(LinExpr(z) <= LinExpr(v));
+    total += LinExpr(v);
+  }
+  m.add(LinExpr(z) >= total - LinExpr(static_cast<double>(vs.size()) - 1.0));
+  return z;
+}
+
+Var logic_or(Model& m, const std::vector<Var>& vs) {
+  Var z = m.add_binary();
+  LinExpr total;
+  for (Var v : vs) {
+    m.add(LinExpr(z) >= LinExpr(v));
+    total += LinExpr(v);
+  }
+  m.add(LinExpr(z) <= total);
+  return z;
+}
+
+Var logic_not(Model& m, Var v) {
+  Var z = m.add_binary();
+  m.add(LinExpr(z) == LinExpr(1.0) - LinExpr(v));
+  return z;
+}
+
+Var force_to_zero_if_leq(Model& m, const LinExpr& target, const LinExpr& value,
+                         double threshold, const HelperConfig& cfg) {
+  Var pinned = indicator_leq(m, value, threshold, cfg);
+  // pinned=1 -> target == 0 (two-sided big-M).
+  m.add(target <= cfg.big_m * (LinExpr(1.0) - LinExpr(pinned)));
+  m.add(target >= -cfg.big_m * (LinExpr(1.0) - LinExpr(pinned)));
+  return pinned;
+}
+
+Var all_leq(Model& m, const std::vector<LinExpr>& exprs, double rhs,
+            const HelperConfig& cfg) {
+  std::vector<Var> inds;
+  inds.reserve(exprs.size());
+  for (const auto& e : exprs) inds.push_back(indicator_leq(m, e, rhs, cfg));
+  return logic_and(m, inds);
+}
+
+Var all_eq(Model& m, const std::vector<LinExpr>& exprs, double value,
+           const HelperConfig& cfg) {
+  std::vector<Var> inds;
+  inds.reserve(exprs.size());
+  for (const auto& e : exprs) inds.push_back(indicator_eq(m, e, value, cfg));
+  return logic_and(m, inds);
+}
+
+void if_then_else(Model& m, Var cond,
+                  const std::vector<std::pair<Var, LinExpr>>& then_assign,
+                  const std::vector<std::pair<Var, LinExpr>>& else_assign,
+                  const HelperConfig& cfg) {
+  const LinExpr on = cfg.big_m * (LinExpr(1.0) - LinExpr(cond));
+  for (const auto& [v, e] : then_assign) {
+    m.add(LinExpr(v) - e <= on);
+    m.add(LinExpr(v) - e >= -1.0 * on);
+  }
+  const LinExpr off = cfg.big_m * LinExpr(cond);
+  for (const auto& [v, e] : else_assign) {
+    m.add(LinExpr(v) - e <= off);
+    m.add(LinExpr(v) - e >= -1.0 * off);
+  }
+}
+
+Var product_binary_continuous(Model& m, Var z, const LinExpr& x,
+                              double x_max) {
+  Var w = m.add_continuous(0.0, x_max);
+  m.add(LinExpr(w) <= x_max * LinExpr(z));
+  m.add(LinExpr(w) <= x);
+  m.add(LinExpr(w) >= x - x_max * (LinExpr(1.0) - LinExpr(z)));
+  return w;
+}
+
+Var product_binary_binary(Model& m, Var a, Var b) {
+  Var w = m.add_binary();
+  m.add(LinExpr(w) <= LinExpr(a));
+  m.add(LinExpr(w) <= LinExpr(b));
+  m.add(LinExpr(w) >= LinExpr(a) + LinExpr(b) - LinExpr(1.0));
+  return w;
+}
+
+}  // namespace xplain::model

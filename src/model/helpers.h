@@ -1,0 +1,70 @@
+// MetaOpt-style helper combinators (the functions the paper shows in
+// Fig. 1b/1c: ForceToZeroIfLeq, AllLeq, AllEq, AND, IfThenElse), implemented
+// as big-M encodings over `Model`.
+//
+// Indicator semantics use a strictness margin `eps`: z=1 <=> expr <= t and
+// z=0 <=> expr >= t + eps.  Expressions landing strictly inside (t, t+eps)
+// are cut off by the encoding; callers that need exactness (the analyzers)
+// quantize their inputs to a grid coarser than eps.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "model/model.h"
+
+namespace xplain::model {
+
+struct HelperConfig {
+  double big_m = 1e4;  // must dominate the range of every expr passed in
+  double eps = 1e-2;   // strictness margin for indicator boundaries
+};
+// Invariant the solver relies on: eps / big_m must stay well above the MILP
+// integrality tolerance, or the "off" branch of an indicator can sit at a
+// fractional z the solver mistakes for 0 (kept: 1e-2 / 1e4 = 1e-6 >> 1e-7).
+
+/// Binary z with z=1 <=> expr <= threshold.
+Var indicator_leq(Model& m, const LinExpr& expr, double threshold,
+                  const HelperConfig& cfg = {});
+
+/// Binary z with z=1 <=> expr >= threshold.
+Var indicator_geq(Model& m, const LinExpr& expr, double threshold,
+                  const HelperConfig& cfg = {});
+
+/// Binary z with z=1 <=> expr == value (within eps).
+Var indicator_eq(Model& m, const LinExpr& expr, double value,
+                 const HelperConfig& cfg = {});
+
+/// Binary AND / OR / NOT over binary vars.
+Var logic_and(Model& m, const std::vector<Var>& vs);
+Var logic_or(Model& m, const std::vector<Var>& vs);
+Var logic_not(Model& m, Var v);
+
+/// MetaOpt's ForceToZeroIfLeq(target, value, T): when value <= T, constrain
+/// target == 0.  Returns the "value <= T" indicator.
+Var force_to_zero_if_leq(Model& m, const LinExpr& target, const LinExpr& value,
+                         double threshold, const HelperConfig& cfg = {});
+
+/// MetaOpt's AllLeq(exprs, rhs): binary 1 <=> every expr <= rhs.
+Var all_leq(Model& m, const std::vector<LinExpr>& exprs, double rhs,
+            const HelperConfig& cfg = {});
+
+/// MetaOpt's AllEq(exprs, value): binary 1 <=> every expr == value.
+Var all_eq(Model& m, const std::vector<LinExpr>& exprs, double value,
+           const HelperConfig& cfg = {});
+
+/// MetaOpt's IfThenElse(cond, then, else): when cond==1 enforce var==expr for
+/// every (var, expr) pair in `then_assign`, otherwise in `else_assign`.
+void if_then_else(Model& m, Var cond,
+                  const std::vector<std::pair<Var, LinExpr>>& then_assign,
+                  const std::vector<std::pair<Var, LinExpr>>& else_assign,
+                  const HelperConfig& cfg = {});
+
+/// Exact product w = z * x for binary z and bounded x in [0, x_max]
+/// (McCormick envelope, tight at binary z).  Returns w.
+Var product_binary_continuous(Model& m, Var z, const LinExpr& x, double x_max);
+
+/// Exact product of two binaries.
+Var product_binary_binary(Model& m, Var a, Var b);
+
+}  // namespace xplain::model

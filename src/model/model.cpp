@@ -1,0 +1,50 @@
+#include "model/model.h"
+
+namespace xplain::model {
+
+Var Model::add_var(double lo, double hi, bool integer, std::string name) {
+  return Var{problem_.add_col(lo, hi, 0.0, integer, std::move(name))};
+}
+
+void Model::add(const LinConstraint& c, std::string name) {
+  std::vector<std::pair<int, double>> coef;
+  coef.reserve(c.lhs.terms().size());
+  for (const auto& [j, v] : c.lhs.terms()) coef.emplace_back(j, v);
+  problem_.add_row(std::move(coef), c.sense, -c.lhs.constant(),
+                   std::move(name));
+}
+
+void Model::set_objective(solver::Sense sense, const LinExpr& objective) {
+  objective_ = objective;
+  problem_.sense = sense;
+  for (int j = 0; j < problem_.num_cols(); ++j) problem_.set_obj(j, 0.0);
+  for (const auto& [j, v] : objective.terms()) problem_.set_obj(j, v);
+}
+
+solver::LpSolution Model::solve_lp(const solver::SimplexOptions& opts) const {
+  auto s = solver::solve_lp(problem_, opts);
+  if (s.status == solver::Status::kOptimal) s.obj += objective_.constant();
+  return s;
+}
+
+solver::MilpResult Model::solve(const solver::MilpOptions& opts) const {
+  if (!problem_.is_mip()) {
+    auto s = solve_lp(opts.lp);
+    solver::MilpResult r;
+    r.status = s.status;
+    r.obj = s.obj;
+    r.x = std::move(s.x);
+    r.best_bound = r.obj;
+    r.nodes = 1;
+    r.lp_iterations = s.iterations;
+    return r;
+  }
+  auto r = solver::solve_milp(problem_, opts);
+  if (r.status == solver::Status::kOptimal || r.status == solver::Status::kLimit) {
+    r.obj += objective_.constant();
+    r.best_bound += objective_.constant();
+  }
+  return r;
+}
+
+}  // namespace xplain::model

@@ -1,0 +1,53 @@
+// `Model` is the Gurobi-like front end over the solver: named variables,
+// operator-built constraints, and solve entry points.  The XPlain DSL
+// compiler, the MetaOpt-style analyzers, and the hand-written baselines all
+// emit into a Model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/expr.h"
+#include "solver/milp.h"
+#include "solver/simplex.h"
+
+namespace xplain::model {
+
+class Model {
+ public:
+  Var add_var(double lo, double hi, bool integer = false,
+              std::string name = {});
+  Var add_continuous(double lo, double hi, std::string name = {}) {
+    return add_var(lo, hi, false, std::move(name));
+  }
+  Var add_binary(std::string name = {}) {
+    return add_var(0.0, 1.0, true, std::move(name));
+  }
+
+  /// Adds `c.lhs (sense) 0` as a row.
+  void add(const LinConstraint& c, std::string name = {});
+
+  void set_objective(solver::Sense sense, const LinExpr& objective);
+  const LinExpr& objective() const { return objective_; }
+  solver::Sense sense() const { return problem_.sense; }
+
+  /// Objective constant is carried outside the LpProblem and re-added here.
+  solver::LpSolution solve_lp(const solver::SimplexOptions& opts = {}) const;
+  solver::MilpResult solve(const solver::MilpOptions& opts = {}) const;
+
+  int num_vars() const { return problem_.num_cols(); }
+  int num_constraints() const { return problem_.num_rows(); }
+  const solver::LpProblem& lp() const { return problem_; }
+  solver::LpProblem& lp() { return problem_; }
+
+  double value(const std::vector<double>& x, Var v) const { return x[v.index]; }
+  double value(const std::vector<double>& x, const LinExpr& e) const {
+    return e.eval(x);
+  }
+
+ private:
+  solver::LpProblem problem_;
+  LinExpr objective_;
+};
+
+}  // namespace xplain::model

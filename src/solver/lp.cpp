@@ -1,0 +1,106 @@
+#include "solver/lp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace xplain::solver {
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOptimal: return "optimal";
+    case Status::kInfeasible: return "infeasible";
+    case Status::kUnbounded: return "unbounded";
+    case Status::kLimit: return "limit";
+    case Status::kError: return "error";
+  }
+  return "?";
+}
+
+int LpProblem::add_col(double lo, double hi, double obj, bool integer,
+                       std::string name) {
+  int j = num_cols();
+  lo_.push_back(lo);
+  hi_.push_back(hi);
+  obj_.push_back(obj);
+  integer_.push_back(integer ? 1 : 0);
+  if (name.empty()) name = "c" + std::to_string(j);
+  col_names_.push_back(std::move(name));
+  return j;
+}
+
+void LpProblem::add_row(std::vector<std::pair<int, double>> coef,
+                        RowSense sense, double rhs, std::string name) {
+  // Merge duplicates and drop zeros so the simplex sees clean columns.
+  std::map<int, double> merged;
+  for (const auto& [j, v] : coef) merged[j] += v;
+  Row r;
+  r.sense = sense;
+  r.rhs = rhs;
+  if (name.empty()) name = "r" + std::to_string(num_rows());
+  r.name = std::move(name);
+  r.coef.reserve(merged.size());
+  for (const auto& [j, v] : merged)
+    if (std::abs(v) > 1e-12) r.coef.emplace_back(j, v);
+  rows_.push_back(std::move(r));
+}
+
+bool LpProblem::is_mip() const {
+  return std::any_of(integer_.begin(), integer_.end(),
+                     [](std::uint8_t b) { return b != 0; });
+}
+
+double LpProblem::eval_obj(const std::vector<double>& x) const {
+  double v = 0.0;
+  for (int j = 0; j < num_cols(); ++j) v += obj_[j] * x[j];
+  return v;
+}
+
+bool LpProblem::feasible(const std::vector<double>& x, double tol) const {
+  if (static_cast<int>(x.size()) != num_cols()) return false;
+  for (int j = 0; j < num_cols(); ++j) {
+    if (x[j] < lo_[j] - tol || x[j] > hi_[j] + tol) return false;
+    if (integer_[j] && std::abs(x[j] - std::round(x[j])) > tol) return false;
+  }
+  for (const auto& r : rows_) {
+    double lhs = 0.0;
+    for (const auto& [j, v] : r.coef) lhs += v * x[j];
+    switch (r.sense) {
+      case RowSense::kLe:
+        if (lhs > r.rhs + tol) return false;
+        break;
+      case RowSense::kGe:
+        if (lhs < r.rhs - tol) return false;
+        break;
+      case RowSense::kEq:
+        if (std::abs(lhs - r.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+std::string LpProblem::to_string() const {
+  std::ostringstream os;
+  os << (sense == Sense::kMinimize ? "min" : "max");
+  for (int j = 0; j < num_cols(); ++j)
+    if (obj_[j] != 0.0) os << " + " << obj_[j] << "*" << col_names_[j];
+  os << "\n";
+  for (const auto& r : rows_) {
+    os << "  " << r.name << ":";
+    for (const auto& [j, v] : r.coef) os << " + " << v << "*" << col_names_[j];
+    os << (r.sense == RowSense::kLe   ? " <= "
+           : r.sense == RowSense::kGe ? " >= "
+                                      : " == ")
+       << r.rhs << "\n";
+  }
+  for (int j = 0; j < num_cols(); ++j) {
+    os << "  " << lo_[j] << " <= " << col_names_[j] << " <= " << hi_[j];
+    if (integer_[j]) os << " (int)";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace xplain::solver

@@ -1,0 +1,94 @@
+// Linear / mixed-integer program container.
+//
+// This is the solver-facing representation every higher layer compiles down
+// to (the modeling layer in `src/model` and the XPlain DSL compiler both
+// target it). It plays the role Gurobi's model object plays for MetaOpt.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xplain::solver {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class Sense { kMinimize, kMaximize };
+enum class RowSense { kLe, kGe, kEq };
+
+enum class Status {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kLimit,   // iteration / node / time limit hit; best-known returned
+  kError,
+};
+
+const char* to_string(Status s);
+
+/// A sparse LP/MILP: minimize or maximize obj'x subject to rows and bounds.
+class LpProblem {
+ public:
+  struct Row {
+    std::vector<std::pair<int, double>> coef;  // (column, coefficient)
+    RowSense sense = RowSense::kLe;
+    double rhs = 0.0;
+    std::string name;
+  };
+
+  Sense sense = Sense::kMinimize;
+
+  /// Adds a column; returns its index.
+  int add_col(double lo, double hi, double obj, bool integer = false,
+              std::string name = {});
+
+  /// Adds a row; duplicate column entries are merged.
+  void add_row(std::vector<std::pair<int, double>> coef, RowSense sense,
+               double rhs, std::string name = {});
+
+  int num_cols() const { return static_cast<int>(obj_.size()); }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  bool is_mip() const;
+
+  double obj(int j) const { return obj_[j]; }
+  double lo(int j) const { return lo_[j]; }
+  double hi(int j) const { return hi_[j]; }
+  bool integer(int j) const { return integer_[j] != 0; }
+  const std::string& col_name(int j) const { return col_names_[j]; }
+  const Row& row(int i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  void set_obj(int j, double c) { obj_[j] = c; }
+  void set_bounds(int j, double lo, double hi) {
+    lo_[j] = lo;
+    hi_[j] = hi;
+  }
+
+  /// Objective value of a point (no feasibility check).
+  double eval_obj(const std::vector<double>& x) const;
+
+  /// True if `x` satisfies all rows and bounds to within `tol`
+  /// (and integrality for integer columns).
+  bool feasible(const std::vector<double>& x, double tol = 1e-6) const;
+
+  /// Human-readable dump (small models only; used in error paths/tests).
+  std::string to_string() const;
+
+ private:
+  std::vector<double> obj_, lo_, hi_;
+  std::vector<std::uint8_t> integer_;
+  std::vector<std::string> col_names_;
+  std::vector<Row> rows_;
+};
+
+struct LpSolution {
+  Status status = Status::kError;
+  double obj = 0.0;
+  std::vector<double> x;  // primal values, one per column
+  std::vector<double> y;  // dual values, one per row (sign: for the stated
+                          // sense; empty for MILP solves)
+  long iterations = 0;
+};
+
+}  // namespace xplain::solver

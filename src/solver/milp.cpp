@@ -1,0 +1,179 @@
+#include "solver/milp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "solver/presolve.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace xplain::solver {
+
+namespace {
+
+struct Node {
+  // Bound overrides relative to the root problem, ordered by creation.
+  std::vector<std::tuple<int, double, double>> bounds;
+  double parent_bound;  // LP bound inherited from the parent (min-sense)
+  int depth = 0;
+};
+
+struct NodeCompare {
+  // Best-bound first: smaller parent bound (min sense) wins; deeper node
+  // breaks ties so plunges finish.
+  bool operator()(const std::shared_ptr<Node>& a,
+                  const std::shared_ptr<Node>& b) const {
+    if (a->parent_bound != b->parent_bound)
+      return a->parent_bound > b->parent_bound;
+    return a->depth < b->depth;
+  }
+};
+
+// Most fractional integer column, or -1 if integral.
+int pick_branch_col(const LpProblem& p, const std::vector<double>& x,
+                    double int_tol) {
+  int best = -1;
+  double best_frac_dist = int_tol;
+  for (int j = 0; j < p.num_cols(); ++j) {
+    if (!p.integer(j)) continue;
+    const double f = x[j] - std::floor(x[j]);
+    const double dist = std::min(f, 1.0 - f);
+    if (dist > best_frac_dist) {
+      best_frac_dist = dist;
+      best = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MilpResult solve_milp(const LpProblem& root, const MilpOptions& opts) {
+  MilpResult res;
+  util::Timer timer;
+
+  // Work on a min-sense copy so bounding logic has one orientation.
+  LpProblem p = root;
+  const double flip = (root.sense == Sense::kMaximize) ? -1.0 : 1.0;
+  if (root.sense == Sense::kMaximize) {
+    p.sense = Sense::kMinimize;
+    for (int j = 0; j < p.num_cols(); ++j) p.set_obj(j, -p.obj(j));
+  }
+
+  double incumbent_obj = kInf;  // min-sense
+  std::vector<double> incumbent_x;
+
+  auto try_incumbent = [&](const std::vector<double>& x, double obj) {
+    if (obj >= incumbent_obj - 1e-12) return;
+    // Snap integer columns first, then verify the *snapped* point: a raw LP
+    // point can look integral within tolerance while its rounding violates a
+    // tight big-M row.
+    std::vector<double> snapped = x;
+    for (int j = 0; j < p.num_cols(); ++j)
+      if (p.integer(j)) snapped[j] = std::round(snapped[j]);
+    if (!root.feasible(snapped, 1e-6)) return;
+    incumbent_obj = obj;
+    incumbent_x = std::move(snapped);
+    if (opts.on_incumbent) opts.on_incumbent(flip * obj, incumbent_x);
+    XPLAIN_DEBUG << "milp: incumbent " << flip * obj;
+  };
+
+  // Rounding heuristic: snap integer columns of an LP point and re-check.
+  auto round_heuristic = [&](const std::vector<double>& x) {
+    std::vector<double> r = x;
+    for (int j = 0; j < p.num_cols(); ++j)
+      if (p.integer(j)) r[j] = std::round(r[j]);
+    if (p.feasible(r, 1e-7)) try_incumbent(r, p.eval_obj(r));
+  };
+
+  std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>,
+                      NodeCompare>
+      open;
+  open.push(std::make_shared<Node>(Node{{}, -kInf, 0}));
+
+  bool hit_limit = false;
+
+  while (!open.empty()) {
+    if (res.nodes >= opts.max_nodes || timer.seconds() > opts.time_limit_s) {
+      hit_limit = true;
+      break;
+    }
+    auto node = open.top();
+    open.pop();
+    if (node->parent_bound >= incumbent_obj - opts.gap_tol) continue;  // pruned
+
+    // Apply node bounds, then propagate them through the constraints: on
+    // big-M indicator models this fixes most binaries without an LP.
+    LpProblem sub = p;
+    for (const auto& [j, lo, hi] : node->bounds) {
+      const double nlo = std::max(lo, sub.lo(j));
+      const double nhi = std::min(hi, sub.hi(j));
+      sub.set_bounds(j, nlo, nhi);
+    }
+    if (!propagate_bounds(sub).feasible) {
+      ++res.nodes;
+      continue;
+    }
+
+    LpSolution lp = solve_lp(sub, opts.lp);
+    ++res.nodes;
+    res.lp_iterations += lp.iterations;
+    if (lp.status == Status::kInfeasible) continue;
+    if (lp.status == Status::kUnbounded) {
+      // An unbounded relaxation at the root means the MILP is unbounded (or
+      // its integer restriction is; either way we cannot bound it).
+      if (node->depth == 0 && !std::isfinite(incumbent_obj)) {
+        res.status = Status::kUnbounded;
+        return res;
+      }
+      continue;
+    }
+    if (lp.status != Status::kOptimal) {
+      hit_limit = true;
+      continue;
+    }
+    const double bound = lp.obj;
+    if (bound >= incumbent_obj - opts.gap_tol) continue;
+
+    const int bc = pick_branch_col(p, lp.x, opts.int_tol);
+    if (bc < 0) {
+      try_incumbent(lp.x, bound);
+      continue;
+    }
+    round_heuristic(lp.x);
+
+    const double v = lp.x[bc];
+    auto down = std::make_shared<Node>(*node);
+    down->bounds.emplace_back(bc, -kInf, std::floor(v));
+    down->parent_bound = bound;
+    down->depth = node->depth + 1;
+    auto up = std::make_shared<Node>(*node);
+    up->bounds.emplace_back(bc, std::ceil(v), kInf);
+    up->parent_bound = bound;
+    up->depth = node->depth + 1;
+    open.push(std::move(down));
+    open.push(std::move(up));
+  }
+
+  const bool have_incumbent = std::isfinite(incumbent_obj);
+  if (hit_limit) {
+    res.status = have_incumbent ? Status::kLimit : Status::kError;
+  } else {
+    res.status = have_incumbent ? Status::kOptimal : Status::kInfeasible;
+  }
+  if (have_incumbent) {
+    res.obj = flip * incumbent_obj;
+    res.x = std::move(incumbent_x);
+  }
+  // Proven bound: min over remaining open nodes (or the incumbent if solved).
+  double open_bound = incumbent_obj;
+  if (hit_limit && !open.empty())
+    open_bound = std::min(open_bound, open.top()->parent_bound);
+  res.best_bound = flip * open_bound;
+  return res;
+}
+
+}  // namespace xplain::solver

@@ -1,0 +1,32 @@
+// Two-phase dense tableau simplex.
+//
+// Handles general column bounds (finite lowers are shifted out, finite
+// uppers become explicit bound rows, free columns are split), maximization,
+// and equality/inequality rows.  Anti-cycling is Dantzig pricing with a
+// Bland's-rule fallback after a run of degenerate pivots.
+//
+// Scope note: this is the Gurobi stand-in for the XPlain reproduction.  It
+// is exact and deliberately simple (dense tableau); the models the paper's
+// analyses generate are small (tens to a few hundred rows), where density
+// is not a bottleneck.
+#pragma once
+
+#include "solver/lp.h"
+
+namespace xplain::solver {
+
+struct SimplexOptions {
+  long max_iterations = 200'000;
+  double feas_tol = 1e-7;   // primal feasibility / phase-1 residual
+  double pivot_tol = 1e-9;  // minimum admissible pivot magnitude
+  double cost_tol = 1e-9;   // reduced-cost optimality threshold
+};
+
+/// Solves the relaxation of `p` (integrality markers are ignored).
+///
+/// On kOptimal the solution carries primal values for every column and dual
+/// values for every row with the convention y_i = d(obj)/d(rhs_i) for the
+/// problem's stated sense.
+LpSolution solve_lp(const LpProblem& p, const SimplexOptions& opts = {});
+
+}  // namespace xplain::solver

@@ -1,0 +1,24 @@
+// Descriptive statistics used across the subspace generator and the
+// significance checker.
+#pragma once
+
+#include <vector>
+
+namespace xplain::stats {
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);  // sample variance (n-1)
+double stddev(const std::vector<double>& xs);
+double median(std::vector<double> xs);
+double quantile(std::vector<double> xs, double q);  // q in [0,1], linear interp
+
+/// Empirical CDF value P(X <= x).
+double ecdf(const std::vector<double>& xs, double x);
+
+/// Ranks with ties averaged (1-based), the ranking Wilcoxon/Spearman use.
+std::vector<double> ranks_with_ties(const std::vector<double>& xs);
+
+/// Standard normal CDF.
+double normal_cdf(double z);
+
+}  // namespace xplain::stats

@@ -1,0 +1,19 @@
+#include "stats/dkw.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace xplain::stats {
+
+std::size_t dkw_sample_count(double eps, double delta) {
+  assert(eps > 0 && delta > 0 && delta < 1);
+  return static_cast<std::size_t>(
+      std::ceil(std::log(2.0 / delta) / (2.0 * eps * eps)));
+}
+
+double dkw_epsilon(std::size_t n, double delta) {
+  assert(n > 0 && delta > 0 && delta < 1);
+  return std::sqrt(std::log(2.0 / delta) / (2.0 * static_cast<double>(n)));
+}
+
+}  // namespace xplain::stats

@@ -1,0 +1,20 @@
+// Dvoretzky–Kiefer–Wolfowitz sample-size bound (paper §5.2: "we pick the
+// number of samples we use based on the DKW inequality", citing Massart's
+// tight constant).
+//
+// DKW with Massart's constant: P(sup_x |F_n(x) - F(x)| > eps) <= 2 e^{-2 n
+// eps^2}; so estimating the density of adversarial samples in a slice to
+// within eps with confidence 1-delta needs n >= ln(2/delta) / (2 eps^2).
+#pragma once
+
+#include <cstddef>
+
+namespace xplain::stats {
+
+/// Minimum sample count for accuracy `eps` at confidence `1 - delta`.
+std::size_t dkw_sample_count(double eps, double delta);
+
+/// The deviation bound achievable with `n` samples at confidence `1-delta`.
+double dkw_epsilon(std::size_t n, double delta);
+
+}  // namespace xplain::stats

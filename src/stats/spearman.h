@@ -1,0 +1,23 @@
+// Spearman rank correlation with a one/two-sided significance test — the
+// generalizer's statistical backend for `increasing(P)`-style predicates
+// (paper §5.4: "check if the predicates in the grammar are statistically
+// significant").
+#pragma once
+
+#include <vector>
+
+namespace xplain::stats {
+
+struct SpearmanResult {
+  double rho = 0.0;
+  /// One-sided p-value for the alternative rho > 0 (use 1-p for rho < 0),
+  /// from the t-approximation (n >= ~10 recommended).
+  double p_value_positive = 1.0;
+  double p_value_negative = 1.0;
+  int n = 0;
+};
+
+SpearmanResult spearman(const std::vector<double>& x,
+                        const std::vector<double>& y);
+
+}  // namespace xplain::stats

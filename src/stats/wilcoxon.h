@@ -1,0 +1,28 @@
+// Wilcoxon signed-rank test — the significance checker's test (paper §5.2:
+// "we use the Wilcoxon signed-rank test, which allows for dependent
+// samples").  One-sided alternative: the first sample tends to be larger.
+//
+// Exact null distribution for n <= 25 pairs; normal approximation with
+// continuity and tie corrections above.
+#pragma once
+
+#include <vector>
+
+namespace xplain::stats {
+
+struct WilcoxonResult {
+  double w_plus = 0.0;    // sum of ranks of positive differences
+  double w_minus = 0.0;
+  int n_effective = 0;    // pairs with nonzero difference
+  double p_value = 1.0;   // one-sided: P(inside > outside)
+  bool exact = false;     // exact distribution vs normal approximation
+};
+
+/// Paired test on (a_i, b_i); alternative: a > b.
+WilcoxonResult wilcoxon_signed_rank(const std::vector<double>& a,
+                                    const std::vector<double>& b);
+
+/// Same test on precomputed differences d_i = a_i - b_i.
+WilcoxonResult wilcoxon_signed_rank_diffs(const std::vector<double>& diffs);
+
+}  // namespace xplain::stats

@@ -1,0 +1,71 @@
+#include "subspace/region.h"
+
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace xplain::subspace {
+
+bool Halfspace::satisfied(const std::vector<double>& x, double tol) const {
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) lhs += a[i] * x[i];
+  return lhs <= b + tol;
+}
+
+std::string Halfspace::to_string(
+    const std::vector<std::string>& dim_names) const {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0.0) continue;
+    if (!first) os << " + ";
+    if (a[i] == 1.0)
+      os << dim_names[i];
+    else if (a[i] == -1.0)
+      os << "-" << dim_names[i];
+    else
+      os << util::format_double(a[i]) << "*" << dim_names[i];
+    first = false;
+  }
+  if (first) os << "0";
+  os << " <= " << util::format_double(b);
+  return os.str();
+}
+
+bool Polytope::contains(const std::vector<double>& x, double tol) const {
+  if (!box.contains(x, tol)) return false;
+  for (const auto& h : halfspaces)
+    if (!h.satisfied(x, tol)) return false;
+  return true;
+}
+
+std::string Polytope::to_string(
+    const std::vector<std::string>& dim_names) const {
+  std::ostringstream os;
+  os << "box: " << box.to_string();
+  for (const auto& h : halfspaces)
+    os << "\n  and " << h.to_string(dim_names);
+  return os.str();
+}
+
+std::string Polytope::to_matrix_form() const {
+  // Fig. 5c prints [A; T] X <= [C; V]: A = [I; -I] encodes the box, T the
+  // tree predicates.
+  std::ostringstream os;
+  const int n = box.dim();
+  os << "A (box rows, I then -I), C:\n";
+  for (int i = 0; i < n; ++i) os << "  x[" << i << "] <= "
+                                 << util::format_double(box.hi[i]) << "\n";
+  for (int i = 0; i < n; ++i) os << " -x[" << i << "] <= "
+                                 << util::format_double(-box.lo[i]) << "\n";
+  os << "T (tree rows), V:\n";
+  for (const auto& h : halfspaces) {
+    os << "  [";
+    for (int i = 0; i < n; ++i)
+      os << (i ? " " : "") << util::format_double(h.a[i]);
+    os << "] x <= " << util::format_double(h.b) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace xplain::subspace

@@ -1,0 +1,50 @@
+// Adversarial-subspace representations (paper Fig. 5c): a subspace is the
+// intersection of a rough box (the slice-expansion output) with the
+// halfspace predicates read off the regression-tree path — exactly the
+// { x : A [T] x <= [C V] } form the paper prints for FF's D0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyzer/evaluator.h"
+
+namespace xplain::subspace {
+
+using analyzer::Box;
+
+/// One halfspace a'x <= b (tree predicates produce axis-aligned a).
+struct Halfspace {
+  std::vector<double> a;
+  double b = 0.0;
+
+  bool satisfied(const std::vector<double>& x, double tol = 1e-9) const;
+  std::string to_string(const std::vector<std::string>& dim_names) const;
+};
+
+/// Box /\ halfspaces.
+struct Polytope {
+  Box box;
+  std::vector<Halfspace> halfspaces;
+
+  bool contains(const std::vector<double>& x, double tol = 1e-9) const;
+  std::string to_string(const std::vector<std::string>& dim_names) const;
+
+  /// Renders the paper's Fig. 5c matrix form: rows of [A; T] x <= [C; V].
+  std::string to_matrix_form() const;
+};
+
+/// A validated adversarial subspace with its statistics.
+struct AdversarialSubspace {
+  Polytope region;
+  /// The analyzer point the subspace grew from.
+  std::vector<double> seed;
+  double seed_gap = 0.0;
+  double mean_gap_inside = 0.0;
+  double mean_gap_outside = 0.0;
+  double p_value = 1.0;
+  int samples_inside = 0;
+  bool significant = false;
+};
+
+}  // namespace xplain::subspace

@@ -1,0 +1,59 @@
+// CART regression tree for subspace refinement (paper §5.2 / Fig. 5b,
+// following the failure-diagnosis idea of Chen et al. [13]): train a tree
+// that predicts the performance gap around the rough subspace, then read
+// the predicates on the path to the leaf containing the initial adversarial
+// point — those predicates describe the subspace more accurately than the
+// sampled box.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "subspace/region.h"
+#include "subspace/sampler.h"
+
+namespace xplain::subspace {
+
+struct TreeOptions {
+  int max_depth = 5;
+  int min_samples_leaf = 12;
+  /// Candidate thresholds per feature (quantile cuts) when a feature has
+  /// many distinct values.
+  int max_thresholds = 32;
+};
+
+class RegressionTree {
+ public:
+  struct Node {
+    int feature = -1;      // -1: leaf
+    double threshold = 0;  // goes left when x[feature] <= threshold
+    int left = -1, right = -1;
+    double value = 0.0;    // mean gap at this node
+    int count = 0;
+  };
+
+  double predict(const std::vector<double>& x) const;
+  int leaf_of(const std::vector<double>& x) const;
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int depth() const;
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Halfspace conjunction on the root->leaf path for `x` (Fig. 5b: the
+  /// predicates that more accurately describe the subspace).
+  std::vector<Halfspace> path_predicates(const std::vector<double>& x) const;
+
+  /// Pretty-print (tests, benches, Fig. 5b-style output).
+  std::string to_string(const std::vector<std::string>& dim_names) const;
+
+  friend RegressionTree fit_regression_tree(
+      const std::vector<LabeledSample>& samples, const TreeOptions& opts);
+
+ private:
+  std::vector<Node> nodes_;
+  int dim_ = 0;
+};
+
+RegressionTree fit_regression_tree(const std::vector<LabeledSample>& samples,
+                                   const TreeOptions& opts = {});
+
+}  // namespace xplain::subspace

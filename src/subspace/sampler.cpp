@@ -1,0 +1,59 @@
+#include "subspace/sampler.h"
+
+#include <algorithm>
+
+namespace xplain::subspace {
+
+std::vector<LabeledSample> sample_box(const GapEvaluator& eval, const Box& box,
+                                      std::size_t count, util::Rng& rng) {
+  Box b = box.intersect(eval.input_box());
+  std::vector<LabeledSample> out;
+  if (b.empty()) return out;
+  out.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    LabeledSample ls;
+    ls.x = eval.quantize(rng.uniform_point(b.lo, b.hi));
+    ls.gap = eval.gap(ls.x);
+    out.push_back(std::move(ls));
+  }
+  return out;
+}
+
+std::vector<LabeledSample> sample_shell(const GapEvaluator& eval,
+                                        const Box& box, const Box& inner,
+                                        std::size_t count, util::Rng& rng) {
+  Box b = box.intersect(eval.input_box());
+  std::vector<LabeledSample> out;
+  if (b.empty()) return out;
+  out.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      auto x = eval.quantize(rng.uniform_point(b.lo, b.hi));
+      if (inner.contains(x)) continue;
+      out.push_back({x, eval.gap(x)});
+      break;
+    }
+  }
+  return out;
+}
+
+double bad_density(const std::vector<LabeledSample>& samples,
+                   double threshold) {
+  if (samples.empty()) return 0.0;
+  std::size_t bad = 0;
+  for (const auto& s : samples)
+    if (s.gap >= threshold) ++bad;
+  return static_cast<double>(bad) / static_cast<double>(samples.size());
+}
+
+Box inflate(const Box& box, double frac, const Box& limit) {
+  Box out = box;
+  for (int i = 0; i < box.dim(); ++i) {
+    const double w = std::max(box.hi[i] - box.lo[i], 1e-9);
+    out.lo[i] = std::max(limit.lo[i], box.lo[i] - frac * w);
+    out.hi[i] = std::min(limit.hi[i], box.hi[i] + frac * w);
+  }
+  return out;
+}
+
+}  // namespace xplain::subspace

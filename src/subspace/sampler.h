@@ -1,0 +1,38 @@
+// Sampling utilities for the adversarial subspace generator: labeled gap
+// samples inside boxes, slices, and shells, with DKW-derived sample counts.
+#pragma once
+
+#include <vector>
+
+#include "analyzer/evaluator.h"
+#include "util/random.h"
+
+namespace xplain::subspace {
+
+using analyzer::Box;
+using analyzer::GapEvaluator;
+
+struct LabeledSample {
+  std::vector<double> x;
+  double gap = 0.0;
+};
+
+/// Uniform quantized samples in `box` (intersected with the evaluator's
+/// input box), labeled with their gap.
+std::vector<LabeledSample> sample_box(const GapEvaluator& eval, const Box& box,
+                                      std::size_t count, util::Rng& rng);
+
+/// Samples from `box` \ `inner` (the shell immediately outside a subspace)
+/// by rejection; gives up on a draw after 64 tries (degenerate geometry).
+std::vector<LabeledSample> sample_shell(const GapEvaluator& eval,
+                                        const Box& box, const Box& inner,
+                                        std::size_t count, util::Rng& rng);
+
+/// Fraction of samples with gap >= threshold.
+double bad_density(const std::vector<LabeledSample>& samples,
+                   double threshold);
+
+/// Expands `box` by `frac` of its width on every side, clipped to `limit`.
+Box inflate(const Box& box, double frac, const Box& limit);
+
+}  // namespace xplain::subspace

@@ -1,0 +1,51 @@
+#include "subspace/significance.h"
+
+#include "stats/descriptive.h"
+
+namespace xplain::subspace {
+
+SignificanceReport check_significance(const analyzer::GapEvaluator& eval,
+                                      const Polytope& region,
+                                      const SignificanceOptions& opts) {
+  SignificanceReport rep;
+  util::Rng rng(opts.seed);
+  const Box limit = eval.input_box();
+  const Box shell_box = inflate(region.box, opts.shell_frac, limit);
+
+  std::vector<double> inside_gaps, outside_gaps;
+  for (int p = 0; p < opts.pairs; ++p) {
+    // Inside draw: rejection-sample the polytope within its box.
+    std::vector<double> xin;
+    for (int attempt = 0; attempt < 128; ++attempt) {
+      auto cand = eval.quantize(rng.uniform_point(region.box.lo,
+                                                  region.box.hi));
+      if (region.contains(cand, 1e-9)) {
+        xin = std::move(cand);
+        break;
+      }
+    }
+    if (xin.empty()) continue;
+    // Paired outside draw: the matching point from the surrounding shell.
+    std::vector<double> xout;
+    for (int attempt = 0; attempt < 128; ++attempt) {
+      auto cand = eval.quantize(rng.uniform_point(shell_box.lo, shell_box.hi));
+      if (!region.contains(cand, 1e-9)) {
+        xout = std::move(cand);
+        break;
+      }
+    }
+    if (xout.empty()) continue;
+    inside_gaps.push_back(eval.gap(xin));
+    outside_gaps.push_back(eval.gap(xout));
+  }
+
+  rep.pairs_collected = static_cast<int>(inside_gaps.size());
+  if (rep.pairs_collected == 0) return rep;
+  rep.mean_gap_inside = stats::mean(inside_gaps);
+  rep.mean_gap_outside = stats::mean(outside_gaps);
+  rep.test = stats::wilcoxon_signed_rank(inside_gaps, outside_gaps);
+  rep.significant = rep.test.p_value < opts.p_threshold;
+  return rep;
+}
+
+}  // namespace xplain::subspace

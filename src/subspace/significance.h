@@ -1,0 +1,34 @@
+// Significance checker (paper §5.2): validates that points inside a
+// candidate subspace produce higher gaps than points immediately outside,
+// using the Wilcoxon signed-rank test on paired (inside, outside) samples
+// — the pairing reflects that the subspace fully determines membership, so
+// the two pools are dependent.
+#pragma once
+
+#include "stats/wilcoxon.h"
+#include "subspace/region.h"
+#include "subspace/sampler.h"
+
+namespace xplain::subspace {
+
+struct SignificanceOptions {
+  int pairs = 100;          // paired samples
+  double p_threshold = 0.05;
+  double shell_frac = 0.4;  // shell width as a fraction of the region box
+  std::uint64_t seed = 7;
+};
+
+struct SignificanceReport {
+  stats::WilcoxonResult test;
+  double mean_gap_inside = 0.0;
+  double mean_gap_outside = 0.0;
+  int pairs_collected = 0;
+  bool significant = false;
+};
+
+/// Tests `region` against its immediate surroundings.
+SignificanceReport check_significance(const analyzer::GapEvaluator& eval,
+                                      const Polytope& region,
+                                      const SignificanceOptions& opts = {});
+
+}  // namespace xplain::subspace

@@ -1,0 +1,39 @@
+#include "te/demand.h"
+
+namespace xplain::te {
+
+TeInstance TeInstance::make(
+    Topology topo, const std::vector<std::pair<int, int>>& demand_pairs,
+    int k_paths, double d_max) {
+  TeInstance inst;
+  inst.topo = std::move(topo);
+  inst.d_max = d_max;
+  for (const auto& [s, t] : demand_pairs) {
+    TePair p;
+    p.src = s;
+    p.dst = t;
+    p.paths = k_shortest_paths(inst.topo, s, t, k_paths);
+    if (!p.paths.empty()) inst.pairs.push_back(std::move(p));
+  }
+  return inst;
+}
+
+TeInstance TeInstance::fig1a_example() {
+  TeInstance inst = make(Topology::fig1a(), {{0, 2}, {0, 1}, {1, 2}},
+                         /*k_paths=*/2, /*d_max=*/100.0);
+  // The paper's example gives only the 1~>3 demand an alternate path; 1~>2
+  // and 2~>3 route solely on their direct links (Fig. 1a's table).
+  inst.pairs[1].paths.resize(1);
+  inst.pairs[2].paths.resize(1);
+  return inst;
+}
+
+TeInstance TeInstance::all_pairs(Topology topo, int k_paths, double d_max) {
+  std::vector<std::pair<int, int>> pairs;
+  for (int u = 0; u < topo.num_nodes(); ++u)
+    for (int v = 0; v < topo.num_nodes(); ++v)
+      if (u != v) pairs.emplace_back(u, v);
+  return make(std::move(topo), pairs, k_paths, d_max);
+}
+
+}  // namespace xplain::te

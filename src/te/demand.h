@@ -1,0 +1,47 @@
+// A TE problem *instance* (paper terminology): topology + demand pairs with
+// candidate paths.  The analyzer's *input* is the vector of demand values,
+// one per pair — the OuterVar in MetaOpt's encoding of Fig. 1b.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "te/paths.h"
+#include "te/topology.h"
+
+namespace xplain::te {
+
+struct TePair {
+  int src = -1;
+  int dst = -1;
+  /// Candidate paths; paths[0] is the shortest (the pinning target).
+  std::vector<Path> paths;
+
+  std::string name() const {
+    return std::to_string(src + 1) + "~>" + std::to_string(dst + 1);
+  }
+};
+
+struct TeInstance {
+  Topology topo;
+  std::vector<TePair> pairs;
+  /// Upper bound on each demand value (the input box is [0, d_max]^n).
+  double d_max = 0.0;
+
+  int num_pairs() const { return static_cast<int>(pairs.size()); }
+
+  /// Builds an instance: computes up to `k` candidate paths per pair and
+  /// drops pairs with no path.
+  static TeInstance make(Topology topo,
+                         const std::vector<std::pair<int, int>>& demand_pairs,
+                         int k_paths, double d_max);
+
+  /// The paper's running example: Fig. 1a topology with the demands
+  /// 1~>3, 1~>2, 2~>3 (k = 2 candidate paths each, d_max = 100).
+  static TeInstance fig1a_example();
+
+  /// All ordered pairs (u, v), u != v, as demand pairs.
+  static TeInstance all_pairs(Topology topo, int k_paths, double d_max);
+};
+
+}  // namespace xplain::te

@@ -1,0 +1,66 @@
+#include "te/maxflow.h"
+
+#include <cassert>
+
+#include "model/model.h"
+
+namespace xplain::te {
+
+std::vector<double> FlowResult::link_utilization(
+    const TeInstance& inst) const {
+  std::vector<double> util(inst.topo.num_links(), 0.0);
+  for (int k = 0; k < inst.num_pairs(); ++k) {
+    if (flow[k].empty()) continue;
+    for (std::size_t p = 0; p < inst.pairs[k].paths.size(); ++p) {
+      for (LinkId l : inst.pairs[k].paths[p].links(inst.topo))
+        util[l.v] += flow[k][p];
+    }
+  }
+  return util;
+}
+
+FlowResult solve_max_flow(const TeInstance& inst, const std::vector<double>& d,
+                          const std::vector<double>* residual_caps,
+                          const std::vector<bool>* skip) {
+  assert(static_cast<int>(d.size()) == inst.num_pairs());
+  model::Model m;
+  // Per (pair, path) flow variable.
+  std::vector<std::vector<model::Var>> f(inst.num_pairs());
+  model::LinExpr total;
+  std::vector<model::LinExpr> link_load(inst.topo.num_links());
+  for (int k = 0; k < inst.num_pairs(); ++k) {
+    if (skip && (*skip)[k]) continue;
+    const auto& paths = inst.pairs[k].paths;
+    model::LinExpr routed;
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+      model::Var v = m.add_continuous(0, solver::kInf);
+      f[k].push_back(v);
+      routed += model::LinExpr(v);
+      for (LinkId l : paths[p].links(inst.topo))
+        link_load[l.v] += model::LinExpr(v);
+    }
+    m.add(routed <= model::LinExpr(d[k]));
+    total += routed;
+  }
+  for (int l = 0; l < inst.topo.num_links(); ++l) {
+    const double cap =
+        residual_caps ? (*residual_caps)[l] : inst.topo.link(LinkId{l}).capacity;
+    m.add(link_load[l] <= model::LinExpr(cap));
+  }
+  m.set_objective(solver::Sense::kMaximize, total);
+  auto s = m.solve_lp();
+
+  FlowResult res;
+  if (s.status != solver::Status::kOptimal) return res;
+  res.feasible = true;
+  res.total = s.obj;
+  res.flow.resize(inst.num_pairs());
+  for (int k = 0; k < inst.num_pairs(); ++k) {
+    res.flow[k].assign(inst.pairs[k].paths.size(), 0.0);
+    for (std::size_t p = 0; p < f[k].size(); ++p)
+      res.flow[k][p] = s.x[f[k][p].index];
+  }
+  return res;
+}
+
+}  // namespace xplain::te

@@ -1,0 +1,30 @@
+// Optimal multi-commodity path-based max-flow (the OPT benchmark in the
+// paper's DP example): maximize total routed traffic subject to per-demand
+// caps and link capacities.
+#pragma once
+
+#include <vector>
+
+#include "te/demand.h"
+
+namespace xplain::te {
+
+struct FlowResult {
+  bool feasible = false;
+  double total = 0.0;
+  /// flow[k][p]: flow of pair k on its candidate path p.
+  std::vector<std::vector<double>> flow;
+
+  /// Flow on each link aggregated over paths.
+  std::vector<double> link_utilization(const TeInstance& inst) const;
+};
+
+/// Solves max-flow with demands `d` (one entry per pair).  Residual
+/// capacities may be passed to solve the post-pinning subproblem; defaults
+/// to the topology's capacities.  `skip[k]` excludes pair k (already-pinned
+/// demands).
+FlowResult solve_max_flow(const TeInstance& inst, const std::vector<double>& d,
+                          const std::vector<double>* residual_caps = nullptr,
+                          const std::vector<bool>* skip = nullptr);
+
+}  // namespace xplain::te

@@ -1,0 +1,88 @@
+#include "te/topology.h"
+
+namespace xplain::te {
+
+LinkId Topology::add_link(int from, int to, double capacity) {
+  LinkId id{num_links()};
+  links_.push_back({from, to, capacity});
+  return id;
+}
+
+void Topology::add_bidi(int a, int b, double capacity) {
+  add_link(a, b, capacity);
+  add_link(b, a, capacity);
+}
+
+LinkId Topology::find_link(int from, int to) const {
+  for (int i = 0; i < num_links(); ++i)
+    if (links_[i].from == from && links_[i].to == to) return LinkId{i};
+  return LinkId{};
+}
+
+std::vector<LinkId> Topology::out_links(int node) const {
+  std::vector<LinkId> out;
+  for (int i = 0; i < num_links(); ++i)
+    if (links_[i].from == node) out.push_back(LinkId{i});
+  return out;
+}
+
+std::string Topology::link_name(LinkId l) const {
+  const Link& ln = links_[l.v];
+  return std::to_string(ln.from + 1) + "-" + std::to_string(ln.to + 1);
+}
+
+Topology Topology::fig1a() {
+  Topology t(5);
+  // Paper numbering: 1,2,3 across the top path; 4,5 along the detour.
+  t.add_bidi(0, 1, 100);  // 1-2
+  t.add_bidi(1, 2, 100);  // 2-3
+  t.add_bidi(0, 3, 50);   // 1-4
+  t.add_bidi(3, 4, 50);   // 4-5
+  t.add_bidi(4, 2, 50);   // 5-3
+  return t;
+}
+
+Topology Topology::line(int n, double capacity) {
+  Topology t(n);
+  for (int i = 0; i + 1 < n; ++i) t.add_bidi(i, i + 1, capacity);
+  return t;
+}
+
+Topology Topology::ring(int n, double capacity) {
+  Topology t(n);
+  for (int i = 0; i < n; ++i) t.add_bidi(i, (i + 1) % n, capacity);
+  return t;
+}
+
+Topology Topology::grid(int w, int h, double capacity) {
+  Topology t(w * h);
+  auto id = [w](int x, int y) { return y * w + x; };
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      if (x + 1 < w) t.add_bidi(id(x, y), id(x + 1, y), capacity);
+      if (y + 1 < h) t.add_bidi(id(x, y), id(x, y + 1), capacity);
+    }
+  return t;
+}
+
+Topology Topology::random_connected(int n, double edge_prob, double cap_lo,
+                                    double cap_hi, util::Rng& rng) {
+  Topology t(n);
+  // Random spanning tree first (guarantees connectivity), then extra edges.
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+  for (int i = 1; i < n; ++i) {
+    const int parent = order[rng.uniform_int(0, i - 1)];
+    t.add_bidi(order[i], parent, rng.uniform(cap_lo, cap_hi));
+  }
+  for (int a = 0; a < n; ++a)
+    for (int b = a + 1; b < n; ++b) {
+      if (t.find_link(a, b).valid()) continue;
+      if (rng.bernoulli(edge_prob))
+        t.add_bidi(a, b, rng.uniform(cap_lo, cap_hi));
+    }
+  return t;
+}
+
+}  // namespace xplain::te

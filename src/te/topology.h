@@ -1,0 +1,66 @@
+// WAN topologies for the traffic-engineering experiments.  Includes the
+// paper's Fig. 1a five-node topology plus generators the instance generator
+// (paper §5.4) uses to produce diverse problem instances.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace xplain::te {
+
+struct Link {
+  int from = -1;
+  int to = -1;
+  double capacity = 0.0;
+};
+
+struct LinkId {
+  int v = -1;
+  bool valid() const { return v >= 0; }
+};
+
+/// Directed capacitated graph.  Bidirectional physical links are modeled as
+/// two directed links (the convention MetaOpt's TE models use).
+class Topology {
+ public:
+  explicit Topology(int num_nodes = 0) : num_nodes_(num_nodes) {}
+
+  int num_nodes() const { return num_nodes_; }
+  int num_links() const { return static_cast<int>(links_.size()); }
+  const Link& link(LinkId l) const { return links_[l.v]; }
+  const std::vector<Link>& links() const { return links_; }
+
+  LinkId add_link(int from, int to, double capacity);
+  /// Adds both directions with the same capacity.
+  void add_bidi(int a, int b, double capacity);
+
+  LinkId find_link(int from, int to) const;
+  std::vector<LinkId> out_links(int node) const;
+
+  /// Human-readable name like "1-2" (nodes printed 1-based to match the
+  /// paper's figures).
+  std::string link_name(LinkId l) const;
+
+  // --- Generators. ---
+  /// The paper's Fig. 1a topology: nodes 1..5 (stored 0-based), links
+  /// 1-2 (100), 2-3 (100), 1-4 (50), 4-5 (50), 5-3 (50), bidirectional.
+  static Topology fig1a();
+  /// Path graph 0-1-...-(n-1).
+  static Topology line(int n, double capacity);
+  /// Cycle.
+  static Topology ring(int n, double capacity);
+  /// w x h grid, all capacities equal.
+  static Topology grid(int w, int h, double capacity);
+  /// Erdos-Renyi-style random connected graph; capacities uniform in
+  /// [cap_lo, cap_hi].
+  static Topology random_connected(int n, double edge_prob, double cap_lo,
+                                   double cap_hi, util::Rng& rng);
+
+ private:
+  int num_nodes_ = 0;
+  std::vector<Link> links_;
+};
+
+}  // namespace xplain::te

@@ -1,0 +1,32 @@
+// Tiny CSV writer used by benches to dump reproducible series (one file per
+// paper figure). Values are written with enough precision to round-trip.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace xplain::util {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  /// Appends one row; must match the header arity.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with %.10g.
+  void row_numeric(const std::vector<double>& cells);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+/// Formats a double compactly (%.10g).
+std::string format_double(double v);
+
+}  // namespace xplain::util

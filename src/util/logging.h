@@ -1,0 +1,49 @@
+// Minimal leveled logger. Thread-safe enough for our single-threaded use;
+// kept deliberately tiny (no dependencies) per the project's substrate rule.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace xplain::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one formatted line to stderr (with level tag and elapsed time).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, os_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace xplain::util
+
+#define XPLAIN_LOG(level)                                 \
+  if (::xplain::util::log_level() > (level)) {            \
+  } else                                                  \
+    ::xplain::util::detail::LogStream(level)
+
+#define XPLAIN_DEBUG XPLAIN_LOG(::xplain::util::LogLevel::kDebug)
+#define XPLAIN_INFO XPLAIN_LOG(::xplain::util::LogLevel::kInfo)
+#define XPLAIN_WARN XPLAIN_LOG(::xplain::util::LogLevel::kWarn)
+#define XPLAIN_ERROR XPLAIN_LOG(::xplain::util::LogLevel::kError)

@@ -1,0 +1,50 @@
+// Deterministic RNG wrapper. Every stochastic component in XPlain takes an
+// explicit Rng so experiments are reproducible bit-for-bit from a seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace xplain::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi);
+
+  /// Standard normal scaled by (mean, stddev).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli with probability p of true.
+  bool bernoulli(double p);
+
+  /// A point uniform in the axis-aligned box [lo_i, hi_i) per dimension.
+  std::vector<double> uniform_point(const std::vector<double>& lo,
+                                    const std::vector<double>& hi);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<int>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Fork a child RNG with a decorrelated seed (for per-component streams).
+  Rng fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace xplain::util

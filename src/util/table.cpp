@@ -1,0 +1,46 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/csv.h"
+
+namespace xplain::util {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_numeric(const std::vector<double>& cells) {
+  std::vector<std::string> s;
+  s.reserve(cells.size());
+  for (double v : cells) s.push_back(format_double(v));
+  add_row(std::move(s));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "") << row[c]
+         << std::string(width[c] - row[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace xplain::util

@@ -1,0 +1,28 @@
+// Fixed-width ASCII table printer: benches use it to print the same rows the
+// paper's figures/tables report.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/csv.h"  // format_double, used by callers formatting cells
+
+namespace xplain::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+  void add_row_numeric(const std::vector<double>& cells);
+
+  /// Renders with a header rule and per-column padding.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xplain::util

@@ -1,0 +1,25 @@
+// Scoped wall-clock timer used by benches and the pipeline's progress report.
+#pragma once
+
+#include <chrono>
+
+namespace xplain::util {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace xplain::util

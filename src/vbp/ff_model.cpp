@@ -1,0 +1,132 @@
+#include "vbp/ff_model.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace xplain::vbp {
+
+using model::LinExpr;
+using model::Var;
+
+FfNetwork build_ff_network(const VbpInstance& inst) {
+  if (inst.dims != 1)
+    throw std::invalid_argument(
+        "build_ff_network: the DSL face models 1-D instances (the paper's "
+        "figures); use the simulation path for multi-dimensional VBP");
+  using namespace flowgraph;
+  FfNetwork ff;
+  FlowNetwork& net = ff.net;
+  net = FlowNetwork("first_fit_vbp");
+
+  NodeId occ = net.add_node("occupancy", NodeKind::kSink);
+  ff.bin_nodes.resize(inst.num_bins);
+  ff.occupancy_edges.resize(inst.num_bins);
+  for (int j = 0; j < inst.num_bins; ++j) {
+    ff.bin_nodes[j] = net.add_node("bin_" + std::to_string(j),
+                                   NodeKind::kSplit);
+    net.set_node_meta(ff.bin_nodes[j], "kind", "bin");
+    net.set_node_meta(ff.bin_nodes[j], "index", std::to_string(j));
+    EdgeId e = net.add_edge(ff.bin_nodes[j], occ,
+                            "occ_bin" + std::to_string(j));
+    net.set_capacity(e, inst.capacity);
+    net.set_edge_meta(e, "kind", "bin_capacity");
+    ff.occupancy_edges[j] = e;
+  }
+  ff.ball_nodes.resize(inst.num_balls);
+  ff.ball_bin_edges.assign(inst.num_balls, {});
+  for (int i = 0; i < inst.num_balls; ++i) {
+    NodeId b = net.add_node("ball_" + std::to_string(i), NodeKind::kSource);
+    net.set_source_behavior(b, NodeKind::kPick);
+    net.set_injection_range(b, 0.0, inst.capacity, /*is_input=*/true);
+    net.set_node_meta(b, "kind", "ball");
+    net.set_node_meta(b, "index", std::to_string(i));
+    ff.ball_nodes[i] = b;
+    for (int j = 0; j < inst.num_bins; ++j) {
+      EdgeId e = net.add_edge(b, ff.bin_nodes[j],
+                              "B" + std::to_string(i) + "->bin" +
+                                  std::to_string(j));
+      net.set_capacity(e, inst.capacity);
+      net.set_edge_meta(e, "kind", "placement");
+      net.set_edge_meta(e, "ball", std::to_string(i));
+      net.set_edge_meta(e, "bin", std::to_string(j));
+      ff.ball_bin_edges[i].push_back(e);
+    }
+  }
+  net.set_objective(occ, /*maximize=*/true);
+  return ff;
+}
+
+std::vector<std::vector<Var>> add_first_fit_rule(
+    flowgraph::CompiledNetwork& c, const FfNetwork& ff, const VbpInstance& inst,
+    const model::HelperConfig& hcfg) {
+  const int n = inst.num_balls, m = inst.num_bins;
+  std::vector<std::vector<Var>> alpha(n);
+  for (int i = 0; i < n; ++i) {
+    const LinExpr y_i = LinExpr(c.injection[ff.ball_nodes[i].v]);
+    LinExpr alpha_sum;
+    Var gamma_prev;  // "not placed in any bin < j", built incrementally
+    for (int j = 0; j < m; ++j) {
+      // r_ij = C - Y_i - sum_{u<i} x_uj  (residual if i lands in j).
+      LinExpr r = LinExpr(inst.capacity) - y_i;
+      for (int u = 0; u < i; ++u)
+        r -= LinExpr(c.flow(ff.ball_bin_edges[u][j]));
+      // f_ij = AllLeq([-r], 0): ball fits.
+      Var fit = model::all_leq(c.model, {-1.0 * r}, 0.0, hcfg);
+      // gamma_ij = AllEq([x_ik]_{k<j}, 0): not placed in an earlier bin.
+      // Built incrementally (gamma_ij = gamma_i,j-1 AND x_i,j-1 == 0) so the
+      // encoding stays linear in the number of bins, matching the paper's
+      // claim that the DSL compiler avoids redundant auxiliary variables.
+      Var gamma;
+      if (j == 0) {
+        gamma = model::logic_and(c.model, {});  // vacuously true
+      } else {
+        Var prev_zero = model::indicator_eq(
+            c.model, LinExpr(c.flow(ff.ball_bin_edges[i][j - 1])), 0.0, hcfg);
+        gamma = model::logic_and(c.model, {gamma_prev, prev_zero});
+      }
+      gamma_prev = gamma;
+      // alpha_ij = AND(f_ij, gamma_ij).
+      Var a = model::logic_and(c.model, {fit, gamma});
+      // IfThenElse(alpha, [(x_ij, Y_i)], [(x_ij, 0)]).
+      model::if_then_else(c.model, a,
+                          {{c.flow(ff.ball_bin_edges[i][j]), y_i}},
+                          {{c.flow(ff.ball_bin_edges[i][j]), LinExpr(0.0)}},
+                          hcfg);
+      alpha[i].push_back(a);
+      alpha_sum += LinExpr(a);
+    }
+    // Every ball has exactly one first-fitting bin (the paper's
+    // sum_j alpha_ij = 1 constraint); infeasible inputs (ball fits nowhere)
+    // are thereby excluded from the analyzer's search space.
+    c.model.add(alpha_sum == LinExpr(1.0));
+  }
+  return alpha;
+}
+
+void fix_sizes(flowgraph::CompiledNetwork& c, const FfNetwork& ff,
+               const std::vector<double>& sizes) {
+  assert(sizes.size() == ff.ball_nodes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const Var inj = c.injection[ff.ball_nodes[i].v];
+    c.model.lp().set_bounds(inj.index, sizes[i], sizes[i]);
+  }
+}
+
+std::vector<double> ff_network_flows(const FfNetwork& ff,
+                                     const VbpInstance& inst,
+                                     const std::vector<double>& sizes,
+                                     const Packing& packing) {
+  std::vector<double> flows(ff.net.num_edges(), 0.0);
+  std::vector<double> load(inst.num_bins, 0.0);
+  for (int i = 0; i < inst.num_balls; ++i) {
+    const int j = packing.assignment[i];
+    if (j < 0 || j >= inst.num_bins) continue;
+    flows[ff.ball_bin_edges[i][j].v] = sizes[i];
+    load[j] += sizes[i];
+  }
+  for (int j = 0; j < inst.num_bins; ++j)
+    flows[ff.occupancy_edges[j].v] = load[j];
+  return flows;
+}
+
+}  // namespace xplain::vbp

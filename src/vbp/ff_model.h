@@ -1,0 +1,50 @@
+// First-Fit's DSL face (paper Fig. 4b) and its MetaOpt encoding (Fig. 1c).
+//
+// The network: one pick-behavior source per ball (a ball goes to exactly one
+// bin), one split node per bin whose edge into the "occupancy" sink carries
+// the bin capacity.  The first-fit *rule* (Fig. 1c: r_ij / f_ij / gamma_ij /
+// alpha_ij / IfThenElse) is appended onto the compiled network, which turns
+// "some valid assignment" into "exactly the assignment FF produces".
+//
+// The DSL face supports dims == 1 (the paper's figures are 1-D); the
+// simulation/gap path in heuristics.cpp supports arbitrary dims.
+#pragma once
+
+#include <vector>
+
+#include "flowgraph/compiler.h"
+#include "flowgraph/network.h"
+#include "model/helpers.h"
+#include "vbp/instance.h"
+
+namespace xplain::vbp {
+
+struct FfNetwork {
+  flowgraph::FlowNetwork net;
+  std::vector<flowgraph::NodeId> ball_nodes;  // per ball (pick sources)
+  std::vector<flowgraph::NodeId> bin_nodes;   // per bin (split)
+  /// ball_bin_edges[i][j]: edge ball i -> bin j (flow = Y_i iff placed).
+  std::vector<std::vector<flowgraph::EdgeId>> ball_bin_edges;
+  std::vector<flowgraph::EdgeId> occupancy_edges;  // bin j -> occupancy sink
+};
+
+/// Builds the Fig. 4b network (requires inst.dims == 1).
+FfNetwork build_ff_network(const VbpInstance& inst);
+
+/// Appends the Fig. 1c first-fit rule.  Returns alpha[i][j] ("bin j is the
+/// first bin ball i fits in") indicator variables.
+std::vector<std::vector<model::Var>> add_first_fit_rule(
+    flowgraph::CompiledNetwork& c, const FfNetwork& ff, const VbpInstance& inst,
+    const model::HelperConfig& hcfg = {});
+
+/// Fixes the ball-size injections to a concrete input vector.
+void fix_sizes(flowgraph::CompiledNetwork& c, const FfNetwork& ff,
+               const std::vector<double>& sizes);
+
+/// Maps a packing onto network edge flows (for the explainer).
+std::vector<double> ff_network_flows(const FfNetwork& ff,
+                                     const VbpInstance& inst,
+                                     const std::vector<double>& sizes,
+                                     const Packing& packing);
+
+}  // namespace xplain::vbp

@@ -1,0 +1,163 @@
+#include "vbp/heuristics.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace xplain::vbp {
+
+const char* to_string(VbpHeuristic h) {
+  switch (h) {
+    case VbpHeuristic::kFirstFit: return "first_fit";
+    case VbpHeuristic::kBestFit: return "best_fit";
+    case VbpHeuristic::kFirstFitDecreasing: return "first_fit_decreasing";
+    case VbpHeuristic::kNextFit: return "next_fit";
+  }
+  return "?";
+}
+
+namespace {
+
+class Bins {
+ public:
+  Bins(const VbpInstance& inst) : inst_(inst) {
+    load_.assign(static_cast<std::size_t>(inst.num_bins) * inst.dims, 0.0);
+  }
+
+  bool fits(int bin, const std::vector<double>& sizes, int ball) const {
+    for (int t = 0; t < inst_.dims; ++t)
+      if (load_[bin * inst_.dims + t] + inst_.size(sizes, ball, t) >
+          inst_.capacity + 1e-12)
+        return false;
+    return true;
+  }
+
+  void place(int bin, const std::vector<double>& sizes, int ball) {
+    for (int t = 0; t < inst_.dims; ++t)
+      load_[bin * inst_.dims + t] += inst_.size(sizes, ball, t);
+  }
+
+  double residual_total(int bin) const {
+    double r = 0.0;
+    for (int t = 0; t < inst_.dims; ++t)
+      r += inst_.capacity - load_[bin * inst_.dims + t];
+    return r;
+  }
+
+  bool empty(int bin) const {
+    for (int t = 0; t < inst_.dims; ++t)
+      if (load_[bin * inst_.dims + t] > 0.0) return false;
+    return true;
+  }
+
+ private:
+  const VbpInstance& inst_;
+  std::vector<double> load_;
+};
+
+Packing pack_in_order(const VbpInstance& inst, const std::vector<double>& sizes,
+                      const std::vector<int>& order, bool best) {
+  Packing pk;
+  pk.assignment.assign(inst.num_balls, -1);
+  Bins bins(inst);
+  // "Opened" is assignment-based, not load-based: a zero-size ball occupies
+  // a bin without adding load, and must not re-open it for the next ball.
+  std::vector<bool> opened(inst.num_bins, false);
+  int used = 0;
+  for (int ball : order) {
+    int chosen = -1;
+    double best_residual = std::numeric_limits<double>::infinity();
+    for (int j = 0; j < inst.num_bins; ++j) {
+      if (!bins.fits(j, sizes, ball)) continue;
+      if (!best) {
+        chosen = j;
+        break;
+      }
+      // Best-fit: prefer the tightest *opened* feasible bin; open a new bin
+      // only when no opened bin fits.
+      const double score = opened[j] ? bins.residual_total(j) : 1e9 + j;
+      if (score < best_residual) {
+        best_residual = score;
+        chosen = j;
+      }
+    }
+    if (chosen < 0) {
+      pk.complete = false;
+      continue;
+    }
+    if (!opened[chosen]) {
+      opened[chosen] = true;
+      ++used;
+    }
+    bins.place(chosen, sizes, ball);
+    pk.assignment[ball] = chosen;
+  }
+  pk.bins_used = used;
+  return pk;
+}
+
+}  // namespace
+
+Packing first_fit(const VbpInstance& inst, const std::vector<double>& sizes) {
+  std::vector<int> order(inst.num_balls);
+  std::iota(order.begin(), order.end(), 0);
+  return pack_in_order(inst, sizes, order, /*best=*/false);
+}
+
+Packing best_fit(const VbpInstance& inst, const std::vector<double>& sizes) {
+  std::vector<int> order(inst.num_balls);
+  std::iota(order.begin(), order.end(), 0);
+  return pack_in_order(inst, sizes, order, /*best=*/true);
+}
+
+Packing first_fit_decreasing(const VbpInstance& inst,
+                             const std::vector<double>& sizes) {
+  std::vector<int> order(inst.num_balls);
+  std::iota(order.begin(), order.end(), 0);
+  auto total = [&](int b) {
+    double s = 0.0;
+    for (int t = 0; t < inst.dims; ++t) s += inst.size(sizes, b, t);
+    return s;
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return total(a) > total(b); });
+  return pack_in_order(inst, sizes, order, /*best=*/false);
+}
+
+Packing next_fit(const VbpInstance& inst, const std::vector<double>& sizes) {
+  Packing pk;
+  pk.assignment.assign(inst.num_balls, -1);
+  Bins bins(inst);
+  std::vector<bool> opened(inst.num_bins, false);
+  int cur = 0;
+  int used = 0;
+  for (int ball = 0; ball < inst.num_balls; ++ball) {
+    while (cur < inst.num_bins && !bins.fits(cur, sizes, ball)) ++cur;
+    if (cur >= inst.num_bins) {
+      pk.complete = false;
+      continue;
+    }
+    if (!opened[cur]) {
+      opened[cur] = true;
+      ++used;
+    }
+    bins.place(cur, sizes, ball);
+    pk.assignment[ball] = cur;
+  }
+  pk.bins_used = used;
+  return pk;
+}
+
+Packing run_heuristic(VbpHeuristic h, const VbpInstance& inst,
+                      const std::vector<double>& sizes) {
+  switch (h) {
+    case VbpHeuristic::kFirstFit: return first_fit(inst, sizes);
+    case VbpHeuristic::kBestFit: return best_fit(inst, sizes);
+    case VbpHeuristic::kFirstFitDecreasing:
+      return first_fit_decreasing(inst, sizes);
+    case VbpHeuristic::kNextFit: return next_fit(inst, sizes);
+  }
+  return {};
+}
+
+}  // namespace xplain::vbp

@@ -1,0 +1,34 @@
+// Classic VBP heuristics.  First-Fit is the paper's analyzed heuristic;
+// Best-Fit / First-Fit-Decreasing / Next-Fit are the baselines §2 mentions
+// ("harder in FF and other VBP heuristics, such as best fit or first fit
+// decreasing").
+#pragma once
+
+#include <vector>
+
+#include "vbp/instance.h"
+
+namespace xplain::vbp {
+
+enum class VbpHeuristic { kFirstFit, kBestFit, kFirstFitDecreasing, kNextFit };
+
+const char* to_string(VbpHeuristic h);
+
+/// Greedy first-fit: each ball (in arrival order) goes to the lowest-index
+/// bin where it fits in every dimension.
+Packing first_fit(const VbpInstance& inst, const std::vector<double>& sizes);
+
+/// Best-fit: the feasible bin with the least total residual capacity.
+Packing best_fit(const VbpInstance& inst, const std::vector<double>& sizes);
+
+/// First-fit after sorting balls by decreasing total size.
+Packing first_fit_decreasing(const VbpInstance& inst,
+                             const std::vector<double>& sizes);
+
+/// Next-fit: keeps one open bin; opens the next when the ball does not fit.
+Packing next_fit(const VbpInstance& inst, const std::vector<double>& sizes);
+
+Packing run_heuristic(VbpHeuristic h, const VbpInstance& inst,
+                      const std::vector<double>& sizes);
+
+}  // namespace xplain::vbp

@@ -1,0 +1,21 @@
+#include "vbp/instance.h"
+
+namespace xplain::vbp {
+
+bool Packing::valid(const VbpInstance& inst,
+                    const std::vector<double>& sizes) const {
+  std::vector<double> load(
+      static_cast<std::size_t>(inst.num_bins) * inst.dims, 0.0);
+  for (int b = 0; b < inst.num_balls; ++b) {
+    const int bin = assignment[b];
+    if (bin < 0) continue;
+    if (bin >= inst.num_bins) return false;
+    for (int t = 0; t < inst.dims; ++t) {
+      load[bin * inst.dims + t] += inst.size(sizes, b, t);
+      if (load[bin * inst.dims + t] > inst.capacity + 1e-9) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace xplain::vbp

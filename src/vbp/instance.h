@@ -1,0 +1,43 @@
+// Vector bin packing (VBP), the paper's second running example (§2, Fig. 2).
+//
+// An *instance* fixes the number of balls, bins, dimensions and the bin
+// capacity; the analyzer's *input* is the flattened vector of ball sizes
+// (MetaOpt's OuterVar Y in Fig. 1c).
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+namespace xplain::vbp {
+
+struct VbpInstance {
+  int num_balls = 0;
+  int num_bins = 0;   // bins available to the heuristic
+  int dims = 1;       // d-dimensional balls/bins
+  double capacity = 1.0;  // per-dimension bin capacity (equal bins)
+
+  /// Input dimensionality: one size per (ball, dim).
+  int input_dim() const { return num_balls * dims; }
+
+  /// size of ball b in dimension t from a flattened input vector.
+  static double size_of(const std::vector<double>& y, int b, int t, int dims) {
+    return y[b * dims + t];
+  }
+  double size(const std::vector<double>& y, int b, int t) const {
+    assert(static_cast<int>(y.size()) == input_dim());
+    return size_of(y, b, t, dims);
+  }
+};
+
+/// A packing: assignment[b] = bin index of ball b, or -1 when the heuristic
+/// could not place it (it ran out of bins).
+struct Packing {
+  std::vector<int> assignment;
+  int bins_used = 0;
+  bool complete = true;  // every ball placed
+
+  /// Validates against capacities; true when every placed ball fits.
+  bool valid(const VbpInstance& inst, const std::vector<double>& sizes) const;
+};
+
+}  // namespace xplain::vbp

@@ -1,0 +1,173 @@
+#include "vbp/optimal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "model/model.h"
+
+namespace xplain::vbp {
+
+namespace {
+
+// DFS bin-completion search for 1-D packing.
+struct Bnb {
+  const std::vector<double>& sizes;  // sorted descending
+  const std::vector<int>& order;     // original indices, same sort
+  double capacity;
+  int best = 0;
+  std::vector<int> best_assign;      // by sorted position
+  std::vector<double> load;          // open bin loads
+  std::vector<int> assign;
+
+  Bnb(const std::vector<double>& s, const std::vector<int>& o, double cap)
+      : sizes(s), order(o), capacity(cap) {}
+
+  double remaining_after(int i) const {
+    double r = 0.0;
+    for (std::size_t j = i; j < sizes.size(); ++j) r += sizes[j];
+    return r;
+  }
+
+  void dfs(int i) {
+    if (static_cast<int>(load.size()) >= best) return;  // can only grow
+    if (i == static_cast<int>(sizes.size())) {
+      best = static_cast<int>(load.size());
+      best_assign = assign;
+      return;
+    }
+    // Lower bound: open bins + extra bins forced by remaining volume beyond
+    // the open bins' residual capacity.
+    double residual = 0.0;
+    for (double l : load) residual += capacity - l;
+    const double rem = remaining_after(i);
+    const int lb = static_cast<int>(load.size()) +
+                   std::max(0, static_cast<int>(std::ceil(
+                                   (rem - residual) / capacity - 1e-12)));
+    if (lb >= best) return;
+
+    // Try existing bins with distinct loads (equal-load bins are symmetric).
+    double last_load = -1.0;
+    for (std::size_t j = 0; j < load.size(); ++j) {
+      if (load[j] == last_load) continue;
+      last_load = load[j];
+      if (load[j] + sizes[i] > capacity + 1e-12) continue;
+      load[j] += sizes[i];
+      assign.push_back(static_cast<int>(j));
+      dfs(i + 1);
+      assign.pop_back();
+      load[j] -= sizes[i];
+    }
+    // Open a new bin.
+    load.push_back(sizes[i]);
+    assign.push_back(static_cast<int>(load.size()) - 1);
+    dfs(i + 1);
+    assign.pop_back();
+    load.pop_back();
+  }
+};
+
+}  // namespace
+
+OptimalResult optimal_packing_bnb_1d(const VbpInstance& inst,
+                                     const std::vector<double>& sizes) {
+  OptimalResult res;
+  std::vector<int> order(inst.num_balls);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return sizes[a] > sizes[b]; });
+  std::vector<double> sorted(inst.num_balls);
+  for (int i = 0; i < inst.num_balls; ++i) sorted[i] = sizes[order[i]];
+
+  Bnb bnb(sorted, order, inst.capacity);
+  // First-fit-decreasing gives the initial incumbent (upper bound).
+  VbpInstance wide = inst;
+  wide.num_bins = std::max(inst.num_balls, 1);
+  Packing ffd = first_fit_decreasing(wide, sizes);
+  bnb.best = ffd.bins_used + 1;  // strict improvement target
+  bnb.dfs(0);
+
+  res.bins = std::min(bnb.best, ffd.bins_used);
+  res.packing.assignment.assign(inst.num_balls, -1);
+  if (bnb.best <= ffd.bins_used && !bnb.best_assign.empty()) {
+    for (int i = 0; i < inst.num_balls; ++i)
+      res.packing.assignment[order[i]] = bnb.best_assign[i];
+  } else {
+    res.packing = ffd;
+  }
+  res.packing.bins_used = res.bins;
+  res.packing.complete = true;
+  return res;
+}
+
+OptimalResult optimal_packing_milp(const VbpInstance& inst,
+                                   const std::vector<double>& sizes) {
+  using model::LinExpr;
+  using model::Var;
+  model::Model m;
+  const int max_bins = inst.num_balls;  // never need more than one per ball
+  // x[b][j]: ball b in bin j (restricted to j <= b: ball b opens at most
+  // bin b — classic symmetry breaking).
+  std::vector<std::vector<Var>> x(inst.num_balls);
+  std::vector<Var> used(max_bins);
+  for (int j = 0; j < max_bins; ++j) used[j] = m.add_binary();
+  for (int b = 0; b < inst.num_balls; ++b) {
+    LinExpr one;
+    for (int j = 0; j <= b && j < max_bins; ++j) {
+      Var v = m.add_binary();
+      x[b].push_back(v);
+      one += LinExpr(v);
+      m.add(LinExpr(v) <= LinExpr(used[j]));
+    }
+    m.add(one == LinExpr(1.0));
+  }
+  for (int j = 0; j < max_bins; ++j) {
+    for (int t = 0; t < inst.dims; ++t) {
+      LinExpr lhs;
+      for (int b = j; b < inst.num_balls; ++b)
+        lhs += inst.size(sizes, b, t) * LinExpr(x[b][j]);
+      m.add(lhs <= inst.capacity * LinExpr(used[j]));
+    }
+    if (j + 1 < max_bins)
+      m.add(LinExpr(used[j + 1]) <= LinExpr(used[j]));  // ordered usage
+  }
+  LinExpr total;
+  for (int j = 0; j < max_bins; ++j) total += LinExpr(used[j]);
+  m.set_objective(solver::Sense::kMinimize, total);
+
+  solver::MilpOptions opts;
+  opts.time_limit_s = 60.0;
+  auto r = m.solve(opts);
+  OptimalResult res;
+  res.proven = (r.status == solver::Status::kOptimal);
+  res.bins = static_cast<int>(std::lround(r.obj));
+  res.packing.assignment.assign(inst.num_balls, -1);
+  if (!r.x.empty()) {
+    for (int b = 0; b < inst.num_balls; ++b)
+      for (std::size_t j = 0; j < x[b].size(); ++j)
+        if (r.x[x[b][j].index] > 0.5)
+          res.packing.assignment[b] = static_cast<int>(j);
+  }
+  res.packing.bins_used = res.bins;
+  return res;
+}
+
+OptimalResult optimal_packing(const VbpInstance& inst,
+                              const std::vector<double>& sizes) {
+  if (inst.dims == 1) return optimal_packing_bnb_1d(inst, sizes);
+  return optimal_packing_milp(inst, sizes);
+}
+
+double vbp_gap(const VbpInstance& inst, const std::vector<double>& sizes,
+               VbpHeuristic h) {
+  // Clamp sizes into [0, capacity] so a packing always exists.
+  std::vector<double> s = sizes;
+  for (double& v : s) v = std::clamp(v, 0.0, inst.capacity);
+  VbpInstance wide = inst;
+  wide.num_bins = std::max(inst.num_balls, 1);
+  Packing heur = run_heuristic(h, wide, s);
+  OptimalResult opt = optimal_packing(wide, s);
+  return static_cast<double>(heur.bins_used - opt.bins);
+}
+
+}  // namespace xplain::vbp

@@ -1,0 +1,54 @@
+#include "xplain/pipeline.h"
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace xplain {
+
+PipelineResult run_pipeline(const analyzer::GapEvaluator& eval,
+                            analyzer::HeuristicAnalyzer& an,
+                            const flowgraph::FlowNetwork& net,
+                            const explain::FlowOracle& oracle,
+                            const PipelineOptions& opts) {
+  util::Timer timer;
+  PipelineResult out;
+
+  subspace::SubspaceGenerator gen(an, opts.subspace);
+  out.subspaces = gen.generate(eval, opts.min_gap);
+  out.trace = gen.trace();
+
+  out.explanations.reserve(out.subspaces.size());
+  for (const auto& sub : out.subspaces) {
+    out.explanations.push_back(
+        explain::explain_subspace(eval, sub.region, net, oracle, opts.explain));
+  }
+  out.wall_seconds = timer.seconds();
+  XPLAIN_INFO << "pipeline: " << out.subspaces.size() << " subspaces in "
+              << out.wall_seconds << "s";
+  return out;
+}
+
+DpPipelineOutput run_dp_pipeline(const te::TeInstance& inst,
+                                 const te::DpConfig& cfg,
+                                 const PipelineOptions& opts) {
+  DpPipelineOutput out;
+  out.network = te::build_dp_network(inst);
+  analyzer::DpGapEvaluator eval(inst, cfg);
+  analyzer::SearchAnalyzer an;
+  auto oracle = explain::make_dp_oracle(out.network, inst, cfg);
+  out.result = run_pipeline(eval, an, out.network.net, oracle, opts);
+  return out;
+}
+
+FfPipelineOutput run_ff_pipeline(const vbp::VbpInstance& inst,
+                                 const PipelineOptions& opts) {
+  FfPipelineOutput out;
+  out.network = vbp::build_ff_network(inst);
+  analyzer::VbpGapEvaluator eval(inst);
+  analyzer::SearchAnalyzer an;
+  auto oracle = explain::make_ff_oracle(out.network, inst);
+  out.result = run_pipeline(eval, an, out.network.net, oracle, opts);
+  return out;
+}
+
+}  // namespace xplain

@@ -1,0 +1,62 @@
+// XPlain pipeline façade — the Fig. 3 architecture wired end to end:
+//
+//   DSL --compile--> Heuristic Analyzer --example--> Adversarial Subspace
+//   Generator --subspaces--> Significance Checker --Type 1--> Explainer
+//   --Type 2-->  (and, across instances, Instance Generator + Generalizer
+//   --Type 3--, exposed separately in src/generalize).
+//
+// Convenience runners wrap the paper's two case studies; the generic
+// `run()` works for any user-supplied evaluator/analyzer/network/oracle.
+#pragma once
+
+#include <memory>
+
+#include "analyzer/search_analyzer.h"
+#include "explain/explainer.h"
+#include "explain/heatmap.h"
+#include "subspace/subspace_generator.h"
+
+namespace xplain {
+
+struct PipelineOptions {
+  double min_gap = 1.0;
+  subspace::SubspaceOptions subspace;
+  explain::ExplainOptions explain;
+};
+
+struct PipelineResult {
+  /// Type 1: validated adversarial subspaces.
+  std::vector<subspace::AdversarialSubspace> subspaces;
+  /// Type 2: one per subspace, aligned by index.
+  std::vector<explain::Explanation> explanations;
+  subspace::GenerationTrace trace;
+  double wall_seconds = 0.0;
+};
+
+/// Generic pipeline over any heuristic modeled in the DSL.
+PipelineResult run_pipeline(const analyzer::GapEvaluator& eval,
+                            analyzer::HeuristicAnalyzer& an,
+                            const flowgraph::FlowNetwork& net,
+                            const explain::FlowOracle& oracle,
+                            const PipelineOptions& opts = {});
+
+/// Demand Pinning case study (Fig. 4a): builds the DSL network, runs the
+/// pattern-search analyzer, returns the result plus the network for
+/// rendering.
+struct DpPipelineOutput {
+  PipelineResult result;
+  te::DpNetwork network;
+};
+DpPipelineOutput run_dp_pipeline(const te::TeInstance& inst,
+                                 const te::DpConfig& cfg,
+                                 const PipelineOptions& opts = {});
+
+/// First-Fit VBP case study (Fig. 4b).
+struct FfPipelineOutput {
+  PipelineResult result;
+  vbp::FfNetwork network;
+};
+FfPipelineOutput run_ff_pipeline(const vbp::VbpInstance& inst,
+                                 const PipelineOptions& opts = {});
+
+}  // namespace xplain

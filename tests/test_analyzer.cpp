@@ -1,0 +1,190 @@
+// Tests for the heuristic analyzers: evaluators, pattern search, and the
+// exact MetaOpt-style MILP analyzers (DP bi-level rewrite, FF encoding).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analyzer/dp_milp_analyzer.h"
+#include "analyzer/ff_milp_analyzer.h"
+#include "analyzer/search_analyzer.h"
+
+using namespace xplain::analyzer;
+namespace te = xplain::te;
+namespace vbp = xplain::vbp;
+
+namespace {
+
+DpGapEvaluator fig1a_eval() {
+  return DpGapEvaluator(te::TeInstance::fig1a_example(), te::DpConfig{50.0},
+                        /*quantum=*/1.0);
+}
+
+vbp::VbpInstance vbp4x3() {
+  vbp::VbpInstance inst;
+  inst.num_balls = 4;
+  inst.num_bins = 3;
+  inst.dims = 1;
+  inst.capacity = 1.0;
+  return inst;
+}
+
+}  // namespace
+
+TEST(Box, ContainsIntersectVolume) {
+  Box a{{0, 0}, {2, 2}};
+  Box b{{1, 1}, {3, 3}};
+  EXPECT_TRUE(a.contains({1, 1}));
+  EXPECT_FALSE(a.contains({3, 1}));
+  auto c = a.intersect(b);
+  EXPECT_FALSE(c.empty());
+  EXPECT_DOUBLE_EQ(c.volume(), 1.0);
+  Box d{{5, 5}, {6, 6}};
+  EXPECT_TRUE(a.intersect(d).empty());
+}
+
+TEST(Evaluator, DpGapAtPaperPoint) {
+  auto eval = fig1a_eval();
+  EXPECT_EQ(eval.dim(), 3);
+  EXPECT_NEAR(eval.gap({50, 100, 100}), 100.0, 1e-6);
+  EXPECT_NEAR(eval.gap({60, 100, 100}), 0.0, 1e-6);  // above threshold
+}
+
+TEST(Evaluator, QuantizeSnapsToGrid) {
+  auto eval = fig1a_eval();
+  auto q = eval.quantize({49.4, 100.2, -3.0});
+  EXPECT_DOUBLE_EQ(q[0], 49.0);
+  EXPECT_DOUBLE_EQ(q[1], 100.0);
+  EXPECT_DOUBLE_EQ(q[2], 0.0);
+}
+
+TEST(Evaluator, DimNamesAreHumanReadable) {
+  auto eval = fig1a_eval();
+  auto names = eval.dim_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "d[1~>3]");
+  VbpGapEvaluator veval(vbp4x3());
+  EXPECT_EQ(veval.dim_names()[2], "Y[2]");
+}
+
+TEST(SearchAnalyzer, FindsDpAdversarialInput) {
+  auto eval = fig1a_eval();
+  SearchAnalyzer an;
+  auto ex = an.find_adversarial(eval, /*min_gap=*/50.0, {});
+  ASSERT_TRUE(ex.has_value());
+  EXPECT_GE(ex->gap, 50.0);
+  // The found demand must actually reproduce the gap.
+  EXPECT_NEAR(eval.gap(ex->input), ex->gap, 1e-9);
+}
+
+TEST(SearchAnalyzer, FindsFfAdversarialInput) {
+  VbpGapEvaluator eval(vbp4x3());
+  SearchAnalyzer an;
+  auto ex = an.find_adversarial(eval, /*min_gap=*/1.0, {});
+  ASSERT_TRUE(ex.has_value());
+  EXPECT_GE(ex->gap, 1.0);  // FF uses at least one extra bin
+}
+
+TEST(SearchAnalyzer, RespectsExclusionBoxes) {
+  auto eval = fig1a_eval();
+  SearchAnalyzer an;
+  auto first = an.find_adversarial(eval, 50.0, {});
+  ASSERT_TRUE(first.has_value());
+  // Exclude the entire input box: nothing can be found.
+  std::vector<Box> all = {eval.input_box()};
+  EXPECT_FALSE(an.find_adversarial(eval, 50.0, all).has_value());
+}
+
+TEST(SearchAnalyzer, BeatsRandomBaseline) {
+  // The paper's premise: random search is much weaker at equal budget.
+  auto eval = fig1a_eval();
+  SearchAnalyzer an;
+  auto guided = an.find_adversarial(eval, 0.0, {});
+  auto random = SearchAnalyzer::random_baseline(eval, 0.0, {}, 500, 99);
+  ASSERT_TRUE(guided.has_value());
+  ASSERT_TRUE(random.has_value());
+  EXPECT_GE(guided->gap, random->gap - 1e-9);
+}
+
+TEST(SearchAnalyzer, NoFalsePositiveWhenHeuristicIsOptimal) {
+  // Single demand on a single path: DP == OPT everywhere; no gap exists.
+  te::Topology t(2);
+  t.add_link(0, 1, 100);
+  auto inst = te::TeInstance::make(t, {{0, 1}}, 1, 100);
+  DpGapEvaluator eval(inst, te::DpConfig{50.0});
+  SearchAnalyzer an;
+  EXPECT_FALSE(an.find_adversarial(eval, 1.0, {}).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Exact MILP analyzers.
+// ---------------------------------------------------------------------------
+
+TEST(DpMilp, FindsTheFullGapOnFig1a) {
+  auto eval = fig1a_eval();
+  DpMilpOptions opts;
+  opts.quantum = 25.0;  // coarse grid keeps the MILP small in tests
+  DpMilpAnalyzer an(te::TeInstance::fig1a_example(), te::DpConfig{50.0}, opts);
+  auto ex = an.find_adversarial(eval, 50.0, {});
+  ASSERT_TRUE(ex.has_value());
+  // The known worst case (d = {50, 100, 100}) has gap 100; the MILP must
+  // find a gap of at least that on the 25-grid (which contains the point).
+  EXPECT_NEAR(ex->gap, 100.0, 1e-6);
+  EXPECT_NEAR(eval.gap(ex->input), ex->gap, 1e-6);
+}
+
+TEST(DpMilp, AgreesWithSearchOnSmallInstance) {
+  auto inst = te::TeInstance::fig1a_example();
+  auto eval = fig1a_eval();
+  DpMilpOptions opts;
+  opts.quantum = 25.0;
+  DpMilpAnalyzer milp(inst, te::DpConfig{50.0}, opts);
+  SearchAnalyzer search;
+  auto a = milp.find_adversarial(eval, 1.0, {});
+  auto b = search.find_adversarial(eval, 1.0, {});
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  // The exact analyzer cannot be worse than search (up to grid resolution).
+  EXPECT_GE(a->gap, b->gap - 25.0);
+}
+
+TEST(DpMilp, ExclusionForcesNewRegion) {
+  auto eval = fig1a_eval();
+  DpMilpOptions opts;
+  opts.quantum = 25.0;
+  DpMilpAnalyzer an(te::TeInstance::fig1a_example(), te::DpConfig{50.0}, opts);
+  auto first = an.find_adversarial(eval, 10.0, {});
+  ASSERT_TRUE(first.has_value());
+  // Exclude a box around the first point; the next answer must differ.
+  Box around;
+  around.lo = first->input;
+  around.hi = first->input;
+  for (auto& v : around.lo) v -= 20.0;
+  for (auto& v : around.hi) v += 20.0;
+  auto second = an.find_adversarial(eval, 10.0, {around});
+  if (second.has_value())
+    EXPECT_FALSE(around.contains(second->input, 1e-9));
+}
+
+TEST(FfMilp, FindsOneExtraBinOn4Balls3Bins) {
+  VbpGapEvaluator eval(vbp4x3());
+  FfMilpAnalyzer an(vbp4x3());
+  auto ex = an.find_adversarial(eval, 1.0, {});
+  ASSERT_TRUE(ex.has_value());
+  EXPECT_GE(ex->gap, 1.0);
+  // Sanity: simulated FF really is one bin worse than OPT at that input.
+  EXPECT_NEAR(eval.gap(ex->input), ex->gap, 1e-9);
+}
+
+TEST(FfMilp, EncodingMatchesSimulationAtItsOwnPoint) {
+  FfMilpAnalyzer an(vbp4x3());
+  auto ex = an.solve({});
+  ASSERT_TRUE(ex.has_value());
+  auto inst = vbp4x3();
+  inst.num_bins = inst.num_balls;
+  std::vector<double> y = ex->input;
+  for (auto& v : y) v = std::clamp(v, 0.0, 1.0);
+  auto ff = vbp::first_fit(inst, y);
+  auto opt = vbp::optimal_packing(inst, y);
+  EXPECT_NEAR(static_cast<double>(ff.bins_used - opt.bins), ex->gap, 1e-9);
+}
+

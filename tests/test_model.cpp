@@ -1,0 +1,216 @@
+// Tests for the modeling layer: expression algebra, Model solving, and the
+// MetaOpt-style helper combinators (Fig. 1b/1c building blocks).
+#include <gtest/gtest.h>
+
+#include "model/helpers.h"
+#include "model/model.h"
+
+using namespace xplain::model;
+namespace xs = xplain::solver;
+
+TEST(LinExpr, Algebra) {
+  Var a{0}, b{1};
+  LinExpr e = 2 * a + 3 * b + 5.0;
+  EXPECT_DOUBLE_EQ(e.constant(), 5.0);
+  EXPECT_DOUBLE_EQ(e.terms().at(0), 2.0);
+  EXPECT_DOUBLE_EQ(e.terms().at(1), 3.0);
+
+  LinExpr f = e - 2 * a;
+  EXPECT_EQ(f.terms().count(0), 0u);  // canceled terms disappear
+
+  LinExpr g = -(f * 2.0);
+  EXPECT_DOUBLE_EQ(g.constant(), -10.0);
+  EXPECT_DOUBLE_EQ(g.terms().at(1), -6.0);
+}
+
+TEST(LinExpr, Eval) {
+  Var a{0}, b{1};
+  LinExpr e = 2 * a - 1 * b + 1.0;
+  EXPECT_DOUBLE_EQ(e.eval({3.0, 4.0}), 3.0);
+}
+
+TEST(Model, SolveLpWithConstantObjective) {
+  Model m;
+  Var x = m.add_continuous(0, 10, "x");
+  m.add(LinExpr(x) <= LinExpr(4.0));
+  m.set_objective(xs::Sense::kMaximize, LinExpr(x) + 7.0);
+  auto s = m.solve_lp();
+  ASSERT_EQ(s.status, xs::Status::kOptimal);
+  EXPECT_NEAR(s.obj, 11.0, 1e-8);  // constant folded back in
+}
+
+TEST(Model, SolveDispatchesLpWhenNoIntegers) {
+  Model m;
+  Var x = m.add_continuous(0, 1, "x");
+  m.set_objective(xs::Sense::kMaximize, LinExpr(x));
+  auto r = m.solve();
+  ASSERT_EQ(r.status, xs::Status::kOptimal);
+  EXPECT_EQ(r.nodes, 1);
+  EXPECT_NEAR(r.obj, 1.0, 1e-9);
+}
+
+TEST(Model, ConstraintDirections) {
+  Model m;
+  Var x = m.add_continuous(0, 100, "x");
+  m.add(LinExpr(x) >= LinExpr(3.0));
+  m.add(2 * x == LinExpr(10.0));
+  m.set_objective(xs::Sense::kMinimize, LinExpr(x));
+  auto s = m.solve_lp();
+  ASSERT_EQ(s.status, xs::Status::kOptimal);
+  EXPECT_NEAR(s.x[x.index], 5.0, 1e-8);
+}
+
+// ---------------------------------------------------------------------------
+// Helper combinators.  Each test pins the controlled value with bounds and
+// checks the indicator/effect the combinator must produce.
+// ---------------------------------------------------------------------------
+
+class IndicatorLeq : public ::testing::TestWithParam<double> {};
+
+TEST_P(IndicatorLeq, TracksThreshold) {
+  const double v = GetParam();
+  Model m;
+  Var x = m.add_continuous(v, v, "x");
+  HelperConfig cfg;
+  cfg.big_m = 1000;
+  Var z = indicator_leq(m, LinExpr(x), 50.0, cfg);
+  m.set_objective(xs::Sense::kMaximize, LinExpr(0.0));
+  auto r = m.solve();
+  ASSERT_EQ(r.status, xs::Status::kOptimal) << "x=" << v;
+  EXPECT_NEAR(r.x[z.index], v <= 50.0 ? 1.0 : 0.0, 1e-6) << "x=" << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IndicatorLeq,
+                         ::testing::Values(0.0, 10.0, 49.9, 50.0, 50.1, 80.0,
+                                           999.0));
+
+TEST(Helpers, IndicatorGeq) {
+  Model m;
+  Var x = m.add_continuous(7, 7, "x");
+  Var z1 = indicator_geq(m, LinExpr(x), 5.0);
+  Var z2 = indicator_geq(m, LinExpr(x), 9.0);
+  m.set_objective(xs::Sense::kMaximize, LinExpr(0.0));
+  auto r = m.solve();
+  ASSERT_EQ(r.status, xs::Status::kOptimal);
+  EXPECT_NEAR(r.x[z1.index], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[z2.index], 0.0, 1e-6);
+}
+
+TEST(Helpers, LogicAndOrNot) {
+  Model m;
+  Var a = m.add_var(1, 1, true, "a");
+  Var b = m.add_var(0, 0, true, "b");
+  Var and_ab = logic_and(m, {a, b});
+  Var or_ab = logic_or(m, {a, b});
+  Var not_b = logic_not(m, b);
+  m.set_objective(xs::Sense::kMaximize, LinExpr(0.0));
+  auto r = m.solve();
+  ASSERT_EQ(r.status, xs::Status::kOptimal);
+  EXPECT_NEAR(r.x[and_ab.index], 0.0, 1e-6);
+  EXPECT_NEAR(r.x[or_ab.index], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[not_b.index], 1.0, 1e-6);
+}
+
+TEST(Helpers, ForceToZeroIfLeqPins) {
+  // The DP pinning primitive (Fig. 1b): when d <= T the residual d - f must
+  // be zero, i.e. f == d.
+  Model m;
+  Var d = m.add_continuous(30, 30, "d");  // below threshold 50
+  Var f = m.add_continuous(0, 100, "f");
+  HelperConfig cfg;
+  cfg.big_m = 1000;
+  force_to_zero_if_leq(m, LinExpr(d) - LinExpr(f), LinExpr(d), 50.0, cfg);
+  m.set_objective(xs::Sense::kMinimize, LinExpr(f));
+  auto r = m.solve();
+  ASSERT_EQ(r.status, xs::Status::kOptimal);
+  EXPECT_NEAR(r.x[f.index], 30.0, 1e-5);  // pinned: f == d despite min f
+}
+
+TEST(Helpers, ForceToZeroIfLeqDoesNotPinAbove) {
+  Model m;
+  Var d = m.add_continuous(70, 70, "d");  // above threshold 50
+  Var f = m.add_continuous(0, 100, "f");
+  HelperConfig cfg;
+  cfg.big_m = 1000;
+  force_to_zero_if_leq(m, LinExpr(d) - LinExpr(f), LinExpr(d), 50.0, cfg);
+  m.set_objective(xs::Sense::kMinimize, LinExpr(f));
+  auto r = m.solve();
+  ASSERT_EQ(r.status, xs::Status::kOptimal);
+  EXPECT_NEAR(r.x[f.index], 0.0, 1e-5);  // free to minimize
+}
+
+TEST(Helpers, AllLeq) {
+  Model m;
+  Var a = m.add_continuous(3, 3, "a");
+  Var b = m.add_continuous(4, 4, "b");
+  Var z_yes = all_leq(m, {LinExpr(a), LinExpr(b)}, 5.0);
+  Var z_no = all_leq(m, {LinExpr(a), LinExpr(b)}, 3.5);
+  m.set_objective(xs::Sense::kMaximize, LinExpr(0.0));
+  auto r = m.solve();
+  ASSERT_EQ(r.status, xs::Status::kOptimal);
+  EXPECT_NEAR(r.x[z_yes.index], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[z_no.index], 0.0, 1e-6);
+}
+
+TEST(Helpers, AllEq) {
+  Model m;
+  Var a = m.add_continuous(2, 2, "a");
+  Var b = m.add_continuous(2, 2, "b");
+  Var c = m.add_continuous(3, 3, "c");
+  Var z_yes = all_eq(m, {LinExpr(a), LinExpr(b)}, 2.0);
+  Var z_no = all_eq(m, {LinExpr(a), LinExpr(c)}, 2.0);
+  m.set_objective(xs::Sense::kMaximize, LinExpr(0.0));
+  auto r = m.solve();
+  ASSERT_EQ(r.status, xs::Status::kOptimal);
+  EXPECT_NEAR(r.x[z_yes.index], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[z_no.index], 0.0, 1e-6);
+}
+
+TEST(Helpers, IfThenElseBothBranches) {
+  for (double cond_val : {1.0, 0.0}) {
+    Model m;
+    Var cond = m.add_var(cond_val, cond_val, true, "cond");
+    Var x = m.add_continuous(0, 100, "x");
+    HelperConfig cfg;
+    cfg.big_m = 1000;
+    if_then_else(m, cond, {{x, LinExpr(42.0)}}, {{x, LinExpr(7.0)}}, cfg);
+    m.set_objective(xs::Sense::kMaximize, LinExpr(0.0));
+    auto r = m.solve();
+    ASSERT_EQ(r.status, xs::Status::kOptimal);
+    EXPECT_NEAR(r.x[x.index], cond_val == 1.0 ? 42.0 : 7.0, 1e-5);
+  }
+}
+
+class ProductBinCont : public ::testing::TestWithParam<std::tuple<int, double>> {
+};
+
+TEST_P(ProductBinCont, ExactAtBinaries) {
+  const auto [zi, xv] = GetParam();
+  Model m;
+  Var z = m.add_var(zi, zi, true, "z");
+  Var x = m.add_continuous(xv, xv, "x");
+  Var w = product_binary_continuous(m, z, LinExpr(x), 10.0);
+  m.set_objective(xs::Sense::kMaximize, LinExpr(0.0));
+  auto r = m.solve();
+  ASSERT_EQ(r.status, xs::Status::kOptimal);
+  EXPECT_NEAR(r.x[w.index], zi * xv, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ProductBinCont,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(0.0, 2.5, 7.0, 10.0)));
+
+TEST(Helpers, ProductBinaryBinary) {
+  for (int a = 0; a <= 1; ++a)
+    for (int b = 0; b <= 1; ++b) {
+      Model m;
+      Var va = m.add_var(a, a, true);
+      Var vb = m.add_var(b, b, true);
+      Var w = product_binary_binary(m, va, vb);
+      m.set_objective(xs::Sense::kMaximize, LinExpr(0.0));
+      auto r = m.solve();
+      ASSERT_EQ(r.status, xs::Status::kOptimal);
+      EXPECT_NEAR(r.x[w.index], a * b, 1e-7) << a << "," << b;
+    }
+}

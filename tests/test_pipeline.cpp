@@ -1,0 +1,69 @@
+// End-to-end pipeline tests (Fig. 3 wiring): both case studies produce
+// significant subspaces with coherent explanations.
+#include <gtest/gtest.h>
+
+#include "xplain/pipeline.h"
+
+using namespace xplain;
+
+TEST(Pipeline, DpEndToEnd) {
+  auto inst = te::TeInstance::fig1a_example();
+  PipelineOptions opts;
+  opts.min_gap = 40.0;
+  opts.subspace.max_subspaces = 2;
+  opts.explain.samples = 250;
+  auto out = run_dp_pipeline(inst, te::DpConfig{50.0}, opts);
+
+  ASSERT_GE(out.result.subspaces.size(), 1u);
+  ASSERT_EQ(out.result.explanations.size(), out.result.subspaces.size());
+  const auto& sub = out.result.subspaces[0];
+  EXPECT_TRUE(sub.significant);
+  EXPECT_LT(sub.p_value, 0.05);
+  EXPECT_GE(sub.seed_gap, 40.0);
+  EXPECT_GT(sub.mean_gap_inside, sub.mean_gap_outside);
+
+  // Type-1 sanity: the pinnable demand's dimension is bounded by ~T inside
+  // the subspace (DP only misbehaves when it can pin).
+  EXPECT_LE(sub.region.box.lo[0], 50.0 + 1e-6);
+
+  // Type-2 sanity: somewhere the benchmark-only signal exists.
+  const auto& ex = out.result.explanations[0];
+  double max_heat = -1, min_heat = 1;
+  for (const auto& e : ex.edges) {
+    max_heat = std::max(max_heat, e.heat);
+    min_heat = std::min(min_heat, e.heat);
+  }
+  EXPECT_GT(max_heat, 0.3) << "some edge must be benchmark-preferred";
+  EXPECT_LT(min_heat, -0.3) << "some edge must be heuristic-only";
+  EXPECT_GT(out.result.wall_seconds, 0.0);
+}
+
+TEST(Pipeline, FfEndToEnd) {
+  vbp::VbpInstance inst;
+  inst.num_balls = 4;
+  inst.num_bins = 3;
+  inst.dims = 1;
+  inst.capacity = 1.0;
+  PipelineOptions opts;
+  opts.min_gap = 1.0;
+  opts.subspace.max_subspaces = 2;
+  opts.explain.samples = 200;
+  auto out = run_ff_pipeline(inst, opts);
+
+  ASSERT_GE(out.result.subspaces.size(), 1u);
+  const auto& sub = out.result.subspaces[0];
+  EXPECT_TRUE(sub.significant);
+  EXPECT_GE(sub.seed_gap, 1.0);  // at least one extra bin
+  EXPECT_GE(out.result.explanations[0].samples_used, 50);
+}
+
+TEST(Pipeline, TraceAccountsForWork) {
+  auto inst = te::TeInstance::fig1a_example();
+  PipelineOptions opts;
+  opts.min_gap = 40.0;
+  opts.subspace.max_subspaces = 1;
+  opts.explain.samples = 50;
+  auto out = run_dp_pipeline(inst, te::DpConfig{50.0}, opts);
+  EXPECT_GE(out.result.trace.analyzer_calls, 1);
+  EXPECT_GT(out.result.trace.gap_evaluations, 100);
+}

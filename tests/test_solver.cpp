@@ -1,0 +1,375 @@
+// Unit and property tests for the LP (two-phase simplex) and MILP
+// (branch-and-bound) solvers in src/solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/milp.h"
+#include "solver/simplex.h"
+#include "util/random.h"
+
+namespace xs = xplain::solver;
+using xs::kInf;
+using xs::LpProblem;
+using xs::RowSense;
+using xs::Sense;
+using xs::Status;
+
+namespace {
+
+LpProblem textbook_max() {
+  // max 3x + 5y  s.t.  x <= 4;  2y <= 12;  3x + 2y <= 18;  x,y >= 0.
+  // Optimum (2, 6) with objective 36 (Dantzig's classic).
+  LpProblem p;
+  p.sense = Sense::kMaximize;
+  int x = p.add_col(0, kInf, 3, false, "x");
+  int y = p.add_col(0, kInf, 5, false, "y");
+  p.add_row({{x, 1}}, RowSense::kLe, 4);
+  p.add_row({{y, 2}}, RowSense::kLe, 12);
+  p.add_row({{x, 3}, {y, 2}}, RowSense::kLe, 18);
+  return p;
+}
+
+}  // namespace
+
+TEST(Simplex, TextbookMaximization) {
+  auto p = textbook_max();
+  auto s = xs::solve_lp(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.obj, 36.0, 1e-8);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-8);
+  EXPECT_NEAR(s.x[1], 6.0, 1e-8);
+}
+
+TEST(Simplex, TextbookDuals) {
+  auto p = textbook_max();
+  auto s = xs::solve_lp(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  // Known duals: y = (0, 3/2, 1); strong duality: y'b = 36.
+  EXPECT_NEAR(s.y[0], 0.0, 1e-8);
+  EXPECT_NEAR(s.y[1], 1.5, 1e-8);
+  EXPECT_NEAR(s.y[2], 1.0, 1e-8);
+  EXPECT_NEAR(s.y[0] * 4 + s.y[1] * 12 + s.y[2] * 18, 36.0, 1e-8);
+}
+
+TEST(Simplex, Minimization) {
+  // min 2x + 3y s.t. x + y >= 10, x - y <= 4, x,y >= 0. Optimum x=7,y=3? No:
+  // cost pushes y down, x up: try x=10,y=0 violates x-y<=4; x=7,y=3 -> 23.
+  LpProblem p;
+  int x = p.add_col(0, kInf, 2, false, "x");
+  int y = p.add_col(0, kInf, 3, false, "y");
+  p.add_row({{x, 1}, {y, 1}}, RowSense::kGe, 10);
+  p.add_row({{x, 1}, {y, -1}}, RowSense::kLe, 4);
+  auto s = xs::solve_lp(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.obj, 23.0, 1e-8);
+  EXPECT_NEAR(s.x[0], 7.0, 1e-8);
+  EXPECT_NEAR(s.x[1], 3.0, 1e-8);
+}
+
+TEST(Simplex, EqualityRows) {
+  // min x + 2y + 3z  s.t. x + y + z = 6, y + z = 4. Optimum x=2,y=4,z=0 -> 10.
+  LpProblem p;
+  int x = p.add_col(0, kInf, 1, false, "x");
+  int y = p.add_col(0, kInf, 2, false, "y");
+  int z = p.add_col(0, kInf, 3, false, "z");
+  p.add_row({{x, 1}, {y, 1}, {z, 1}}, RowSense::kEq, 6);
+  p.add_row({{y, 1}, {z, 1}}, RowSense::kEq, 4);
+  auto s = xs::solve_lp(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.obj, 10.0, 1e-8);
+}
+
+TEST(Simplex, UpperBounds) {
+  // max x + y with x <= 2.5, y <= 1.5 via column bounds.
+  LpProblem p;
+  p.sense = Sense::kMaximize;
+  p.add_col(0, 2.5, 1, false, "x");
+  p.add_col(0, 1.5, 1, false, "y");
+  p.add_row({{0, 1}, {1, 1}}, RowSense::kLe, 100);
+  auto s = xs::solve_lp(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.obj, 4.0, 1e-8);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // min x subject to x >= -5 (bound) and x + y = 0, y <= 3.
+  LpProblem p;
+  int x = p.add_col(-5, kInf, 1, false, "x");
+  int y = p.add_col(-kInf, 3, 0, false, "y");
+  p.add_row({{x, 1}, {y, 1}}, RowSense::kEq, 0);
+  auto s = xs::solve_lp(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.x[0], -3.0, 1e-8);  // limited by y <= 3
+  EXPECT_NEAR(s.obj, -3.0, 1e-8);
+}
+
+TEST(Simplex, FreeVariables) {
+  // min |style| free var: min x + y, x free, y >= 0, x + y >= 2, x >= -7.
+  LpProblem p;
+  int x = p.add_col(-kInf, kInf, 1, false, "x");
+  int y = p.add_col(0, kInf, 1, false, "y");
+  p.add_row({{x, 1}, {y, 1}}, RowSense::kGe, 2);
+  auto s = xs::solve_lp(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.obj, 2.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LpProblem p;
+  int x = p.add_col(0, kInf, 1, false, "x");
+  p.add_row({{x, 1}}, RowSense::kGe, 5);
+  p.add_row({{x, 1}}, RowSense::kLe, 3);
+  EXPECT_EQ(xs::solve_lp(p).status, Status::kInfeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleBounds) {
+  LpProblem p;
+  p.add_col(5, 3, 1, false, "x");  // empty box
+  p.add_row({{0, 1}}, RowSense::kLe, 100);
+  EXPECT_EQ(xs::solve_lp(p).status, Status::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LpProblem p;
+  p.sense = Sense::kMaximize;
+  int x = p.add_col(0, kInf, 1, false, "x");
+  p.add_row({{x, -1}}, RowSense::kLe, 0);
+  EXPECT_EQ(xs::solve_lp(p).status, Status::kUnbounded);
+}
+
+TEST(Simplex, DegenerateProblem) {
+  // Classic degeneracy (Beale-like): must not cycle.
+  LpProblem p;
+  p.sense = Sense::kMinimize;
+  int x1 = p.add_col(0, kInf, -0.75, false);
+  int x2 = p.add_col(0, kInf, 150, false);
+  int x3 = p.add_col(0, kInf, -0.02, false);
+  int x4 = p.add_col(0, kInf, 6, false);
+  p.add_row({{x1, 0.25}, {x2, -60}, {x3, -0.04}, {x4, 9}}, RowSense::kLe, 0);
+  p.add_row({{x1, 0.5}, {x2, -90}, {x3, -0.02}, {x4, 3}}, RowSense::kLe, 0);
+  p.add_row({{x3, 1}}, RowSense::kLe, 1);
+  auto s = xs::solve_lp(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.obj, -0.05, 1e-8);
+}
+
+TEST(Simplex, ZeroRowsProblem) {
+  LpProblem p;
+  p.add_col(1.0, 4.0, 1.0, false, "x");
+  auto s = xs::solve_lp(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.obj, 1.0, 1e-9);
+}
+
+TEST(Simplex, FixedVariables) {
+  LpProblem p;
+  int x = p.add_col(2, 2, 1, false, "x");
+  int y = p.add_col(0, kInf, 1, false, "y");
+  p.add_row({{x, 1}, {y, 1}}, RowSense::kGe, 5);
+  auto s = xs::solve_lp(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 3.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: random feasible LPs must satisfy weak/strong duality and
+// the returned point must be primal feasible.
+// ---------------------------------------------------------------------------
+
+class RandomLpProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLpProperty, StrongDualityAndFeasibility) {
+  xplain::util::Rng rng(1234 + GetParam());
+  const int n = rng.uniform_int(2, 8);
+  const int m = rng.uniform_int(1, 6);
+  LpProblem p;
+  p.sense = Sense::kMaximize;
+  for (int j = 0; j < n; ++j)
+    p.add_col(0, kInf, rng.uniform(-2.0, 5.0), false);
+  // Rows a'x <= b with a >= 0 and b > 0 keep the region nonempty (0 feasible)
+  // and bounded in every improving direction with prob ~1 when some a_j > 0.
+  for (int i = 0; i < m; ++i) {
+    std::vector<std::pair<int, double>> coef;
+    for (int j = 0; j < n; ++j) coef.emplace_back(j, rng.uniform(0.1, 3.0));
+    p.add_row(std::move(coef), RowSense::kLe, rng.uniform(1.0, 20.0));
+  }
+  auto s = xs::solve_lp(p);
+  bool improving = false;
+  for (int j = 0; j < n; ++j) improving |= p.obj(j) > 0;
+  if (!improving) {
+    ASSERT_EQ(s.status, Status::kOptimal);
+    EXPECT_NEAR(s.obj, 0.0, 1e-7);
+    return;
+  }
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_TRUE(p.feasible(s.x, 1e-6)) << p.to_string();
+  // Strong duality for max{c'x : Ax<=b, x>=0}: obj == y'b with y >= 0 and
+  // A'y >= c.
+  double yb = 0.0;
+  for (int i = 0; i < m; ++i) {
+    EXPECT_GE(s.y[i], -1e-7);
+    yb += s.y[i] * p.row(i).rhs;
+  }
+  EXPECT_NEAR(yb, s.obj, 1e-6 * (1 + std::abs(s.obj)));
+  for (int j = 0; j < n; ++j) {
+    double aty = 0.0;
+    for (int i = 0; i < m; ++i)
+      for (const auto& [col, v] : p.row(i).coef)
+        if (col == j) aty += v * s.y[i];
+    EXPECT_GE(aty, p.obj(j) - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomLpProperty, ::testing::Range(0, 40));
+
+// ---------------------------------------------------------------------------
+// MILP tests.
+// ---------------------------------------------------------------------------
+
+TEST(Milp, SimpleKnapsack) {
+  // max 10a + 13b + 7c, 3a + 4b + 2c <= 6, binaries. Optimum: a+c = 17?
+  // a,c: w=5 v=17; b+c: w=6 v=20. Optimum 20.
+  LpProblem p;
+  p.sense = Sense::kMaximize;
+  int a = p.add_col(0, 1, 10, true, "a");
+  int b = p.add_col(0, 1, 13, true, "b");
+  int c = p.add_col(0, 1, 7, true, "c");
+  p.add_row({{a, 3}, {b, 4}, {c, 2}}, RowSense::kLe, 6);
+  auto r = xs::solve_milp(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.obj, 20.0, 1e-7);
+  EXPECT_NEAR(r.x[b], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[c], 1.0, 1e-6);
+}
+
+TEST(Milp, IntegerRounding) {
+  // min x subject to 2x >= 7, x integer -> x = 4.
+  LpProblem p;
+  int x = p.add_col(0, kInf, 1, true, "x");
+  p.add_row({{x, 2}}, RowSense::kGe, 7);
+  auto r = xs::solve_milp(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.x[x], 4.0, 1e-7);
+}
+
+TEST(Milp, InfeasibleIntegerProblem) {
+  // 0.4 <= x <= 0.6, x integer.
+  LpProblem p;
+  p.add_col(0.4, 0.6, 1, true, "x");
+  auto r = xs::solve_milp(p);
+  EXPECT_EQ(r.status, Status::kInfeasible);
+}
+
+TEST(Milp, MixedIntegerContinuous) {
+  // max 2x + y, x integer, x + y <= 3.5, y <= 1.2, x <= 2.9.
+  // x=2 (int), y=1.2 -> 5.2.
+  LpProblem p;
+  p.sense = Sense::kMaximize;
+  int x = p.add_col(0, 2.9, 2, true, "x");
+  int y = p.add_col(0, 1.2, 1, false, "y");
+  p.add_row({{x, 1}, {y, 1}}, RowSense::kLe, 3.5);
+  auto r = xs::solve_milp(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.obj, 5.2, 1e-7);
+}
+
+TEST(Milp, EqualityWithBinaries) {
+  // Choose exactly 2 of 4 binaries minimizing cost.
+  LpProblem p;
+  std::vector<double> cost = {5, 1, 3, 2};
+  std::vector<std::pair<int, double>> sum;
+  for (int j = 0; j < 4; ++j)
+    sum.emplace_back(p.add_col(0, 1, cost[j], true), 1.0);
+  p.add_row(sum, RowSense::kEq, 2);
+  auto r = xs::solve_milp(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.obj, 3.0, 1e-7);  // picks costs 1 and 2
+}
+
+TEST(Milp, BigMIndicatorPattern) {
+  // The big-M pattern used throughout the analyzers: z=1 <=> x <= t.
+  // Here force x = 7, t = 5: z must be 0.
+  const double M = 100;
+  LpProblem p;
+  int x = p.add_col(7, 7, 0, false, "x");
+  int z = p.add_col(0, 1, -1, true, "z");  // min -z pushes z up
+  // x <= t + M(1-z) ; x >= t + eps - M z  with t=5, eps=0.01
+  p.add_row({{x, 1}, {z, M}}, RowSense::kLe, 5 + M);
+  p.add_row({{x, 1}, {z, M}}, RowSense::kGe, 5.01);
+  auto r = xs::solve_milp(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.x[z], 0.0, 1e-7);
+}
+
+class RandomMilpProperty : public ::testing::TestWithParam<int> {};
+
+// Cross-validates branch-and-bound against brute-force enumeration of the
+// binary columns (continuous part solved by LP for each assignment).
+TEST_P(RandomMilpProperty, MatchesBruteForce) {
+  xplain::util::Rng rng(777 + GetParam());
+  const int nb = rng.uniform_int(2, 6);  // binaries
+  const int nc = rng.uniform_int(0, 3);  // continuous
+  LpProblem p;
+  p.sense = Sense::kMaximize;
+  for (int j = 0; j < nb; ++j) p.add_col(0, 1, rng.uniform(-3, 8), true);
+  for (int j = 0; j < nc; ++j) p.add_col(0, 4, rng.uniform(-1, 3), false);
+  const int m = rng.uniform_int(1, 4);
+  for (int i = 0; i < m; ++i) {
+    std::vector<std::pair<int, double>> coef;
+    for (int j = 0; j < nb + nc; ++j)
+      coef.emplace_back(j, rng.uniform(0.0, 2.0));
+    p.add_row(std::move(coef), RowSense::kLe, rng.uniform(1.0, 8.0));
+  }
+  auto r = xs::solve_milp(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+
+  // Brute force over binary assignments.
+  double best = -kInf;
+  for (int mask = 0; mask < (1 << nb); ++mask) {
+    LpProblem q = p;
+    for (int j = 0; j < nb; ++j) {
+      const double v = (mask >> j) & 1;
+      q.set_bounds(j, v, v);
+    }
+    auto s = xs::solve_lp(q);
+    if (s.status == Status::kOptimal) best = std::max(best, s.obj);
+  }
+  ASSERT_TRUE(std::isfinite(best));
+  EXPECT_NEAR(r.obj, best, 1e-6 * (1 + std::abs(best)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomMilpProperty, ::testing::Range(0, 30));
+
+TEST(Milp, RespectsNodeLimit) {
+  xplain::util::Rng rng(42);
+  LpProblem p;
+  p.sense = Sense::kMaximize;
+  const int n = 30;
+  std::vector<std::pair<int, double>> row;
+  for (int j = 0; j < n; ++j) {
+    row.emplace_back(p.add_col(0, 1, rng.uniform(1.0, 2.0), true),
+                     rng.uniform(1.0, 2.0));
+  }
+  p.add_row(row, RowSense::kLe, n * 0.61);
+  xs::MilpOptions opts;
+  opts.max_nodes = 5;
+  auto r = xs::solve_milp(p, opts);
+  EXPECT_LE(r.nodes, 6);
+  // With so few nodes we may or may not have an incumbent; status must be
+  // kLimit (found something) or kError (nothing proven yet).
+  EXPECT_TRUE(r.status == Status::kLimit || r.status == Status::kError);
+}
+
+TEST(Milp, BestBoundIsValid) {
+  LpProblem p;
+  p.sense = Sense::kMaximize;
+  int a = p.add_col(0, 1, 3, true);
+  int b = p.add_col(0, 1, 2, true);
+  p.add_row({{a, 1}, {b, 1}}, RowSense::kLe, 1);
+  auto r = xs::solve_milp(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.obj, 3.0, 1e-7);
+  EXPECT_GE(r.best_bound, r.obj - 1e-7);
+}

@@ -1,0 +1,212 @@
+// Tests for the adversarial subspace generator: regions, sampling, the
+// regression tree, significance checking, and the full generate() loop on
+// a synthetic evaluator with *known planted* adversarial regions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analyzer/search_analyzer.h"
+#include "subspace/subspace_generator.h"
+
+using namespace xplain::subspace;
+using namespace xplain::analyzer;
+
+namespace {
+
+// Synthetic evaluator with two planted adversarial boxes in [0,1]^2:
+//   A = [0.1,0.3] x [0.6,0.9]  with gap 10,
+//   B = [0.7,0.9] x [0.1,0.3]  with gap 6,
+// and gap 0 elsewhere.  Ground truth for the generator.
+class PlantedEvaluator : public GapEvaluator {
+ public:
+  int dim() const override { return 2; }
+  Box input_box() const override { return Box{{0, 0}, {1, 1}}; }
+  double gap(const std::vector<double>& x) const override {
+    if (a_.contains(x)) return 10.0;
+    if (b_.contains(x)) return 6.0;
+    return 0.0;
+  }
+  std::string name() const override { return "planted"; }
+
+  Box a_{{0.1, 0.6}, {0.3, 0.9}};
+  Box b_{{0.7, 0.1}, {0.9, 0.3}};
+};
+
+}  // namespace
+
+TEST(Region, HalfspaceAndPolytope) {
+  Halfspace h{{1.0, -1.0}, 0.5};  // x0 - x1 <= 0.5
+  EXPECT_TRUE(h.satisfied({0.6, 0.2}));
+  EXPECT_FALSE(h.satisfied({0.9, 0.1}));
+  Polytope p;
+  p.box = Box{{0, 0}, {1, 1}};
+  p.halfspaces.push_back(h);
+  EXPECT_TRUE(p.contains({0.5, 0.5}));
+  EXPECT_FALSE(p.contains({0.9, 0.1}));
+  EXPECT_FALSE(p.contains({1.5, 0.5}));  // outside the box
+  const std::string s = p.to_string({"a", "b"});
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(p.to_matrix_form().find("T (tree rows)"), std::string::npos);
+}
+
+TEST(Sampler, SamplesStayInBoxAndShellAvoidsInner) {
+  PlantedEvaluator eval;
+  xplain::util::Rng rng(1);
+  Box box{{0.2, 0.2}, {0.4, 0.4}};
+  auto samples = sample_box(eval, box, 100, rng);
+  ASSERT_EQ(samples.size(), 100u);
+  for (const auto& s : samples) EXPECT_TRUE(box.contains(s.x, 1e-12));
+
+  Box inner{{0.25, 0.25}, {0.35, 0.35}};
+  auto shell = sample_shell(eval, box, inner, 100, rng);
+  for (const auto& s : shell) {
+    EXPECT_TRUE(box.contains(s.x, 1e-12));
+    EXPECT_FALSE(inner.contains(s.x));
+  }
+}
+
+TEST(Sampler, BadDensityCountsThreshold) {
+  std::vector<LabeledSample> ss = {{{0}, 1.0}, {{0}, 5.0}, {{0}, 0.0}};
+  EXPECT_NEAR(bad_density(ss, 1.0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(bad_density(ss, 6.0), 0.0, 1e-12);
+}
+
+TEST(Tree, FitsStepFunction) {
+  // y = 10 for x <= 0.5, else 0: one split suffices.
+  std::vector<LabeledSample> samples;
+  xplain::util::Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    double x = rng.uniform(0, 1);
+    samples.push_back({{x}, x <= 0.5 ? 10.0 : 0.0});
+  }
+  auto tree = fit_regression_tree(samples);
+  EXPECT_NEAR(tree.predict({0.2}), 10.0, 1e-9);
+  EXPECT_NEAR(tree.predict({0.8}), 0.0, 1e-9);
+  // The learned threshold is near 0.5.
+  ASSERT_GE(tree.num_nodes(), 3);
+  EXPECT_NEAR(tree.nodes()[0].threshold, 0.5, 0.05);
+}
+
+TEST(Tree, PathPredicatesDescribeLeafRegion) {
+  std::vector<LabeledSample> samples;
+  xplain::util::Rng rng(3);
+  for (int i = 0; i < 600; ++i) {
+    double x = rng.uniform(0, 1), y = rng.uniform(0, 1);
+    const bool in = x > 0.4 && y <= 0.6;
+    samples.push_back({{x, y}, in ? 5.0 : 0.0});
+  }
+  auto tree = fit_regression_tree(samples);
+  std::vector<double> probe = {0.7, 0.3};  // inside the hot region
+  auto preds = tree.path_predicates(probe);
+  ASSERT_FALSE(preds.empty());
+  // Every predicate on the path must hold at the probe...
+  for (const auto& h : preds) EXPECT_TRUE(h.satisfied(probe));
+  // ...and the leaf must predict the hot value.
+  EXPECT_NEAR(tree.predict(probe), 5.0, 1.0);
+}
+
+TEST(Tree, RespectsDepthAndLeafLimits) {
+  std::vector<LabeledSample> samples;
+  xplain::util::Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.uniform(0, 1);
+    samples.push_back({{x}, std::sin(20 * x)});  // wiggly: wants many splits
+  }
+  TreeOptions opts;
+  opts.max_depth = 3;
+  opts.min_samples_leaf = 40;
+  auto tree = fit_regression_tree(samples, opts);
+  EXPECT_LE(tree.depth(), 3);
+  for (const auto& n : tree.nodes())
+    if (n.feature < 0) EXPECT_GE(n.count, 40);
+}
+
+TEST(Tree, EmptyAndConstantInputs) {
+  EXPECT_EQ(fit_regression_tree({}).num_nodes(), 1);
+  std::vector<LabeledSample> constant(50, {{0.5}, 3.0});
+  auto tree = fit_regression_tree(constant);
+  EXPECT_EQ(tree.depth(), 0);
+  EXPECT_NEAR(tree.predict({0.1}), 3.0, 1e-12);
+}
+
+TEST(Significance, AcceptsPlantedRegionRejectsEmptyOne) {
+  PlantedEvaluator eval;
+  Polytope hot;
+  hot.box = eval.a_;
+  auto rep_hot = check_significance(eval, hot);
+  EXPECT_TRUE(rep_hot.significant);
+  EXPECT_LT(rep_hot.test.p_value, 0.05);
+  EXPECT_GT(rep_hot.mean_gap_inside, rep_hot.mean_gap_outside);
+
+  Polytope cold;
+  cold.box = Box{{0.4, 0.4}, {0.55, 0.55}};  // nothing planted here
+  auto rep_cold = check_significance(eval, cold);
+  EXPECT_FALSE(rep_cold.significant);
+}
+
+TEST(Generator, RoughBoxCoversPlantedRegion) {
+  PlantedEvaluator eval;
+  SearchAnalyzer an;
+  SubspaceOptions opts;
+  SubspaceGenerator gen(an, opts);
+  xplain::util::Rng rng(5);
+  Box rough = gen.grow_rough_box(eval, {0.2, 0.75}, 5.0, rng);
+  // The rough box must substantially overlap region A and not swallow the
+  // whole input space.
+  EXPECT_TRUE(rough.contains({0.2, 0.75}));
+  EXPECT_LT(rough.volume(), 0.5);
+  Box overlap = rough.intersect(eval.a_);
+  EXPECT_FALSE(overlap.empty());
+  EXPECT_GT(overlap.volume() / eval.a_.volume(), 0.3);
+}
+
+TEST(Generator, FindsBothPlantedSubspaces) {
+  PlantedEvaluator eval;
+  SearchAnalyzer an;
+  SubspaceOptions opts;
+  opts.max_subspaces = 6;
+  SubspaceGenerator gen(an, opts);
+  auto subs = gen.generate(eval, /*min_gap=*/3.0);
+  ASSERT_GE(subs.size(), 2u);
+  // Each planted region is hit by some subspace seed.
+  bool hit_a = false, hit_b = false;
+  for (const auto& s : subs) {
+    if (eval.a_.contains(s.seed)) hit_a = true;
+    if (eval.b_.contains(s.seed)) hit_b = true;
+    EXPECT_TRUE(s.significant);
+    EXPECT_LT(s.p_value, 0.05);
+    EXPECT_TRUE(s.region.contains(s.seed, 1e-6));
+  }
+  EXPECT_TRUE(hit_a);
+  EXPECT_TRUE(hit_b);
+}
+
+TEST(Generator, TerminatesWhenNothingIsAdversarial) {
+  // Constant-zero gap: the analyzer finds nothing; generate returns empty.
+  class ZeroEval : public GapEvaluator {
+   public:
+    int dim() const override { return 2; }
+    Box input_box() const override { return Box{{0, 0}, {1, 1}}; }
+    double gap(const std::vector<double>&) const override { return 0.0; }
+    std::string name() const override { return "zero"; }
+  } eval;
+  SearchAnalyzer an;
+  SubspaceGenerator gen(an, {});
+  auto subs = gen.generate(eval, 1.0);
+  EXPECT_TRUE(subs.empty());
+  EXPECT_EQ(gen.trace().analyzer_calls, 1);
+}
+
+TEST(Generator, ExclusionPreventsRediscovery) {
+  PlantedEvaluator eval;
+  SearchAnalyzer an;
+  SubspaceOptions opts;
+  opts.max_subspaces = 8;
+  SubspaceGenerator gen(an, opts);
+  auto subs = gen.generate(eval, 3.0);
+  // No two subspace seeds may land in the same already-found rough box.
+  for (std::size_t i = 0; i < subs.size(); ++i)
+    for (std::size_t j = 0; j < i; ++j)
+      EXPECT_FALSE(subs[j].region.box.contains(subs[i].seed))
+          << "seed " << i << " rediscovered region " << j;
+}
