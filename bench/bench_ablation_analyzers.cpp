@@ -4,8 +4,10 @@
 // adversarial subspaces (it may not even find an adversarial point)".
 #include <iostream>
 
-#include "analyzer/dp_milp_analyzer.h"
-#include "analyzer/ff_milp_analyzer.h"
+#include "cases/dp_case.h"
+#include "cases/dp_milp_analyzer.h"
+#include "cases/ff_case.h"
+#include "cases/ff_milp_analyzer.h"
 #include "analyzer/search_analyzer.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -18,12 +20,12 @@ int main() {
   {  // Demand pinning on Fig. 1a (known max gap: 100).
     auto inst = te::TeInstance::fig1a_example();
     te::DpConfig cfg{50.0};
-    analyzer::DpGapEvaluator eval(inst, cfg);
+    cases::DpGapEvaluator eval(inst, cfg);
     {
       util::Timer tm;
-      analyzer::DpMilpOptions mo;
+      cases::DpMilpOptions mo;
       mo.quantum = 10.0;
-      analyzer::DpMilpAnalyzer an(inst, cfg, mo);
+      cases::DpMilpAnalyzer an(inst, cfg, mo);
       auto ex = an.find_adversarial(eval, 0.0, {});
       t.add_row({"DP fig1a", "exact MILP (q=10)",
                  ex ? util::format_double(ex->gap) : "none",
@@ -52,10 +54,10 @@ int main() {
     inst.num_bins = 3;
     inst.dims = 1;
     inst.capacity = 1.0;
-    analyzer::VbpGapEvaluator eval(inst);
+    cases::VbpGapEvaluator eval(inst);
     {
       util::Timer tm;
-      analyzer::FfMilpAnalyzer an(inst);
+      cases::FfMilpAnalyzer an(inst);
       auto ex = an.find_adversarial(eval, 0.0, {});
       t.add_row({"FF 4x3", "exact MILP",
                  ex ? util::format_double(ex->gap) : "none",

@@ -7,6 +7,7 @@
 // adversarial structure.
 #include <iostream>
 
+#include "cases/ff_case.h"
 #include "analyzer/search_analyzer.h"
 #include "subspace/subspace_generator.h"
 #include "util/table.h"
@@ -18,7 +19,7 @@ int main() {
   inst.num_bins = 3;
   inst.dims = 1;
   inst.capacity = 1.0;
-  analyzer::VbpGapEvaluator eval(inst);
+  cases::VbpGapEvaluator eval(inst);
   analyzer::SearchAnalyzer an;
 
   // One seed from the analyzer, shared by all variants.

@@ -7,6 +7,7 @@
 // about why subspace search matters).
 #include <iostream>
 
+#include "cases/ff_case.h"
 #include "analyzer/search_analyzer.h"
 #include "util/table.h"
 #include "vbp/optimal.h"
@@ -33,7 +34,7 @@ int main() {
   t.print(std::cout);
 
   // Independent rediscovery at the same scale via search.
-  analyzer::VbpGapEvaluator eval(inst);
+  cases::VbpGapEvaluator eval(inst);
   analyzer::SearchOptions sopts;
   sopts.restarts = 16;
   analyzer::SearchAnalyzer an(sopts);

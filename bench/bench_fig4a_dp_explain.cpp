@@ -7,6 +7,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "cases/dp_case.h"
 #include "explain/heatmap.h"
 #include "util/timer.h"
 #include "xplain/pipeline.h"
@@ -16,8 +17,8 @@ int main() {
   auto inst = te::TeInstance::fig1a_example();
   te::DpConfig cfg{50.0};
   auto dp = te::build_dp_network(inst);
-  analyzer::DpGapEvaluator eval(inst, cfg);
-  auto oracle = explain::make_dp_oracle(dp, inst, cfg);
+  cases::DpGapEvaluator eval(inst, cfg);
+  auto oracle = cases::make_dp_oracle(dp, inst, cfg);
 
   // The adversarial subspace around the paper's example (found by the
   // pipeline; pinned here for reproducibility of the figure).

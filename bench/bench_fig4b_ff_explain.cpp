@@ -7,6 +7,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "cases/ff_case.h"
 #include "explain/heatmap.h"
 #include "util/timer.h"
 #include "xplain/pipeline.h"
@@ -19,8 +20,8 @@ int main() {
   inst.dims = 1;
   inst.capacity = 1.0;
   auto ffn = vbp::build_ff_network(inst);
-  analyzer::VbpGapEvaluator eval(inst);
-  auto oracle = explain::make_ff_oracle(ffn, inst);
+  cases::VbpGapEvaluator eval(inst);
+  auto oracle = cases::make_ff_oracle(ffn, inst);
 
   // The contiguous subspace around the paper's {1%,49%,51%,51%} instance.
   subspace::Polytope region;

@@ -4,6 +4,7 @@
 // C, V blocks).
 #include <iostream>
 
+#include "cases/ff_case.h"
 #include "analyzer/search_analyzer.h"
 #include "subspace/subspace_generator.h"
 
@@ -14,7 +15,7 @@ int main() {
   inst.num_bins = 3;
   inst.dims = 1;
   inst.capacity = 1.0;
-  analyzer::VbpGapEvaluator eval(inst);
+  cases::VbpGapEvaluator eval(inst);
   analyzer::SearchAnalyzer an;
 
   subspace::SubspaceOptions opts;

@@ -5,7 +5,8 @@
 // on the Fig. 1a-class instances, reporting gap / OPT.
 #include <iostream>
 
-#include "analyzer/dp_milp_analyzer.h"
+#include "cases/dp_case.h"
+#include "cases/dp_milp_analyzer.h"
 #include "analyzer/search_analyzer.h"
 #include "generalize/instance_generator.h"
 #include "te/maxflow.h"
@@ -23,7 +24,7 @@ int main() {
     params.chain_len = chain_len;
     auto inst = generalize::make_dp_family_instance(params);
     te::DpConfig cfg{params.threshold};
-    analyzer::DpGapEvaluator eval(inst, cfg);
+    cases::DpGapEvaluator eval(inst, cfg);
     analyzer::SearchAnalyzer an;
     auto ex = an.find_adversarial(eval, 0.0, {});
     if (!ex) continue;
@@ -37,8 +38,8 @@ int main() {
   // And the paper's own Fig. 1a example.
   {
     auto inst = te::TeInstance::fig1a_example();
-    analyzer::DpGapEvaluator eval(inst, te::DpConfig{50.0});
-    analyzer::DpMilpAnalyzer milp(inst, te::DpConfig{50.0}, {});
+    cases::DpGapEvaluator eval(inst, te::DpConfig{50.0});
+    cases::DpMilpAnalyzer milp(inst, te::DpConfig{50.0}, {});
     auto ex = milp.find_adversarial(eval, 0.0, {});
     if (ex) {
       auto opt = te::solve_max_flow(inst, ex->input);

@@ -6,7 +6,7 @@
 #include <cmath>
 #include <iostream>
 
-#include "analyzer/ff_milp_analyzer.h"
+#include "cases/ff_milp_analyzer.h"
 #include "util/table.h"
 #include "vbp/optimal.h"
 
@@ -28,7 +28,7 @@ int main() {
              std::to_string(opt.bins),
              std::to_string(ff.bins_used - opt.bins)});
 
-  analyzer::FfMilpAnalyzer an(inst);
+  cases::FfMilpAnalyzer an(inst);
   auto ex = an.solve({});
   bool found = false;
   int ff2 = 0, opt2 = 0;

@@ -7,6 +7,8 @@
 // "astronomically small for DP, very small for VBP".
 #include <iostream>
 
+#include "cases/dp_case.h"
+#include "cases/ff_case.h"
 #include "analyzer/search_analyzer.h"
 #include "subspace/subspace_generator.h"
 #include "util/table.h"
@@ -19,7 +21,7 @@ int main() {
   double dp_p = 1.0, ff_p = 1.0;
   {
     auto inst = te::TeInstance::fig1a_example();
-    analyzer::DpGapEvaluator eval(inst, te::DpConfig{50.0});
+    cases::DpGapEvaluator eval(inst, te::DpConfig{50.0});
     analyzer::SearchAnalyzer an;
     subspace::SubspaceOptions opts;
     opts.max_subspaces = 1;
@@ -36,7 +38,7 @@ int main() {
     inst.num_bins = 3;
     inst.dims = 1;
     inst.capacity = 1.0;
-    analyzer::VbpGapEvaluator eval(inst);
+    cases::VbpGapEvaluator eval(inst);
     analyzer::SearchAnalyzer an;
     subspace::SubspaceOptions opts;
     opts.max_subspaces = 1;

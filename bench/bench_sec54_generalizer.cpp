@@ -6,6 +6,7 @@
 // series (the raw trend) and the mined predicates.
 #include <iostream>
 
+#include "cases/dp_case.h"
 #include "analyzer/search_analyzer.h"
 #include "generalize/generalizer.h"
 #include "util/csv.h"
@@ -22,7 +23,7 @@ int main() {
     generalize::DpFamilyParams params;
     params.chain_len = len;
     auto inst = generalize::make_dp_family_instance(params);
-    analyzer::DpGapEvaluator eval(inst, te::DpConfig{params.threshold});
+    cases::DpGapEvaluator eval(inst, te::DpConfig{params.threshold});
     analyzer::SearchAnalyzer an;
     auto ex = an.find_adversarial(eval, 0.0, {});
     const double gap = ex ? ex->gap : 0.0;

@@ -3,8 +3,10 @@
 // polyhedral subspace print-out.
 #include <iostream>
 
-#include "analyzer/ff_milp_analyzer.h"
+#include "cases/ff_case.h"
+#include "cases/ff_milp_analyzer.h"
 #include "explain/heatmap.h"
+#include "vbp/optimal.h"
 #include "xplain/pipeline.h"
 
 int main() {
@@ -28,8 +30,8 @@ int main() {
 
   // The exact analyzer re-discovers such an instance on its own.
   std::cout << "Exact MetaOpt-style MILP analyzer:\n";
-  analyzer::FfMilpAnalyzer milp(inst);
-  analyzer::VbpGapEvaluator eval(inst);
+  cases::FfMilpAnalyzer milp(inst);
+  cases::VbpGapEvaluator eval(inst);
   if (auto ex = milp.find_adversarial(eval, 1.0, {})) {
     std::cout << "  found gap " << ex->gap << " at Y = {";
     for (std::size_t i = 0; i < ex->input.size(); ++i)
@@ -37,25 +39,25 @@ int main() {
     std::cout << "}\n\n";
   }
 
-  // Full pipeline: subspaces + significance + explanation.
+  // Full pipeline: subspaces + significance + explanation, via the case.
+  cases::FfCase ff_case(inst);
   PipelineOptions opts;
   opts.min_gap = 1.0;
   opts.subspace.max_subspaces = 2;
   opts.explain.samples = 1500;
-  auto out = run_ff_pipeline(inst, opts);
+  auto result = run_pipeline(ff_case, opts);
 
-  const auto names = eval.dim_names();
-  for (std::size_t i = 0; i < out.result.subspaces.size(); ++i) {
-    const auto& s = out.result.subspaces[i];
+  for (std::size_t i = 0; i < result.subspaces.size(); ++i) {
+    const auto& s = result.subspaces[i];
     std::cout << "Adversarial subspace D" << i << " (p=" << s.p_value
               << "), in the paper's Fig. 5c matrix form:\n"
               << s.region.to_matrix_form() << "\n";
   }
 
-  if (!out.result.explanations.empty()) {
+  if (!result.explanations.empty()) {
     std::cout << "Why FF loses a bin here (Fig. 4b's story):\n";
-    explain::print_heatmap(std::cout, out.network.net,
-                           out.result.explanations[0]);
+    explain::print_heatmap(std::cout, ff_case.network(),
+                           result.explanations[0]);
   }
 
   // Baseline heuristics on the same adversarial input, for context.

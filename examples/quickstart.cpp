@@ -1,6 +1,7 @@
 // Quickstart: analyze the paper's Demand Pinning example end to end.
 //
-//   1. build the Fig. 1a instance;
+//   1. look the "demand_pinning" case up in the CaseRegistry (it ships with
+//      the paper's Fig. 1a instance as its default);
 //   2. run the XPlain pipeline (analyzer -> subspaces -> significance ->
 //      explainer);
 //   3. print the Type-1 subspaces and the Type-2 heatmap.
@@ -14,15 +15,18 @@
 int main() {
   using namespace xplain;
 
-  // The traffic-engineering instance from the paper's Fig. 1a: a 5-node
-  // WAN, demands 1~>3 (pinnable), 1~>2 and 2~>3, pinning threshold 50.
-  te::TeInstance inst = te::TeInstance::fig1a_example();
-  te::DpConfig cfg{50.0};
+  // The traffic-engineering case from the paper's Fig. 1a: a 5-node WAN,
+  // demands 1~>3 (pinnable), 1~>2 and 2~>3, pinning threshold 50.
+  auto c = registry().find("demand_pinning");
+  if (!c) {
+    std::cerr << "demand_pinning is not registered\n";
+    return 1;
+  }
 
-  std::cout << "== XPlain quickstart: Demand Pinning on Fig. 1a ==\n\n";
+  std::cout << "== XPlain quickstart: " << c->description() << " ==\n\n";
   std::cout << "Baseline point d = {50, 100, 100}:\n";
-  analyzer::DpGapEvaluator eval(inst, cfg);
-  std::cout << "  gap(OPT - DP) = " << eval.gap({50, 100, 100})
+  auto eval = c->make_evaluator();
+  std::cout << "  gap(OPT - DP) = " << eval->gap({50, 100, 100})
             << "  (paper: OPT 250, DP 150 -> gap 100)\n\n";
 
   PipelineOptions opts;
@@ -30,14 +34,13 @@ int main() {
   opts.subspace.max_subspaces = 3;
   opts.explain.samples = 1000;
 
-  auto out = run_dp_pipeline(inst, cfg, opts);
+  auto result = run_pipeline(*c, opts);
 
-  std::cout << "Type 1 — adversarial subspaces ("
-            << out.result.subspaces.size() << " found, "
-            << out.result.wall_seconds << "s):\n";
-  const auto names = eval.dim_names();
-  for (std::size_t i = 0; i < out.result.subspaces.size(); ++i) {
-    const auto& s = out.result.subspaces[i];
+  std::cout << "Type 1 — adversarial subspaces (" << result.subspaces.size()
+            << " found, " << result.wall_seconds << "s):\n";
+  const auto names = c->dim_names();
+  for (std::size_t i = 0; i < result.subspaces.size(); ++i) {
+    const auto& s = result.subspaces[i];
     std::cout << "D" << i << ": seed gap " << s.seed_gap << ", p-value "
               << s.p_value << "\n"
               << s.region.to_string(names) << "\n"
@@ -45,12 +48,19 @@ int main() {
               << s.mean_gap_outside << "\n\n";
   }
 
-  if (!out.result.explanations.empty()) {
+  if (!result.explanations.empty()) {
     std::cout << "Type 2 — why DP underperforms in D0 (edge heatmap):\n";
-    explain::print_heatmap(std::cout, out.network.net,
-                           out.result.explanations[0]);
+    explain::print_heatmap(std::cout, c->network(), result.explanations[0]);
     std::cout << "\n(red edges: DP insists on the pinned shortest path; "
                  "blue edges: the optimal's detour — Fig. 4a's pattern)\n";
   }
+
+  std::cout << "\nStage breakdown: compile " << result.stages.compile_seconds
+            << "s, analyze " << result.stages.analyze_seconds
+            << "s, subspace " << result.stages.subspace_seconds
+            << "s, explain " << result.stages.explain_seconds << "s\n";
+  std::cout << "\nEvery registered heuristic runs through this same loop:\n";
+  for (const auto& name : registry().names())
+    std::cout << "  - " << name << "\n";
   return 0;
 }

@@ -1,13 +1,15 @@
 // Traffic-engineering deep dive: the full XPlain story on Demand Pinning,
-// including the Type-3 generalizer across generated WAN instances.
+// including the batched Type-3 run across generated WAN instances.
 //
 // This is the workload the paper's introduction motivates: a production
 // WAN heuristic (deployed in Microsoft's wide-area network) whose
 // performance gap the operator wants to understand — not just one bad
-// demand matrix, but *all* the regions where it underperforms and *why*.
+// demand matrix, but *all* the regions where it underperforms and *why*,
+// across a whole family of topologies (run_batch + generalize_batch).
 #include <fstream>
 #include <iostream>
 
+#include "cases/dp_case.h"
 #include "explain/heatmap.h"
 #include "generalize/generalizer.h"
 #include "xplain/pipeline.h"
@@ -24,50 +26,66 @@ int main() {
   params.detour_capacity = 50;
   params.threshold = 50;
   params.d_max = 100;
-  te::TeInstance inst = generalize::make_dp_family_instance(params);
-  te::DpConfig cfg{params.threshold};
+  cases::DpCase c(generalize::make_dp_family_instance(params),
+                  te::DpConfig{params.threshold});
+  const te::TeInstance& inst = c.instance();
 
   std::cout << "Instance: " << inst.topo.num_nodes() << " nodes, "
             << inst.topo.num_links() << " links, " << inst.num_pairs()
-            << " demands; pinning threshold " << cfg.threshold << "\n\n";
+            << " demands; pinning threshold " << params.threshold << "\n\n";
 
   PipelineOptions opts;
   opts.min_gap = 30.0;
   opts.subspace.max_subspaces = 4;
   opts.explain.samples = 800;
-  auto out = run_dp_pipeline(inst, cfg, opts);
+  auto result = run_pipeline(c, opts);
 
-  analyzer::DpGapEvaluator eval(inst, cfg);
-  const auto names = eval.dim_names();
-  std::cout << "Type 1 — " << out.result.subspaces.size()
+  const auto names = c.dim_names();
+  std::cout << "Type 1 — " << result.subspaces.size()
             << " adversarial subspaces (analyzer calls: "
-            << out.result.trace.analyzer_calls
-            << ", gap evaluations: " << out.result.trace.gap_evaluations
+            << result.trace.analyzer_calls
+            << ", gap evaluations: " << result.trace.gap_evaluations
             << "):\n";
-  for (std::size_t i = 0; i < out.result.subspaces.size(); ++i) {
-    const auto& s = out.result.subspaces[i];
+  for (std::size_t i = 0; i < result.subspaces.size(); ++i) {
+    const auto& s = result.subspaces[i];
     std::cout << "\nD" << i << " (seed gap " << s.seed_gap << ", p="
               << s.p_value << "):\n"
               << s.region.to_string(names) << "\n";
   }
 
-  if (!out.result.explanations.empty()) {
+  if (!result.explanations.empty()) {
     std::cout << "\nType 2 — heatmap for D0:\n";
-    explain::print_heatmap(std::cout, out.network.net,
-                           out.result.explanations[0]);
+    explain::print_heatmap(std::cout, c.network(), result.explanations[0]);
     // Also drop a Graphviz rendering a user can `dot -Tpng`.
     std::ofstream dot("dp_explanation.dot");
-    dot << explain::heatmap_dot(out.network.net, out.result.explanations[0]);
+    dot << explain::heatmap_dot(c.network(), result.explanations[0]);
     std::cout << "\n(wrote dp_explanation.dot)\n";
   }
 
-  // --- Type 3: generalize across the instance family. ---
-  std::cout << "\nType 3 — mining trends across 16 generated instances...\n";
-  generalize::GeneralizerOptions gopts;
-  gopts.instances = 16;
-  gopts.search.restarts = 10;
-  gopts.search.presamples = 150;
-  auto gres = generalize::generalize(generalize::dp_case_factory(), gopts);
+  // --- Type 3: a batched sweep across the instance family. ---
+  std::cout << "\nType 3 — batching 16 generated instances over 4 "
+               "workers...\n";
+  generalize::DpInstanceGenerator gen;
+  util::Rng rng(31337);
+  CaseList family;
+  for (int i = 0; i < 16; ++i) {
+    auto p = gen.next_params(rng);
+    family.push_back(std::make_shared<cases::DpCase>(
+        generalize::make_dp_family_instance(p), te::DpConfig{p.threshold},
+        /*quantum=*/p.d_max / 100.0));
+  }
+  PipelineOptions sweep_opts;
+  sweep_opts.min_gap = 1.0;
+  sweep_opts.subspace.max_subspaces = 1;
+  sweep_opts.explain.samples = 0;  // Type-3 only needs the gaps
+  BatchOptions batch;
+  batch.workers = 4;
+  auto sweep = run_batch(family, sweep_opts, batch);
+  std::cout << "  " << sweep.total_subspaces() << " subspaces across the "
+            << "family in " << sweep.wall_seconds << "s wall ("
+            << sweep.stages.total() << "s of single-thread work)\n\n";
+
+  auto gres = generalize::generalize_batch(sweep.results);
   for (const auto& p : gres.predicates)
     std::cout << "  " << p.to_string() << "  (rho=" << p.rho
               << ", p=" << p.p_value << ", n=" << p.support << ")\n";

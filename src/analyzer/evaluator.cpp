@@ -1,7 +1,6 @@
 #include "analyzer/evaluator.h"
 
 #include <algorithm>
-#include <cmath>
 #include <sstream>
 
 namespace xplain::analyzer {
@@ -56,88 +55,6 @@ std::vector<std::string> GapEvaluator::dim_names() const {
   std::vector<std::string> names(dim());
   for (int i = 0; i < dim(); ++i) names[i] = "x" + std::to_string(i);
   return names;
-}
-
-// ---------------------------------------------------------------------------
-// Demand pinning.
-// ---------------------------------------------------------------------------
-
-DpGapEvaluator::DpGapEvaluator(te::TeInstance inst, te::DpConfig cfg,
-                               double quantum)
-    : inst_(std::move(inst)), cfg_(cfg), quantum_(quantum) {}
-
-int DpGapEvaluator::dim() const { return inst_.num_pairs(); }
-
-Box DpGapEvaluator::input_box() const {
-  Box b;
-  b.lo.assign(dim(), 0.0);
-  b.hi.assign(dim(), inst_.d_max);
-  return b;
-}
-
-double DpGapEvaluator::gap(const std::vector<double>& x) const {
-  return te::dp_gap(inst_, cfg_, x);
-}
-
-std::vector<double> DpGapEvaluator::quantize(
-    const std::vector<double>& x) const {
-  std::vector<double> q(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i)
-    q[i] = std::clamp(std::round(x[i] / quantum_) * quantum_, 0.0,
-                      inst_.d_max);
-  return q;
-}
-
-std::vector<std::string> DpGapEvaluator::dim_names() const {
-  std::vector<std::string> names;
-  names.reserve(inst_.num_pairs());
-  for (const auto& p : inst_.pairs) names.push_back("d[" + p.name() + "]");
-  return names;
-}
-
-// ---------------------------------------------------------------------------
-// Vector bin packing.
-// ---------------------------------------------------------------------------
-
-VbpGapEvaluator::VbpGapEvaluator(vbp::VbpInstance inst, vbp::VbpHeuristic h,
-                                 double quantum)
-    : inst_(std::move(inst)), h_(h), quantum_(quantum) {}
-
-int VbpGapEvaluator::dim() const { return inst_.input_dim(); }
-
-Box VbpGapEvaluator::input_box() const {
-  Box b;
-  b.lo.assign(dim(), 0.0);
-  b.hi.assign(dim(), inst_.capacity);
-  return b;
-}
-
-double VbpGapEvaluator::gap(const std::vector<double>& x) const {
-  return vbp::vbp_gap(inst_, x, h_);
-}
-
-std::vector<double> VbpGapEvaluator::quantize(
-    const std::vector<double>& x) const {
-  std::vector<double> q(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i)
-    q[i] = std::clamp(std::round(x[i] / quantum_) * quantum_, 0.0,
-                      inst_.capacity);
-  return q;
-}
-
-std::vector<std::string> VbpGapEvaluator::dim_names() const {
-  std::vector<std::string> names;
-  for (int b = 0; b < inst_.num_balls; ++b)
-    for (int t = 0; t < inst_.dims; ++t) {
-      std::string n = "Y[" + std::to_string(b) + "]";
-      if (inst_.dims > 1) n += "[" + std::to_string(t) + "]";
-      names.push_back(std::move(n));
-    }
-  return names;
-}
-
-std::string VbpGapEvaluator::name() const {
-  return std::string("vbp_") + vbp::to_string(h_);
 }
 
 }  // namespace xplain::analyzer

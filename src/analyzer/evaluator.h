@@ -4,14 +4,14 @@
 // exposes gap(input) = how much worse the heuristic performs than the
 // benchmark at that input point.  The subspace generator samples it, the
 // search analyzer maximizes it, and the significance checker tests it.
+//
+// This layer is heuristic-agnostic: concrete evaluators live with their
+// case studies under src/cases (cases adapt themselves to this interface,
+// never the other way around).
 #pragma once
 
-#include <memory>
 #include <string>
 #include <vector>
-
-#include "te/demand_pinning.h"
-#include "vbp/optimal.h"
 
 namespace xplain::analyzer {
 
@@ -49,51 +49,6 @@ class GapEvaluator {
   /// Names for each input dimension (for explanations and trees).
   virtual std::vector<std::string> dim_names() const;
   virtual std::string name() const = 0;
-};
-
-/// Demand Pinning vs optimal max-flow on a TE instance.
-class DpGapEvaluator : public GapEvaluator {
- public:
-  DpGapEvaluator(te::TeInstance inst, te::DpConfig cfg,
-                 double quantum = 1.0);
-
-  int dim() const override;
-  Box input_box() const override;
-  double gap(const std::vector<double>& x) const override;
-  std::vector<double> quantize(const std::vector<double>& x) const override;
-  std::vector<std::string> dim_names() const override;
-  std::string name() const override { return "demand_pinning"; }
-
-  const te::TeInstance& instance() const { return inst_; }
-  const te::DpConfig& config() const { return cfg_; }
-
- private:
-  te::TeInstance inst_;
-  te::DpConfig cfg_;
-  double quantum_;
-};
-
-/// A VBP heuristic vs exact optimal packing.
-class VbpGapEvaluator : public GapEvaluator {
- public:
-  VbpGapEvaluator(vbp::VbpInstance inst,
-                  vbp::VbpHeuristic h = vbp::VbpHeuristic::kFirstFit,
-                  double quantum = 0.01);
-
-  int dim() const override;
-  Box input_box() const override;
-  double gap(const std::vector<double>& x) const override;
-  std::vector<double> quantize(const std::vector<double>& x) const override;
-  std::vector<std::string> dim_names() const override;
-  std::string name() const override;
-
-  const vbp::VbpInstance& instance() const { return inst_; }
-  vbp::VbpHeuristic heuristic() const { return h_; }
-
- private:
-  vbp::VbpInstance inst_;
-  vbp::VbpHeuristic h_;
-  double quantum_;
 };
 
 }  // namespace xplain::analyzer

@@ -1,0 +1,10 @@
+#include "cases/bf_case.h"
+
+namespace xplain::cases {
+
+namespace {
+[[maybe_unused]] const CaseRegistrar bf_registrar(
+    "best_fit", [] { return BestFitCase::paper(); });
+}  // namespace
+
+}  // namespace xplain::cases

@@ -1,0 +1,37 @@
+// Best-Fit vector bin packing — the third case study, and the proof that
+// the HeuristicCase API extends without touching the core: this file adds
+// a heuristic to the pipeline using only public headers (vbp/heuristics.h
+// for the greedy rule, ff_case.h for the shared VBP adapter, xplain/case.h
+// for registration).  No edits to src/xplain, src/analyzer or src/subspace.
+//
+// The paper motivates exactly this: "this is harder in FF and other VBP
+// heuristics, such as best fit or first fit decreasing" (§2) — Best-Fit
+// also wastes bins on the {1%, 49%, 51%, 51%}-style inputs, and the same
+// pipeline finds and explains the region.
+//
+// Registered in the CaseRegistry as "best_fit".
+#pragma once
+
+#include <memory>
+
+#include "cases/ff_case.h"
+
+namespace xplain::cases {
+
+class BestFitCase : public VbpCase {
+ public:
+  explicit BestFitCase(vbp::VbpInstance inst)
+      : VbpCase(std::move(inst), vbp::VbpHeuristic::kBestFit) {}
+
+  /// 4 balls / 3 unit bins, like the paper's First-Fit figure.
+  static std::shared_ptr<BestFitCase> paper() {
+    return std::make_shared<BestFitCase>(paper_instance());
+  }
+
+  std::string description() const override {
+    return "Best-Fit vector bin packing vs exact optimal packing "
+           "(third case study: added without touching the core)";
+  }
+};
+
+}  // namespace xplain::cases

@@ -1,0 +1,30 @@
+// Definitions for the deprecated pre-CaseRegistry runners declared in
+// xplain/compat.h.  They live in the cases library (not the xplain core)
+// so the core keeps zero link-time dependency on te/ and vbp/.
+#include "xplain/compat.h"
+
+#include "cases/dp_case.h"
+#include "cases/ff_case.h"
+
+namespace xplain {
+
+DpPipelineOutput run_dp_pipeline(const te::TeInstance& inst,
+                                 const te::DpConfig& cfg,
+                                 const PipelineOptions& opts) {
+  cases::DpCase c(inst, cfg);
+  DpPipelineOutput out;
+  out.result = run_pipeline(c, opts);
+  out.network = c.dp_network();
+  return out;
+}
+
+FfPipelineOutput run_ff_pipeline(const vbp::VbpInstance& inst,
+                                 const PipelineOptions& opts) {
+  cases::FfCase c(inst);
+  FfPipelineOutput out;
+  out.result = run_pipeline(c, opts);
+  out.network = c.vbp_network();
+  return out;
+}
+
+}  // namespace xplain

@@ -1,0 +1,88 @@
+#include "cases/dp_case.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "generalize/features.h"
+#include "te/maxflow.h"
+
+namespace xplain::cases {
+
+DpGapEvaluator::DpGapEvaluator(te::TeInstance inst, te::DpConfig cfg,
+                               double quantum)
+    : inst_(std::move(inst)), cfg_(cfg), quantum_(quantum) {}
+
+int DpGapEvaluator::dim() const { return inst_.num_pairs(); }
+
+analyzer::Box DpGapEvaluator::input_box() const {
+  analyzer::Box b;
+  b.lo.assign(dim(), 0.0);
+  b.hi.assign(dim(), inst_.d_max);
+  return b;
+}
+
+double DpGapEvaluator::gap(const std::vector<double>& x) const {
+  return te::dp_gap(inst_, cfg_, x);
+}
+
+std::vector<double> DpGapEvaluator::quantize(
+    const std::vector<double>& x) const {
+  std::vector<double> q(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    q[i] = std::clamp(std::round(x[i] / quantum_) * quantum_, 0.0,
+                      inst_.d_max);
+  return q;
+}
+
+std::vector<std::string> DpGapEvaluator::dim_names() const {
+  std::vector<std::string> names;
+  names.reserve(inst_.num_pairs());
+  for (const auto& p : inst_.pairs) names.push_back("d[" + p.name() + "]");
+  return names;
+}
+
+explain::FlowOracle make_dp_oracle(const te::DpNetwork& dp,
+                                   const te::TeInstance& inst,
+                                   const te::DpConfig& cfg) {
+  return [&dp, &inst, cfg](const std::vector<double>& x,
+                           std::vector<double>& hflow,
+                           std::vector<double>& bflow) {
+    auto heur = te::run_demand_pinning(inst, cfg, x);
+    if (!heur.feasible) return false;
+    auto opt = te::solve_max_flow(inst, x);
+    if (!opt.feasible) return false;
+    hflow = te::dp_network_flows(dp, inst, x, heur.flow);
+    bflow = te::dp_network_flows(dp, inst, x, opt.flow);
+    return true;
+  };
+}
+
+DpCase::DpCase(te::TeInstance inst, te::DpConfig cfg, double quantum)
+    : inst_(std::move(inst)),
+      cfg_(cfg),
+      quantum_(quantum),
+      dpnet_(te::build_dp_network(inst_)) {}
+
+std::shared_ptr<DpCase> DpCase::fig1a() {
+  return std::make_shared<DpCase>(te::TeInstance::fig1a_example(),
+                                  te::DpConfig{50.0});
+}
+
+std::unique_ptr<analyzer::GapEvaluator> DpCase::make_evaluator() const {
+  return std::make_unique<DpGapEvaluator>(inst_, cfg_, quantum_);
+}
+
+explain::FlowOracle DpCase::make_oracle() const {
+  return make_dp_oracle(dpnet_, inst_, cfg_);
+}
+
+std::map<std::string, double> DpCase::features() const {
+  return generalize::dp_instance_features(inst_, cfg_);
+}
+
+namespace {
+[[maybe_unused]] const CaseRegistrar dp_registrar(
+    "demand_pinning", [] { return DpCase::fig1a(); });
+}  // namespace
+
+}  // namespace xplain::cases

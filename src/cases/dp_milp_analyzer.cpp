@@ -1,4 +1,4 @@
-#include "analyzer/dp_milp_analyzer.h"
+#include "cases/dp_milp_analyzer.h"
 
 #include <cmath>
 
@@ -6,7 +6,7 @@
 #include "model/model.h"
 #include "util/logging.h"
 
-namespace xplain::analyzer {
+namespace xplain::cases {
 
 using model::LinExpr;
 using model::Var;
@@ -220,4 +220,4 @@ std::optional<AdversarialExample> DpMilpAnalyzer::find_adversarial(
   return ex;
 }
 
-}  // namespace xplain::analyzer
+}  // namespace xplain::cases

@@ -21,7 +21,12 @@
 #include "analyzer/analyzer.h"
 #include "te/demand_pinning.h"
 
-namespace xplain::analyzer {
+namespace xplain::cases {
+
+using analyzer::AdversarialExample;
+using analyzer::Box;
+using analyzer::GapEvaluator;
+using analyzer::HeuristicAnalyzer;
 
 struct DpMilpOptions {
   double quantum = 5.0;       // demand grid
@@ -49,4 +54,4 @@ class DpMilpAnalyzer : public HeuristicAnalyzer {
   DpMilpOptions opts_;
 };
 
-}  // namespace xplain::analyzer
+}  // namespace xplain::cases

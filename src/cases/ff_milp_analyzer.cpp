@@ -1,10 +1,10 @@
-#include "analyzer/ff_milp_analyzer.h"
+#include "cases/ff_milp_analyzer.h"
 
 #include "flowgraph/compiler.h"
 #include "model/helpers.h"
 #include "util/logging.h"
 
-namespace xplain::analyzer {
+namespace xplain::cases {
 
 using model::LinExpr;
 using model::Var;
@@ -107,4 +107,4 @@ std::optional<AdversarialExample> FfMilpAnalyzer::find_adversarial(
   return ex;
 }
 
-}  // namespace xplain::analyzer
+}  // namespace xplain::cases

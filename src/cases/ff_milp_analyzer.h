@@ -12,7 +12,12 @@
 #include "analyzer/analyzer.h"
 #include "vbp/ff_model.h"
 
-namespace xplain::analyzer {
+namespace xplain::cases {
+
+using analyzer::AdversarialExample;
+using analyzer::Box;
+using analyzer::GapEvaluator;
+using analyzer::HeuristicAnalyzer;
 
 struct FfMilpOptions {
   double time_limit_s = 120.0;
@@ -39,4 +44,4 @@ class FfMilpAnalyzer : public HeuristicAnalyzer {
   FfMilpOptions opts_;
 };
 
-}  // namespace xplain::analyzer
+}  // namespace xplain::cases

@@ -1,0 +1,35 @@
+// The generalizer's prebuilt DP/VBP case factories.  Declared in
+// generalize/generalizer.h, defined here: they construct concrete
+// evaluators, which the generalizer core must stay agnostic of.
+#include "cases/dp_case.h"
+#include "cases/ff_case.h"
+#include "generalize/generalizer.h"
+
+namespace xplain::generalize {
+
+CaseFactory dp_case_factory(DpInstanceGenerator gen) {
+  return [gen](util::Rng& rng) {
+    const DpFamilyParams params = gen.next_params(rng);
+    te::TeInstance inst = make_dp_family_instance(params);
+    te::DpConfig cfg{params.threshold};
+    Case c;
+    c.features = dp_instance_features(inst, cfg);
+    c.gap_scale = params.d_max;
+    c.eval = std::make_unique<cases::DpGapEvaluator>(
+        std::move(inst), cfg, /*quantum=*/params.d_max / 100.0);
+    return c;
+  };
+}
+
+CaseFactory vbp_case_factory(VbpInstanceGenerator gen) {
+  return [gen](util::Rng& rng) {
+    vbp::VbpInstance inst = gen.next(rng);
+    Case c;
+    c.features = vbp_instance_features(inst);
+    c.gap_scale = 1.0;
+    c.eval = std::make_unique<cases::VbpGapEvaluator>(inst);
+    return c;
+  };
+}
+
+}  // namespace xplain::generalize

@@ -1,7 +1,6 @@
 #include "explain/explainer.h"
 
 #include "subspace/sampler.h"
-#include "vbp/optimal.h"
 
 namespace xplain::explain {
 
@@ -54,34 +53,6 @@ Explanation explain_subspace(const analyzer::GapEvaluator& eval,
                static_cast<double>(n);
   }
   return out;
-}
-
-FlowOracle make_dp_oracle(const te::DpNetwork& dp, const te::TeInstance& inst,
-                          const te::DpConfig& cfg) {
-  return [&dp, &inst, cfg](const std::vector<double>& x,
-                           std::vector<double>& hflow,
-                           std::vector<double>& bflow) {
-    auto heur = te::run_demand_pinning(inst, cfg, x);
-    if (!heur.feasible) return false;
-    auto opt = te::solve_max_flow(inst, x);
-    if (!opt.feasible) return false;
-    hflow = te::dp_network_flows(dp, inst, x, heur.flow);
-    bflow = te::dp_network_flows(dp, inst, x, opt.flow);
-    return true;
-  };
-}
-
-FlowOracle make_ff_oracle(const vbp::FfNetwork& ff,
-                          const vbp::VbpInstance& inst) {
-  return [&ff, inst](const std::vector<double>& x, std::vector<double>& hflow,
-                     std::vector<double>& bflow) {
-    auto heur = vbp::first_fit(inst, x);
-    if (!heur.complete) return false;
-    auto opt = vbp::optimal_packing(inst, x);
-    hflow = vbp::ff_network_flows(ff, inst, x, heur);
-    bflow = vbp::ff_network_flows(ff, inst, x, opt.packing);
-    return true;
-  };
 }
 
 }  // namespace xplain::explain

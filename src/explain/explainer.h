@@ -9,14 +9,13 @@
 // are the heuristic's (bad) choices.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <vector>
 
 #include "flowgraph/network.h"
 #include "subspace/region.h"
-#include "te/demand_pinning.h"
-#include "vbp/ff_model.h"
 
 namespace xplain::explain {
 
@@ -57,14 +56,7 @@ Explanation explain_subspace(const analyzer::GapEvaluator& eval,
                              const FlowOracle& oracle,
                              const ExplainOptions& opts = {});
 
-/// DP oracle: heuristic = demand-pinning simulation, benchmark = optimal
-/// max-flow, both mapped onto the Fig. 4a network's edges.
-FlowOracle make_dp_oracle(const te::DpNetwork& dp, const te::TeInstance& inst,
-                          const te::DpConfig& cfg);
-
-/// FF oracle: heuristic = first-fit, benchmark = exact optimal packing, on
-/// the Fig. 4b network.
-FlowOracle make_ff_oracle(const vbp::FfNetwork& ff,
-                          const vbp::VbpInstance& inst);
+// The concrete DP/FF oracles live with their case studies: see
+// cases::make_dp_oracle / cases::make_vbp_oracle in src/cases.
 
 }  // namespace xplain::explain

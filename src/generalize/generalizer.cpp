@@ -1,5 +1,7 @@
 #include "generalize/generalizer.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace xplain::generalize {
@@ -28,29 +30,28 @@ GeneralizerResult generalize(const CaseFactory& factory,
   return result;
 }
 
-CaseFactory dp_case_factory(DpInstanceGenerator gen) {
-  return [gen](util::Rng& rng) {
-    const DpFamilyParams params = gen.next_params(rng);
-    te::TeInstance inst = make_dp_family_instance(params);
-    te::DpConfig cfg{params.threshold};
-    Case c;
-    c.features = dp_instance_features(inst, cfg);
-    c.gap_scale = params.d_max;
-    c.eval = std::make_unique<analyzer::DpGapEvaluator>(
-        std::move(inst), cfg, /*quantum=*/params.d_max / 100.0);
-    return c;
-  };
+GeneralizerResult generalize_batch(const std::vector<xplain::PipelineResult>& results,
+                                   const GrammarOptions& grammar,
+                                   bool normalize_gap) {
+  GeneralizerResult out;
+  out.observations.reserve(results.size());
+  for (const auto& r : results) {
+    if (r.features.empty()) continue;  // case does not describe its instance
+    InstanceObservation obs;
+    obs.features = r.features;
+    // The raw analyzer signal, not just validated subspaces: an instance
+    // whose gaps fell below min_gap still contributes its true best gap
+    // instead of a trend-muting zero.
+    obs.max_gap = std::max(r.max_gap(), r.best_gap_found);
+    if (normalize_gap && r.gap_scale > 0) obs.max_gap /= r.gap_scale;
+    out.observations.push_back(std::move(obs));
+  }
+  out.predicates = mine_predicates(out.observations, grammar);
+  return out;
 }
 
-CaseFactory vbp_case_factory(VbpInstanceGenerator gen) {
-  return [gen](util::Rng& rng) {
-    vbp::VbpInstance inst = gen.next(rng);
-    Case c;
-    c.features = vbp_instance_features(inst);
-    c.gap_scale = 1.0;
-    c.eval = std::make_unique<analyzer::VbpGapEvaluator>(inst);
-    return c;
-  };
-}
+// dp_case_factory / vbp_case_factory are defined in the cases layer
+// (src/cases/generalize_factories.cpp): the generalizer core stays
+// heuristic-agnostic.
 
 }  // namespace xplain::generalize

@@ -10,6 +10,7 @@
 #include "analyzer/search_analyzer.h"
 #include "generalize/grammar.h"
 #include "generalize/instance_generator.h"
+#include "xplain/pipeline.h"
 
 namespace xplain::generalize {
 
@@ -41,7 +42,18 @@ using CaseFactory = std::function<Case(util::Rng&)>;
 GeneralizerResult generalize(const CaseFactory& factory,
                              const GeneralizerOptions& opts = {});
 
-/// Prebuilt factories for the paper's two running examples.
+/// Type-3 over a batched pipeline run: every PipelineResult whose case
+/// published features() becomes one observation (the best analyzer gap,
+/// normalized by the case's gap_scale), and the grammar is mined across
+/// them.  Pairs with xplain::run_batch over an instance family; run the
+/// batch with a low PipelineOptions::min_gap so weak instances contribute
+/// their true gaps instead of zeros.
+GeneralizerResult generalize_batch(
+    const std::vector<xplain::PipelineResult>& results,
+    const GrammarOptions& grammar = {}, bool normalize_gap = true);
+
+/// Prebuilt factories for the paper's two running examples (defined in the
+/// cases layer; link xplain_cases to use them).
 CaseFactory dp_case_factory(DpInstanceGenerator gen = DpInstanceGenerator{});
 CaseFactory vbp_case_factory(VbpInstanceGenerator gen = VbpInstanceGenerator{});
 

@@ -52,6 +52,13 @@ struct GenerationTrace {
   int analyzer_calls = 0;
   long gap_evaluations = 0;   // approximate (sampling only)
   int rejected_insignificant = 0;
+
+  GenerationTrace& operator+=(const GenerationTrace& o) {
+    analyzer_calls += o.analyzer_calls;
+    gap_evaluations += o.gap_evaluations;
+    rejected_insignificant += o.rejected_insignificant;
+    return *this;
+  }
 };
 
 class SubspaceGenerator {

@@ -1,0 +1,76 @@
+#include "xplain/case.h"
+
+#include "analyzer/search_analyzer.h"
+
+namespace xplain {
+
+std::unique_ptr<analyzer::HeuristicAnalyzer> HeuristicCase::make_analyzer(
+    std::uint64_t seed_salt) const {
+  analyzer::SearchOptions opts;
+  opts.seed += seed_salt;
+  return std::make_unique<analyzer::SearchAnalyzer>(opts);
+}
+
+analyzer::Box HeuristicCase::input_box() const {
+  return make_evaluator()->input_box();
+}
+
+std::vector<std::string> HeuristicCase::dim_names() const {
+  return make_evaluator()->dim_names();
+}
+
+bool CaseRegistry::add(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.emplace(name, std::move(factory)).second;
+}
+
+std::shared_ptr<const HeuristicCase> CaseRegistry::find(
+    const std::string& name) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (auto it = cache_.find(name); it != cache_.end()) return it->second;
+  auto it = factories_.find(name);
+  if (it == factories_.end()) return nullptr;
+  Factory factory = it->second;
+  // Build outside the lock: factories construct networks and may log.
+  lock.unlock();
+  std::shared_ptr<const HeuristicCase> built = factory();
+  lock.lock();
+  return cache_.emplace(name, std::move(built)).first->second;  // first wins
+}
+
+std::shared_ptr<HeuristicCase> CaseRegistry::create(
+    const std::string& name) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) return nullptr;
+    factory = it->second;
+  }
+  return factory();
+}
+
+bool CaseRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> CaseRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+CaseRegistry& registry() {
+  static CaseRegistry* instance = new CaseRegistry();
+  return *instance;
+}
+
+CaseRegistrar::CaseRegistrar(const std::string& name,
+                             CaseRegistry::Factory factory) {
+  registry().add(name, std::move(factory));
+}
+
+}  // namespace xplain

@@ -1,0 +1,102 @@
+// HeuristicCase: the pluggable unit the XPlain pipeline runs on.
+//
+// A case bundles everything the Fig. 3 pipeline needs to know about one
+// (heuristic, benchmark, problem instance) study:
+//   * the input space it searches (a Box plus human-readable dim names),
+//   * a GapEvaluator factory (heuristic-vs-benchmark gap at a point),
+//   * a default HeuristicAnalyzer factory (pattern search unless the case
+//     overrides it with something exact),
+//   * the DSL FlowNetwork Type-2 heatmaps are rendered on,
+//   * a FlowOracle producing (heuristic, benchmark) edge flows per sample,
+//   * instance features + a gap scale feeding Type-3 generalization.
+//
+// The core layers (analyzer, subspace, explain, xplain) know nothing about
+// concrete heuristics: cases adapt themselves to the evaluator interface
+// and register in the process-wide CaseRegistry, so new heuristics plug in
+// without touching src/xplain, src/analyzer or src/subspace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analyzer/analyzer.h"
+#include "explain/explainer.h"
+
+namespace xplain {
+
+class HeuristicCase {
+ public:
+  virtual ~HeuristicCase() = default;
+
+  /// Registry key, e.g. "demand_pinning" / "first_fit" / "best_fit".
+  virtual std::string name() const = 0;
+  /// One-line human description (listings, README-style output).
+  virtual std::string description() const { return {}; }
+
+  /// Fresh gap evaluator for this case's instance.
+  virtual std::unique_ptr<analyzer::GapEvaluator> make_evaluator() const = 0;
+
+  /// Analyzer the pipeline uses; defaults to the scalable pattern search.
+  /// `seed_salt` decorrelates stochastic analyzers across batched instances
+  /// (run_batch derives it from the instance index); deterministic
+  /// analyzers may ignore it.
+  virtual std::unique_ptr<analyzer::HeuristicAnalyzer> make_analyzer(
+      std::uint64_t seed_salt = 0) const;
+
+  /// The DSL network explanations are scored on. Owned by the case.
+  virtual const flowgraph::FlowNetwork& network() const = 0;
+
+  /// Type-2 oracle. May capture `this`; the case must outlive the oracle.
+  virtual explain::FlowOracle make_oracle() const = 0;
+
+  /// Input-space description; defaults delegate to a fresh evaluator.
+  virtual analyzer::Box input_box() const;
+  virtual std::vector<std::string> dim_names() const;
+
+  /// Instance features for Type-3 generalization (empty: not generalizable).
+  virtual std::map<std::string, double> features() const { return {}; }
+  /// Gaps are divided by this when normalizing across instances.
+  virtual double gap_scale() const { return 1.0; }
+};
+
+/// Process-wide name -> case factory map.  Thread-safe: run_batch workers
+/// may look cases up concurrently.
+class CaseRegistry {
+ public:
+  using Factory = std::function<std::shared_ptr<HeuristicCase>()>;
+
+  /// Registers a factory; returns false (keeping the existing entry) when
+  /// the name is already taken.
+  bool add(const std::string& name, Factory factory);
+
+  /// The default-configured case for `name`, built lazily and cached;
+  /// nullptr when unknown.
+  std::shared_ptr<const HeuristicCase> find(const std::string& name);
+
+  /// A fresh, uncached instance; nullptr when unknown.
+  std::shared_ptr<HeuristicCase> create(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Factory> factories_;
+  std::map<std::string, std::shared_ptr<const HeuristicCase>> cache_;
+};
+
+/// The process-wide registry the built-in cases register into.
+CaseRegistry& registry();
+
+/// Registers at static-initialization time:
+///   static CaseRegistrar reg("my_case", [] { return std::make_shared<...>(); });
+struct CaseRegistrar {
+  CaseRegistrar(const std::string& name, CaseRegistry::Factory factory);
+};
+
+}  // namespace xplain

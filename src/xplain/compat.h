@@ -1,0 +1,40 @@
+// Deprecated pre-CaseRegistry entry points, kept as thin shims over the
+// cases layer so out-of-tree callers of run_dp_pipeline / run_ff_pipeline
+// keep compiling.  This is the ONLY core header allowed to include te/ or
+// vbp/ (tools/check_layering.sh pins that); everything else goes through
+// the HeuristicCase API in xplain/case.h.
+//
+// Definitions live in src/cases/compat.cpp: the core xplain library itself
+// has no dependency on the concrete case studies.
+#pragma once
+
+#include "te/demand_pinning.h"
+#include "vbp/ff_model.h"
+#include "xplain/pipeline.h"
+
+namespace xplain {
+
+/// Deprecated: use run_pipeline(*registry().find("demand_pinning")) or
+/// construct a cases::DpCase for a custom instance.
+struct DpPipelineOutput {
+  PipelineResult result;
+  te::DpNetwork network;
+};
+[[deprecated(
+    "use run_pipeline(*registry().find(\"demand_pinning\")) or cases::DpCase")]]
+DpPipelineOutput run_dp_pipeline(const te::TeInstance& inst,
+                                 const te::DpConfig& cfg,
+                                 const PipelineOptions& opts = {});
+
+/// Deprecated: use run_pipeline(*registry().find("first_fit")) or construct
+/// a cases::VbpCase for a custom instance.
+struct FfPipelineOutput {
+  PipelineResult result;
+  vbp::FfNetwork network;
+};
+[[deprecated(
+    "use run_pipeline(*registry().find(\"first_fit\")) or cases::VbpCase")]]
+FfPipelineOutput run_ff_pipeline(const vbp::VbpInstance& inst,
+                                 const PipelineOptions& opts = {});
+
+}  // namespace xplain

@@ -1,9 +1,78 @@
 #include "xplain/pipeline.h"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace xplain {
+
+namespace {
+
+/// Decorates an analyzer to accumulate the wall time spent inside
+/// find_adversarial (so the generator's total splits into analyze vs
+/// subspace-construction time) and the best gap observed (so Type-3 sees
+/// the raw analyzer signal even when every subspace is later rejected).
+class TimedAnalyzer : public analyzer::HeuristicAnalyzer {
+ public:
+  TimedAnalyzer(analyzer::HeuristicAnalyzer& inner, double& accum,
+                double& best_gap)
+      : inner_(inner), accum_(accum), best_gap_(best_gap) {}
+
+  std::optional<analyzer::AdversarialExample> find_adversarial(
+      const analyzer::GapEvaluator& eval, double min_gap,
+      const std::vector<analyzer::Box>& excluded) override {
+    util::Timer timer;
+    auto out = inner_.find_adversarial(eval, min_gap, excluded);
+    accum_ += timer.seconds();
+    if (out) best_gap_ = std::max(best_gap_, out->gap);
+    return out;
+  }
+
+  std::string name() const override { return inner_.name(); }
+
+ private:
+  analyzer::HeuristicAnalyzer& inner_;
+  double& accum_;
+  double& best_gap_;
+};
+
+/// Offsets every RNG stream by the instance index so batched instances are
+/// decorrelated while staying a pure function of (index, base options).
+PipelineOptions reseed(PipelineOptions opts, int index) {
+  const std::uint64_t salt = 0x9E3779B97F4A7C15ull * (index + 1);
+  opts.seed_salt = salt;  // consumed by HeuristicCase::make_analyzer
+  opts.subspace.seed += salt;
+  opts.subspace.significance.seed += salt;
+  opts.explain.seed += salt;
+  return opts;
+}
+
+}  // namespace
+
+StageTimes& StageTimes::operator+=(const StageTimes& o) {
+  compile_seconds += o.compile_seconds;
+  analyze_seconds += o.analyze_seconds;
+  subspace_seconds += o.subspace_seconds;
+  explain_seconds += o.explain_seconds;
+  return *this;
+}
+
+double PipelineResult::max_gap() const {
+  double g = 0.0;
+  for (const auto& s : subspaces) g = std::max(g, s.seed_gap);
+  return g;
+}
+
+int BatchResult::total_subspaces() const {
+  int n = 0;
+  for (const auto& r : results) n += static_cast<int>(r.subspaces.size());
+  return n;
+}
 
 PipelineResult run_pipeline(const analyzer::GapEvaluator& eval,
                             analyzer::HeuristicAnalyzer& an,
@@ -13,14 +82,23 @@ PipelineResult run_pipeline(const analyzer::GapEvaluator& eval,
   util::Timer timer;
   PipelineResult out;
 
-  subspace::SubspaceGenerator gen(an, opts.subspace);
-  out.subspaces = gen.generate(eval, opts.min_gap);
+  TimedAnalyzer timed(an, out.stages.analyze_seconds, out.best_gap_found);
+  subspace::SubspaceGenerator gen(timed, opts.subspace);
+  {
+    util::Timer stage;
+    out.subspaces = gen.generate(eval, opts.min_gap);
+    out.stages.subspace_seconds = stage.seconds() - out.stages.analyze_seconds;
+  }
   out.trace = gen.trace();
 
-  out.explanations.reserve(out.subspaces.size());
-  for (const auto& sub : out.subspaces) {
-    out.explanations.push_back(
-        explain::explain_subspace(eval, sub.region, net, oracle, opts.explain));
+  {
+    util::Timer stage;
+    out.explanations.reserve(out.subspaces.size());
+    for (const auto& sub : out.subspaces) {
+      out.explanations.push_back(explain::explain_subspace(
+          eval, sub.region, net, oracle, opts.explain));
+    }
+    out.stages.explain_seconds = stage.seconds();
   }
   out.wall_seconds = timer.seconds();
   XPLAIN_INFO << "pipeline: " << out.subspaces.size() << " subspaces in "
@@ -28,26 +106,74 @@ PipelineResult run_pipeline(const analyzer::GapEvaluator& eval,
   return out;
 }
 
-DpPipelineOutput run_dp_pipeline(const te::TeInstance& inst,
-                                 const te::DpConfig& cfg,
-                                 const PipelineOptions& opts) {
-  DpPipelineOutput out;
-  out.network = te::build_dp_network(inst);
-  analyzer::DpGapEvaluator eval(inst, cfg);
-  analyzer::SearchAnalyzer an;
-  auto oracle = explain::make_dp_oracle(out.network, inst, cfg);
-  out.result = run_pipeline(eval, an, out.network.net, oracle, opts);
+PipelineResult run_pipeline(const HeuristicCase& c,
+                            const PipelineOptions& opts) {
+  util::Timer timer;
+
+  util::Timer compile;
+  auto eval = c.make_evaluator();
+  auto an = c.make_analyzer(opts.seed_salt);
+  const flowgraph::FlowNetwork& net = c.network();
+  auto oracle = c.make_oracle();
+  const double compile_seconds = compile.seconds();
+
+  PipelineResult out = run_pipeline(*eval, *an, net, oracle, opts);
+  out.case_name = c.name();
+  out.stages.compile_seconds = compile_seconds;
+  out.features = c.features();
+  out.gap_scale = c.gap_scale();
+  out.wall_seconds = timer.seconds();
   return out;
 }
 
-FfPipelineOutput run_ff_pipeline(const vbp::VbpInstance& inst,
-                                 const PipelineOptions& opts) {
-  FfPipelineOutput out;
-  out.network = vbp::build_ff_network(inst);
-  analyzer::VbpGapEvaluator eval(inst);
-  analyzer::SearchAnalyzer an;
-  auto oracle = explain::make_ff_oracle(out.network, inst);
-  out.result = run_pipeline(eval, an, out.network.net, oracle, opts);
+BatchResult run_batch(const CaseList& cases, const PipelineOptions& opts,
+                      const BatchOptions& batch) {
+  util::Timer timer;
+  BatchResult out;
+  out.results.resize(cases.size());
+
+  std::atomic<std::size_t> next{0};
+  // First exception wins and stops further scheduling; rethrown after the
+  // join so a throwing case behaves the same for any worker count.
+  std::exception_ptr error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < cases.size();
+         i = next.fetch_add(1)) {
+      if (!cases[i]) continue;
+      try {
+        out.results[i] = run_pipeline(
+            *cases[i], batch.reseed_per_instance
+                           ? reseed(opts, static_cast<int>(i))
+                           : opts);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        next.store(cases.size());
+      }
+    }
+  };
+
+  const int workers = std::max(
+      1, std::min<int>(batch.workers, static_cast<int>(cases.size())));
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  if (error) std::rethrow_exception(error);
+
+  for (const auto& r : out.results) {
+    out.trace += r.trace;
+    out.stages += r.stages;
+  }
+  out.wall_seconds = timer.seconds();
+  XPLAIN_INFO << "batch: " << cases.size() << " instances, "
+              << out.total_subspaces() << " subspaces, " << workers
+              << " workers, " << out.wall_seconds << "s";
   return out;
 }
 

@@ -3,18 +3,25 @@
 //   DSL --compile--> Heuristic Analyzer --example--> Adversarial Subspace
 //   Generator --subspaces--> Significance Checker --Type 1--> Explainer
 //   --Type 2-->  (and, across instances, Instance Generator + Generalizer
-//   --Type 3--, exposed separately in src/generalize).
+//   --Type 3--, exposed in src/generalize and fed by run_batch).
 //
-// Convenience runners wrap the paper's two case studies; the generic
-// `run()` works for any user-supplied evaluator/analyzer/network/oracle.
+// Two entry points:
+//   * run_pipeline(case)  — any HeuristicCase, typically obtained from the
+//     CaseRegistry: run_pipeline(*registry().find("demand_pinning"));
+//   * run_batch(cases)    — fans a vector of case instances across a worker
+//     pool and merges the per-instance results deterministically.
+// The low-level evaluator/analyzer/network/oracle overload remains for
+// callers assembling pieces by hand.
 #pragma once
 
 #include <memory>
+#include <string>
+#include <vector>
 
-#include "analyzer/search_analyzer.h"
 #include "explain/explainer.h"
 #include "explain/heatmap.h"
 #include "subspace/subspace_generator.h"
+#include "xplain/case.h"
 
 namespace xplain {
 
@@ -22,41 +29,92 @@ struct PipelineOptions {
   double min_gap = 1.0;
   subspace::SubspaceOptions subspace;
   explain::ExplainOptions explain;
+  /// Passed to HeuristicCase::make_analyzer to decorrelate stochastic
+  /// analyzers; run_batch overwrites it per instance (from the index).
+  std::uint64_t seed_salt = 0;
+};
+
+/// Per-stage wall-clock breakdown of one pipeline run.
+struct StageTimes {
+  double compile_seconds = 0.0;   // case -> evaluator/analyzer/oracle
+  double analyze_seconds = 0.0;   // inside HeuristicAnalyzer::find_adversarial
+  double subspace_seconds = 0.0;  // expansion + tree + significance
+  double explain_seconds = 0.0;   // Type-2 sampling
+
+  double total() const {
+    return compile_seconds + analyze_seconds + subspace_seconds +
+           explain_seconds;
+  }
+  StageTimes& operator+=(const StageTimes& o);
 };
 
 struct PipelineResult {
+  /// The case's self-reported name() — not necessarily the key it was
+  /// registered or looked up under; empty for the low-level overload.
+  std::string case_name;
   /// Type 1: validated adversarial subspaces.
   std::vector<subspace::AdversarialSubspace> subspaces;
   /// Type 2: one per subspace, aligned by index.
   std::vector<explain::Explanation> explanations;
   subspace::GenerationTrace trace;
+  StageTimes stages;
   double wall_seconds = 0.0;
+  /// Type-3 feed: the case's instance features and gap normalization.
+  std::map<std::string, double> features;
+  double gap_scale = 1.0;
+
+  /// Largest adversarial gap the analyzer reported, including examples
+  /// whose subspaces were later rejected as insignificant.  Still 0 when
+  /// the analyzer found nothing at opts.min_gap — Type-3 sweeps should run
+  /// with a low min_gap so weak instances contribute their true gaps.
+  double best_gap_found = 0.0;
+
+  /// Largest seed gap across *validated* subspaces (0 when none).
+  double max_gap() const;
 };
 
-/// Generic pipeline over any heuristic modeled in the DSL.
+/// Runs the pipeline on any heuristic case.
+PipelineResult run_pipeline(const HeuristicCase& c,
+                            const PipelineOptions& opts = {});
+
+/// Low-level: pipeline over hand-assembled pieces.
 PipelineResult run_pipeline(const analyzer::GapEvaluator& eval,
                             analyzer::HeuristicAnalyzer& an,
                             const flowgraph::FlowNetwork& net,
                             const explain::FlowOracle& oracle,
                             const PipelineOptions& opts = {});
 
-/// Demand Pinning case study (Fig. 4a): builds the DSL network, runs the
-/// pattern-search analyzer, returns the result plus the network for
-/// rendering.
-struct DpPipelineOutput {
-  PipelineResult result;
-  te::DpNetwork network;
-};
-DpPipelineOutput run_dp_pipeline(const te::TeInstance& inst,
-                                 const te::DpConfig& cfg,
-                                 const PipelineOptions& opts = {});
+// --- Batched driver. ---
 
-/// First-Fit VBP case study (Fig. 4b).
-struct FfPipelineOutput {
-  PipelineResult result;
-  vbp::FfNetwork network;
+struct BatchOptions {
+  /// Worker threads; 1 degenerates to the sequential loop.
+  int workers = 4;
+  /// Decorrelate the per-instance RNG streams by deriving every seed from
+  /// the instance index (deterministically — results are identical for any
+  /// worker count).  Off: every instance uses opts' seeds verbatim.
+  bool reseed_per_instance = true;
 };
-FfPipelineOutput run_ff_pipeline(const vbp::VbpInstance& inst,
-                                 const PipelineOptions& opts = {});
+
+struct BatchResult {
+  /// Per-instance results, in input order regardless of worker scheduling.
+  std::vector<PipelineResult> results;
+  /// Merged accounting across instances.
+  subspace::GenerationTrace trace;
+  StageTimes stages;
+  double wall_seconds = 0.0;
+
+  int total_subspaces() const;
+};
+
+using CaseList = std::vector<std::shared_ptr<const HeuristicCase>>;
+
+/// Runs `opts`-configured pipelines over every case in `cases` on a worker
+/// pool.  Deterministic: results[i] depends only on (cases[i], opts, i).
+BatchResult run_batch(const CaseList& cases, const PipelineOptions& opts = {},
+                      const BatchOptions& batch = {});
 
 }  // namespace xplain
+
+// Deprecated DP/FF convenience runners (pre-CaseRegistry API), kept so
+// out-of-tree callers compile.  New code: registry().find("demand_pinning").
+#include "xplain/compat.h"

@@ -4,11 +4,19 @@
 
 #include <cmath>
 
-#include "analyzer/dp_milp_analyzer.h"
-#include "analyzer/ff_milp_analyzer.h"
 #include "analyzer/search_analyzer.h"
+#include "cases/dp_case.h"
+#include "cases/dp_milp_analyzer.h"
+#include "cases/ff_case.h"
+#include "cases/ff_milp_analyzer.h"
+#include "vbp/optimal.h"
 
 using namespace xplain::analyzer;
+using xplain::cases::DpGapEvaluator;
+using xplain::cases::DpMilpAnalyzer;
+using xplain::cases::DpMilpOptions;
+using xplain::cases::FfMilpAnalyzer;
+using xplain::cases::VbpGapEvaluator;
 namespace te = xplain::te;
 namespace vbp = xplain::vbp;
 
@@ -161,8 +169,9 @@ TEST(DpMilp, ExclusionForcesNewRegion) {
   for (auto& v : around.lo) v -= 20.0;
   for (auto& v : around.hi) v += 20.0;
   auto second = an.find_adversarial(eval, 10.0, {around});
-  if (second.has_value())
+  if (second.has_value()) {
     EXPECT_FALSE(around.contains(second->input, 1e-9));
+  }
 }
 
 TEST(FfMilp, FindsOneExtraBinOn4Balls3Bins) {

@@ -1,0 +1,87 @@
+// Box geometry edge cases (satellite of the HeuristicCase redesign):
+// empty intersections, boundary tolerance, zero-volume boxes.
+#include <gtest/gtest.h>
+
+#include "analyzer/evaluator.h"
+
+using xplain::analyzer::Box;
+
+TEST(BoxGeometry, IntersectDisjointIsEmpty) {
+  Box a{{0, 0}, {1, 1}};
+  Box b{{2, 2}, {3, 3}};
+  auto c = a.intersect(b);
+  EXPECT_TRUE(c.empty());
+  EXPECT_DOUBLE_EQ(c.volume(), 0.0);
+}
+
+TEST(BoxGeometry, IntersectPartialOverlapPerDimension) {
+  // Overlaps in dim 0 but not in dim 1: still empty.
+  Box a{{0, 0}, {2, 1}};
+  Box b{{1, 5}, {3, 6}};
+  auto c = a.intersect(b);
+  EXPECT_TRUE(c.empty());
+  // The overlapping dimension is still computed correctly.
+  EXPECT_DOUBLE_EQ(c.lo[0], 1.0);
+  EXPECT_DOUBLE_EQ(c.hi[0], 2.0);
+}
+
+TEST(BoxGeometry, IntersectTouchingFacesIsZeroVolumeNotEmpty) {
+  // Shared face: lo == hi in one dimension — a degenerate but non-empty box.
+  Box a{{0, 0}, {1, 1}};
+  Box b{{1, 0}, {2, 1}};
+  auto c = a.intersect(b);
+  EXPECT_FALSE(c.empty());
+  EXPECT_DOUBLE_EQ(c.volume(), 0.0);
+  EXPECT_TRUE(c.contains({1.0, 0.5}));
+}
+
+TEST(BoxGeometry, ContainsToleranceAtBoundary) {
+  Box a{{0, 0}, {1, 1}};
+  EXPECT_TRUE(a.contains({1.0, 1.0}));           // boundary is inside
+  EXPECT_FALSE(a.contains({1.0 + 1e-9, 0.5}));   // just outside, no tol
+  EXPECT_TRUE(a.contains({1.0 + 1e-9, 0.5}, 1e-8));   // inside with tol
+  EXPECT_FALSE(a.contains({1.0 + 1e-7, 0.5}, 1e-8));  // beyond tol
+  EXPECT_TRUE(a.contains({-1e-9, 0.5}, 1e-8));        // low side symmetric
+}
+
+TEST(BoxGeometry, ContainsRejectsDimensionMismatch) {
+  Box a{{0, 0}, {1, 1}};
+  EXPECT_FALSE(a.contains({0.5}));
+  EXPECT_FALSE(a.contains({0.5, 0.5, 0.5}));
+}
+
+TEST(BoxGeometry, ZeroVolumeBoxBehaves) {
+  // A point box: contains exactly itself, zero volume, center == the point.
+  Box p{{0.5, 0.5}, {0.5, 0.5}};
+  EXPECT_FALSE(p.empty());
+  EXPECT_DOUBLE_EQ(p.volume(), 0.0);
+  EXPECT_TRUE(p.contains({0.5, 0.5}));
+  EXPECT_FALSE(p.contains({0.5, 0.500001}));
+  auto c = p.center();
+  EXPECT_DOUBLE_EQ(c[0], 0.5);
+  EXPECT_DOUBLE_EQ(c[1], 0.5);
+}
+
+TEST(BoxGeometry, EmptyZeroDimBox) {
+  // The default box has no dimensions: empty by convention.
+  Box none;
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(none.dim(), 0);
+  // Volume of the empty product is 1.0 by convention, but it is unusable:
+  // contains() rejects every point of positive dimension.
+  EXPECT_FALSE(none.contains({0.0}));
+}
+
+TEST(BoxGeometry, IntersectWithSelfIsIdentity) {
+  Box a{{0, 1, 2}, {3, 4, 5}};
+  auto c = a.intersect(a);
+  EXPECT_EQ(c.lo, a.lo);
+  EXPECT_EQ(c.hi, a.hi);
+  EXPECT_DOUBLE_EQ(c.volume(), a.volume());
+}
+
+TEST(BoxGeometry, InvertedBoxIsEmptyAndVolumeClamps) {
+  Box inv{{1, 0}, {0, 1}};  // lo > hi in dim 0
+  EXPECT_TRUE(inv.empty());
+  EXPECT_DOUBLE_EQ(inv.volume(), 0.0);  // negative extents clamp to 0
+}

@@ -1,0 +1,91 @@
+// CaseRegistry semantics (satellite of the HeuristicCase redesign):
+// built-in registrations, duplicate handling, unknown lookups, and the
+// case-level input-space description.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cases/bf_case.h"
+#include "cases/dp_case.h"
+#include "cases/ff_case.h"
+#include "xplain/case.h"
+
+using namespace xplain;
+
+TEST(CaseRegistry, BuiltInCasesAreRegistered) {
+  auto names = registry().names();
+  for (const char* expected : {"demand_pinning", "first_fit", "best_fit"}) {
+    EXPECT_TRUE(std::find(names.begin(), names.end(), expected) != names.end())
+        << expected << " missing from registry";
+    EXPECT_TRUE(registry().contains(expected));
+  }
+}
+
+TEST(CaseRegistry, FindReturnsWorkingCachedCase) {
+  auto c = registry().find("demand_pinning");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->name(), "demand_pinning");
+  EXPECT_GT(c->network().num_edges(), 0);
+  auto eval = c->make_evaluator();
+  ASSERT_NE(eval, nullptr);
+  EXPECT_EQ(eval->dim(), 3);  // Fig. 1a default
+  // find() caches the default instance.
+  EXPECT_EQ(c.get(), registry().find("demand_pinning").get());
+  // create() hands out fresh instances instead.
+  auto fresh = registry().create("demand_pinning");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_NE(c.get(), fresh.get());
+}
+
+TEST(CaseRegistry, UnknownNameLookupIsNull) {
+  EXPECT_EQ(registry().find("no_such_heuristic"), nullptr);
+  EXPECT_EQ(registry().create("no_such_heuristic"), nullptr);
+  EXPECT_FALSE(registry().contains("no_such_heuristic"));
+}
+
+TEST(CaseRegistry, DuplicateRegistrationIsRejected) {
+  ASSERT_TRUE(registry().contains("best_fit"));
+  const auto before = registry().find("best_fit");
+  // Re-registering an existing name fails and keeps the original factory.
+  const bool added = registry().add(
+      "best_fit", [] { return cases::DpCase::fig1a(); });
+  EXPECT_FALSE(added);
+  auto after = registry().create("best_fit");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->name(), "best_fit");  // still the Best-Fit case
+  EXPECT_EQ(before.get(), registry().find("best_fit").get());
+}
+
+TEST(CaseRegistry, UserCasesPlugIn) {
+  // The extension path: register a custom configuration under a new name.
+  const std::string name = "ffd_5_balls_test_only";
+  const bool added = registry().add(name, [] {
+    vbp::VbpInstance inst;
+    inst.num_balls = 5;
+    inst.num_bins = 4;
+    inst.dims = 1;
+    inst.capacity = 1.0;
+    return std::make_shared<cases::VbpCase>(
+        inst, vbp::VbpHeuristic::kFirstFitDecreasing);
+  });
+  EXPECT_TRUE(added);
+  auto c = registry().find(name);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->name(), "first_fit_decreasing");
+  EXPECT_EQ(c->make_evaluator()->dim(), 5);
+}
+
+TEST(HeuristicCase, InputSpaceDescription) {
+  auto c = registry().find("best_fit");
+  ASSERT_NE(c, nullptr);
+  auto box = c->input_box();
+  auto names = c->dim_names();
+  EXPECT_EQ(box.dim(), 4);
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "Y[0]");
+  EXPECT_DOUBLE_EQ(box.lo[0], 0.0);
+  EXPECT_DOUBLE_EQ(box.hi[0], 1.0);
+  // Features feed the Type-3 generalizer.
+  auto f = c->features();
+  EXPECT_EQ(f.at("num_balls"), 4.0);
+}

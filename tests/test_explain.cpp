@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "cases/dp_case.h"
+#include "cases/ff_case.h"
 #include "explain/explainer.h"
 #include "explain/heatmap.h"
 
@@ -32,8 +34,8 @@ TEST(Explainer, Fig4aSignPattern) {
   auto inst = te::TeInstance::fig1a_example();
   te::DpConfig cfg{50.0};
   auto dp = te::build_dp_network(inst);
-  analyzer::DpGapEvaluator eval(inst, cfg);
-  auto oracle = make_dp_oracle(dp, inst, cfg);
+  cases::DpGapEvaluator eval(inst, cfg);
+  auto oracle = cases::make_dp_oracle(dp, inst, cfg);
 
   ExplainOptions opts;
   opts.samples = 400;  // plenty for a sign check
@@ -65,8 +67,8 @@ TEST(Explainer, Fig4bCascadePattern) {
   inst.dims = 1;
   inst.capacity = 1.0;
   auto ffn = vbp::build_ff_network(inst);
-  analyzer::VbpGapEvaluator eval(inst);
-  auto oracle = make_ff_oracle(ffn, inst);
+  cases::VbpGapEvaluator eval(inst);
+  auto oracle = cases::make_ff_oracle(ffn, inst);
 
   // Around the paper's 1%,49%,51%,51% adversarial instance.
   subspace::Polytope region;
@@ -93,7 +95,7 @@ TEST(Explainer, InfeasiblePointsAreSkipped) {
   auto inst = te::TeInstance::fig1a_example();
   te::DpConfig cfg{50.0};
   auto dp = te::build_dp_network(inst);
-  analyzer::DpGapEvaluator eval(inst, cfg);
+  cases::DpGapEvaluator eval(inst, cfg);
   int calls = 0;
   FlowOracle flaky = [&](const std::vector<double>& x,
                          std::vector<double>& h, std::vector<double>& b) {
@@ -115,8 +117,8 @@ TEST(Heatmap, TextCsvAndDotRender) {
   auto inst = te::TeInstance::fig1a_example();
   te::DpConfig cfg{50.0};
   auto dp = te::build_dp_network(inst);
-  analyzer::DpGapEvaluator eval(inst, cfg);
-  auto oracle = make_dp_oracle(dp, inst, cfg);
+  cases::DpGapEvaluator eval(inst, cfg);
+  auto oracle = cases::make_dp_oracle(dp, inst, cfg);
   ExplainOptions opts;
   opts.samples = 100;
   auto ex = explain_subspace(eval, fig1a_hot_region(), dp.net, oracle, opts);

@@ -1,22 +1,27 @@
-// End-to-end pipeline tests (Fig. 3 wiring): both case studies produce
-// significant subspaces with coherent explanations.
+// End-to-end pipeline tests (Fig. 3 wiring) through the HeuristicCase API:
+// all three registered case studies produce significant subspaces with
+// coherent explanations, stage timings are populated, and the deprecated
+// DP/FF shims still work.
 #include <gtest/gtest.h>
 
+#include "cases/dp_case.h"
 #include "xplain/pipeline.h"
 
 using namespace xplain;
 
-TEST(Pipeline, DpEndToEnd) {
-  auto inst = te::TeInstance::fig1a_example();
+TEST(Pipeline, DpEndToEndViaRegistry) {
+  auto c = registry().find("demand_pinning");
+  ASSERT_NE(c, nullptr);
   PipelineOptions opts;
   opts.min_gap = 40.0;
   opts.subspace.max_subspaces = 2;
   opts.explain.samples = 250;
-  auto out = run_dp_pipeline(inst, te::DpConfig{50.0}, opts);
+  auto result = run_pipeline(*c, opts);
 
-  ASSERT_GE(out.result.subspaces.size(), 1u);
-  ASSERT_EQ(out.result.explanations.size(), out.result.subspaces.size());
-  const auto& sub = out.result.subspaces[0];
+  EXPECT_EQ(result.case_name, "demand_pinning");
+  ASSERT_GE(result.subspaces.size(), 1u);
+  ASSERT_EQ(result.explanations.size(), result.subspaces.size());
+  const auto& sub = result.subspaces[0];
   EXPECT_TRUE(sub.significant);
   EXPECT_LT(sub.p_value, 0.05);
   EXPECT_GE(sub.seed_gap, 40.0);
@@ -27,7 +32,7 @@ TEST(Pipeline, DpEndToEnd) {
   EXPECT_LE(sub.region.box.lo[0], 50.0 + 1e-6);
 
   // Type-2 sanity: somewhere the benchmark-only signal exists.
-  const auto& ex = out.result.explanations[0];
+  const auto& ex = result.explanations[0];
   double max_heat = -1, min_heat = 1;
   for (const auto& e : ex.edges) {
     max_heat = std::max(max_heat, e.heat);
@@ -35,35 +40,96 @@ TEST(Pipeline, DpEndToEnd) {
   }
   EXPECT_GT(max_heat, 0.3) << "some edge must be benchmark-preferred";
   EXPECT_LT(min_heat, -0.3) << "some edge must be heuristic-only";
-  EXPECT_GT(out.result.wall_seconds, 0.0);
+  EXPECT_GT(result.wall_seconds, 0.0);
 }
 
-TEST(Pipeline, FfEndToEnd) {
-  vbp::VbpInstance inst;
-  inst.num_balls = 4;
-  inst.num_bins = 3;
-  inst.dims = 1;
-  inst.capacity = 1.0;
+TEST(Pipeline, FfEndToEndViaRegistry) {
+  auto c = registry().find("first_fit");
+  ASSERT_NE(c, nullptr);
   PipelineOptions opts;
   opts.min_gap = 1.0;
   opts.subspace.max_subspaces = 2;
   opts.explain.samples = 200;
-  auto out = run_ff_pipeline(inst, opts);
+  auto result = run_pipeline(*c, opts);
 
-  ASSERT_GE(out.result.subspaces.size(), 1u);
-  const auto& sub = out.result.subspaces[0];
+  ASSERT_GE(result.subspaces.size(), 1u);
+  const auto& sub = result.subspaces[0];
   EXPECT_TRUE(sub.significant);
   EXPECT_GE(sub.seed_gap, 1.0);  // at least one extra bin
-  EXPECT_GE(out.result.explanations[0].samples_used, 50);
+  EXPECT_GE(result.explanations[0].samples_used, 50);
 }
 
-TEST(Pipeline, TraceAccountsForWork) {
+TEST(Pipeline, BestFitThirdCaseEndToEnd) {
+  // The extensibility acceptance: Best-Fit runs through the identical
+  // pipeline, purely via its registration in src/cases/bf_case.cpp.
+  auto c = registry().find("best_fit");
+  ASSERT_NE(c, nullptr);
+  PipelineOptions opts;
+  opts.min_gap = 1.0;
+  opts.subspace.max_subspaces = 2;
+  opts.explain.samples = 200;
+  auto result = run_pipeline(*c, opts);
+
+  ASSERT_GE(result.subspaces.size(), 1u);
+  EXPECT_TRUE(result.subspaces[0].significant);
+  EXPECT_GE(result.subspaces[0].seed_gap, 1.0);
+  ASSERT_EQ(result.explanations.size(), result.subspaces.size());
+  EXPECT_GE(result.explanations[0].samples_used, 50);
+}
+
+TEST(Pipeline, StageTimesArePopulated) {
+  auto c = registry().find("demand_pinning");
+  ASSERT_NE(c, nullptr);
+  PipelineOptions opts;
+  opts.min_gap = 40.0;
+  opts.subspace.max_subspaces = 1;
+  opts.explain.samples = 50;
+  auto result = run_pipeline(*c, opts);
+  EXPECT_GE(result.trace.analyzer_calls, 1);
+  EXPECT_GT(result.trace.gap_evaluations, 100);
+  EXPECT_GT(result.stages.analyze_seconds, 0.0);
+  EXPECT_GT(result.stages.subspace_seconds, 0.0);
+  EXPECT_GT(result.stages.explain_seconds, 0.0);
+  EXPECT_LE(result.stages.total(), result.wall_seconds + 1e-6);
+}
+
+TEST(Pipeline, CustomCaseInstanceWithoutRegistry) {
+  // Cases are plain objects too: a custom instance bypasses the registry.
+  auto inst = te::TeInstance::fig1a_example();
+  cases::DpCase c(inst, te::DpConfig{50.0});
+  PipelineOptions opts;
+  opts.min_gap = 40.0;
+  opts.subspace.max_subspaces = 1;
+  opts.explain.samples = 100;
+  auto result = run_pipeline(c, opts);
+  ASSERT_GE(result.subspaces.size(), 1u);
+  EXPECT_FALSE(result.features.empty());
+  EXPECT_DOUBLE_EQ(result.gap_scale, inst.d_max);
+}
+
+// The shims are [[deprecated]] by design; this test is their one sanctioned
+// caller.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(PipelineCompat, DeprecatedDpFfShimsStillRun) {
   auto inst = te::TeInstance::fig1a_example();
   PipelineOptions opts;
   opts.min_gap = 40.0;
   opts.subspace.max_subspaces = 1;
   opts.explain.samples = 50;
-  auto out = run_dp_pipeline(inst, te::DpConfig{50.0}, opts);
-  EXPECT_GE(out.result.trace.analyzer_calls, 1);
-  EXPECT_GT(out.result.trace.gap_evaluations, 100);
+  auto dp = run_dp_pipeline(inst, te::DpConfig{50.0}, opts);
+  ASSERT_GE(dp.result.subspaces.size(), 1u);
+  EXPECT_GT(dp.network.net.num_edges(), 0);
+
+  vbp::VbpInstance vinst;
+  vinst.num_balls = 4;
+  vinst.num_bins = 3;
+  vinst.dims = 1;
+  vinst.capacity = 1.0;
+  PipelineOptions ff_opts = opts;
+  ff_opts.min_gap = 1.0;  // FF gaps are whole bins, not demand units
+  auto ff = run_ff_pipeline(vinst, ff_opts);
+  ASSERT_GE(ff.result.subspaces.size(), 1u);
+  EXPECT_GT(ff.network.net.num_edges(), 0);
 }
+#pragma GCC diagnostic pop

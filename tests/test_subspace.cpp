@@ -117,8 +117,11 @@ TEST(Tree, RespectsDepthAndLeafLimits) {
   opts.min_samples_leaf = 40;
   auto tree = fit_regression_tree(samples, opts);
   EXPECT_LE(tree.depth(), 3);
-  for (const auto& n : tree.nodes())
-    if (n.feature < 0) EXPECT_GE(n.count, 40);
+  for (const auto& n : tree.nodes()) {
+    if (n.feature < 0) {
+      EXPECT_GE(n.count, 40);
+    }
+  }
 }
 
 TEST(Tree, EmptyAndConstantInputs) {

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Layering / include-direction check for the XPlain tree.
+#
+# The HeuristicCase redesign inverted the old dependency: the core layers
+# (analyzer, subspace, explain, flowgraph, model, solver, stats, util,
+# xplain) must never include a concrete case-study header — cases adapt
+# themselves to the core interfaces, not vice versa.  This script fails the
+# build if anyone reintroduces such an include, and also rejects include
+# cycles between src/ subdirectories by checking every #include against a
+# fixed topological order.
+#
+# Run from the repo root:  bash tools/check_layering.sh
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+err() {
+  echo "LAYERING VIOLATION: $*" >&2
+  fail=1
+}
+
+# --- Rule 1: core layers never include case-study or higher-layer headers.
+# The single sanctioned exception: xplain/compat.h declares the deprecated
+# run_dp_pipeline/run_ff_pipeline shims, whose signatures need te/ and vbp/
+# types (their definitions live in the cases library).
+core_dirs="analyzer subspace explain flowgraph model solver stats util"
+for dir in $core_dirs; do
+  hits=$(grep -n '#include "\(te\|vbp\|cases\|generalize\|xplain\)/' \
+      src/$dir/*.h src/$dir/*.cpp 2>/dev/null)
+  if [ -n "$hits" ]; then
+    err "src/$dir must not include te/, vbp/, cases/, generalize/ or xplain/:
+$hits"
+  fi
+done
+
+xplain_hits=$(grep -n '#include "\(te\|vbp\|cases\|generalize\)/' \
+    src/xplain/*.h src/xplain/*.cpp 2>/dev/null | grep -v '^src/xplain/compat.h:')
+if [ -n "$xplain_hits" ]; then
+  err "src/xplain must not include te/, vbp/, cases/ or generalize/ (only
+the deprecated compat.h shim header may):
+$xplain_hits"
+fi
+
+# --- Rule 2 (acceptance criterion): analyzer/evaluator.h specifically.
+ev_hits=$(grep -n '#include "\(te\|vbp\)/' src/analyzer/evaluator.h)
+if [ -n "$ev_hits" ]; then
+  err "src/analyzer/evaluator.h includes case-study headers:
+$ev_hits"
+fi
+
+# --- Rule 3: no include cycles across src/ subdirectories.  Every
+# cross-directory include must point to a strictly lower layer in this
+# topological order (= the CMake library dependency order).
+rank_of() {
+  case "$1" in
+    util) echo 0 ;;
+    solver) echo 1 ;;
+    model) echo 2 ;;
+    stats) echo 3 ;;
+    flowgraph) echo 4 ;;
+    te|vbp) echo 5 ;;
+    analyzer) echo 6 ;;
+    subspace) echo 7 ;;
+    explain) echo 8 ;;
+    xplain) echo 9 ;;
+    generalize) echo 10 ;;
+    cases) echo 11 ;;
+    *) echo 99 ;;
+  esac
+}
+
+for f in src/*/*.h src/*/*.cpp; do
+  from_dir=$(basename "$(dirname "$f")")
+  from_rank=$(rank_of "$from_dir")
+  while read -r inc; do
+    [ -z "$inc" ] && continue
+    to_dir=${inc%%/*}
+    [ "$to_dir" = "$from_dir" ] && continue
+    to_rank=$(rank_of "$to_dir")
+    [ "$to_rank" = 99 ] && continue  # not a src/ subdir include
+    # compat.h is the sanctioned shim exception (rule 1).
+    [ "$f" = "src/xplain/compat.h" ] && continue
+    if [ "$to_rank" -ge "$from_rank" ]; then
+      err "$f includes \"$inc\" — $from_dir (rank $from_rank) may only include layers below it ($to_dir has rank $to_rank)"
+    fi
+  done <<EOF
+$(sed -n 's/^#include "\([^"]*\)".*/\1/p' "$f")
+EOF
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_layering: FAILED" >&2
+  exit 1
+fi
+echo "check_layering: OK (core layers are case-agnostic, include graph is acyclic)"
