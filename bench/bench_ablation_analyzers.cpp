@@ -11,8 +11,10 @@
 #include "analyzer/search_analyzer.h"
 #include "util/table.h"
 #include "util/timer.h"
+#include "bench_json.h"
 
 int main() {
+  xplain::tools::BenchReport bench_report("ablation_analyzers");
   using namespace xplain;
   std::cout << "Ablation — analyzer backends (gap found / time)\n\n";
   util::Table t({"case", "analyzer", "gap found", "seconds"});

@@ -11,8 +11,10 @@
 #include "analyzer/search_analyzer.h"
 #include "subspace/subspace_generator.h"
 #include "util/table.h"
+#include "bench_json.h"
 
 int main() {
+  xplain::tools::BenchReport bench_report("ablation_expansion");
   using namespace xplain;
   vbp::VbpInstance inst;
   inst.num_balls = 4;

@@ -12,6 +12,7 @@
 #include "solver/milp.h"
 #include "util/random.h"
 #include "util/table.h"
+#include "bench_json.h"
 
 namespace {
 
@@ -53,6 +54,7 @@ BENCHMARK(BM_EncodeCompileSolve);
 }  // namespace
 
 int main(int argc, char** argv) {
+  xplain::tools::BenchReport bench_report("appA_encoder");
   std::cout << "E12 / App. A — Theorem A.1 encoder validation\n\n";
   xplain::util::Rng rng(4242);
   util::Table t({"cols(+bin)", "rows", "net nodes", "net edges",

@@ -8,8 +8,10 @@
 #include "te/demand_pinning.h"
 #include "te/maxflow.h"
 #include "util/table.h"
+#include "bench_json.h"
 
 int main() {
+  xplain::tools::BenchReport bench_report("fig1a_dp_example");
   using namespace xplain;
   auto inst = te::TeInstance::fig1a_example();
   te::DpConfig cfg{50.0};

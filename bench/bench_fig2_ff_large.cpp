@@ -11,8 +11,10 @@
 #include "analyzer/search_analyzer.h"
 #include "util/table.h"
 #include "vbp/optimal.h"
+#include "bench_json.h"
 
 int main() {
+  xplain::tools::BenchReport bench_report("fig2_ff_large");
   using namespace xplain;
   // The ball sizes printed in Fig. 2, in arrival order (column by column).
   std::vector<double> fig2 = {0.3,  0.8,  0.2,  0.4, 0.7,  0.7, 0.15, 0.85,

@@ -14,6 +14,7 @@
 
 #include "util/table.h"
 #include "xplain/pipeline.h"
+#include "bench_json.h"
 
 using namespace xplain;
 
@@ -47,6 +48,7 @@ void print_stages(const std::string& figure, const StageTimes& s) {
 }  // namespace
 
 int main() {
+  xplain::tools::BenchReport bench_report("fig4_runtime");
   std::cout << "E11 / Fig. 4 caption — end-to-end per-figure runtime at "
                "3000 samples\n\n";
   util::Table t({"figure", "subspaces", "explanation samples", "seconds",

@@ -11,8 +11,10 @@
 #include "explain/heatmap.h"
 #include "util/timer.h"
 #include "xplain/pipeline.h"
+#include "bench_json.h"
 
 int main() {
+  xplain::tools::BenchReport bench_report("fig4a_dp_explain");
   using namespace xplain;
   auto inst = te::TeInstance::fig1a_example();
   te::DpConfig cfg{50.0};

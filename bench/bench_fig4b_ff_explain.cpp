@@ -11,8 +11,10 @@
 #include "explain/heatmap.h"
 #include "util/timer.h"
 #include "xplain/pipeline.h"
+#include "bench_json.h"
 
 int main() {
+  xplain::tools::BenchReport bench_report("fig4b_ff_explain");
   using namespace xplain;
   vbp::VbpInstance inst;
   inst.num_balls = 4;

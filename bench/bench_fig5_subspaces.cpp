@@ -7,8 +7,10 @@
 #include "cases/ff_case.h"
 #include "analyzer/search_analyzer.h"
 #include "subspace/subspace_generator.h"
+#include "bench_json.h"
 
 int main() {
+  xplain::tools::BenchReport bench_report("fig5_subspaces");
   using namespace xplain;
   vbp::VbpInstance inst;
   inst.num_balls = 4;

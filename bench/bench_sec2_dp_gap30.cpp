@@ -11,8 +11,10 @@
 #include "generalize/instance_generator.h"
 #include "te/maxflow.h"
 #include "util/table.h"
+#include "bench_json.h"
 
 int main() {
+  xplain::tools::BenchReport bench_report("sec2_dp_gap30");
   using namespace xplain;
   std::cout << "E2 / §2 — relative DP underperformance (gap / OPT)\n\n";
 

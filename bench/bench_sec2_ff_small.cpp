@@ -9,8 +9,10 @@
 #include "cases/ff_milp_analyzer.h"
 #include "util/table.h"
 #include "vbp/optimal.h"
+#include "bench_json.h"
 
 int main() {
+  xplain::tools::BenchReport bench_report("sec2_ff_small");
   using namespace xplain;
   vbp::VbpInstance inst;
   inst.num_balls = 4;

@@ -21,6 +21,7 @@
 #include "te/demand_pinning.h"
 #include "util/csv.h"
 #include "util/timer.h"
+#include "bench_json.h"
 
 namespace {
 
@@ -113,6 +114,7 @@ BENCHMARK(BM_CompiledDslModel);
 }  // namespace
 
 int main(int argc, char** argv) {
+  xplain::tools::BenchReport bench_report("sec51_compile_speedup");
   std::cout << "E8 / §5.1 — compiled-DSL redundancy elimination\n\n";
   auto padded = build_padded(instance());
   auto opt = optimize(padded.net);

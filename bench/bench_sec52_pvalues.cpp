@@ -12,8 +12,10 @@
 #include "analyzer/search_analyzer.h"
 #include "subspace/subspace_generator.h"
 #include "util/table.h"
+#include "bench_json.h"
 
 int main() {
+  xplain::tools::BenchReport bench_report("sec52_pvalues");
   using namespace xplain;
   std::cout << "E9 / §5.2 — subspace significance p-values\n\n";
   util::Table t({"heuristic", "p-value (measured)", "paper", "significant"});

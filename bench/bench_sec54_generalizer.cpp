@@ -11,8 +11,10 @@
 #include "generalize/generalizer.h"
 #include "util/csv.h"
 #include "util/table.h"
+#include "bench_json.h"
 
 int main() {
+  xplain::tools::BenchReport bench_report("sec54_generalizer");
   using namespace xplain;
   std::cout << "E10 / §5.4 — Type-3 generalization for DP\n\n";
 

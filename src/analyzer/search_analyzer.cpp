@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace xplain::analyzer {
 
@@ -40,12 +41,21 @@ std::optional<AdversarialExample> SearchAnalyzer::find_adversarial(
   // restarts.
   std::vector<std::vector<double>> starts;
   {
+    // The points are drawn sequentially from the analyzer's stream (cheap,
+    // and keeps the sample sequence identical to the single-threaded code);
+    // only the expensive gap scoring fans out.  Scores land in slot-indexed
+    // storage, so the chosen starts are bitwise identical for any worker
+    // count.
     std::vector<std::pair<double, std::vector<double>>> pre;
     pre.reserve(opts_.presamples);
-    for (int s = 0; s < opts_.presamples; ++s) {
-      auto x = eval.quantize(rng.uniform_point(box.lo, box.hi));
-      pre.emplace_back(score(eval, excluded, x), std::move(x));
-    }
+    for (int s = 0; s < opts_.presamples; ++s)
+      pre.emplace_back(0.0, eval.quantize(rng.uniform_point(box.lo, box.hi)));
+    util::parallel_chunks(
+        pre.size(), opts_.workers,
+        [&](std::size_t begin, std::size_t end, int) {
+          for (std::size_t s = begin; s < end; ++s)
+            pre[s].first = score(eval, excluded, pre[s].second);
+        });
     std::partial_sort(pre.begin(),
                       pre.begin() + std::min<std::size_t>(
                                         pre.size(), opts_.presample_starts),
@@ -54,7 +64,7 @@ std::optional<AdversarialExample> SearchAnalyzer::find_adversarial(
                       });
     for (int s = 0;
          s < opts_.presample_starts && s < static_cast<int>(pre.size()); ++s)
-      starts.push_back(pre[s].second);
+      starts.push_back(std::move(pre[s].second));
   }
   for (double fa : opts_.seed_fracs) {
     for (double fb : opts_.seed_fracs) {

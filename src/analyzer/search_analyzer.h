@@ -28,6 +28,12 @@ struct SearchOptions {
   /// the pattern search dominate the pure-random baseline by construction.
   int presamples = 300;
   int presample_starts = 4;
+  /// Worker threads for the presample scoring loop; <= 0 = one per
+  /// hardware thread.  Presample points are drawn sequentially from the
+  /// analyzer's stream (identical to the single-threaded sequence); only
+  /// the gap scoring fans out, into slot-indexed storage: bitwise
+  /// deterministic for any worker count.
+  int workers = 1;
 };
 
 class SearchAnalyzer : public HeuristicAnalyzer {

@@ -205,7 +205,8 @@ std::optional<AdversarialExample> DpMilpAnalyzer::solve(
   ex.gap = r.obj;
   ex.input.resize(K);
   for (int k = 0; k < K; ++k) ex.input[k] = d[k].value.eval(r.x);
-  XPLAIN_INFO << "dp_milp: gap " << ex.gap << " (" << r.nodes << " nodes)";
+  XPLAIN_INFO << "dp_milp: gap " << ex.gap << " (" << r.nodes << " nodes, "
+              << r.lp_solves << " LPs, " << r.lp_iterations << " pivots)";
   return ex;
 }
 

@@ -94,7 +94,8 @@ std::optional<AdversarialExample> FfMilpAnalyzer::solve(
   ex.gap = r.obj;
   ex.input.resize(n);
   for (int i = 0; i < n; ++i) ex.input[i] = y_in[i].eval(r.x);
-  XPLAIN_INFO << "ff_milp: gap " << ex.gap << " (" << r.nodes << " nodes)";
+  XPLAIN_INFO << "ff_milp: gap " << ex.gap << " (" << r.nodes << " nodes, "
+              << r.lp_solves << " LPs, " << r.lp_iterations << " pivots)";
   return ex;
 }
 

@@ -1,13 +1,15 @@
 #include "explain/explainer.h"
 
+#include <algorithm>
+
 #include "subspace/sampler.h"
+#include "util/parallel.h"
 
 namespace xplain::explain {
 
-std::map<int, double> Explanation::heat_map() const {
-  std::map<int, double> m;
-  for (std::size_t e = 0; e < edges.size(); ++e) m[static_cast<int>(e)] =
-      edges[e].heat;
+std::vector<double> Explanation::heat_map() const {
+  std::vector<double> m(edges.size(), 0.0);
+  for (std::size_t e = 0; e < edges.size(); ++e) m[e] = edges[e].heat;
   return m;
 }
 
@@ -17,34 +19,70 @@ Explanation explain_subspace(const analyzer::GapEvaluator& eval,
                              const FlowOracle& oracle,
                              const ExplainOptions& opts) {
   Explanation out;
-  out.edges.assign(net.num_edges(), {});
-  util::Rng rng(opts.seed);
+  const int ne = net.num_edges();
+  out.edges.assign(ne, {});
 
-  std::vector<double> hflow, bflow;
-  int collected = 0;
-  int attempts = 0;
-  const int max_attempts = 64 * opts.samples;
-  while (collected < opts.samples && attempts < max_attempts) {
-    ++attempts;
-    auto x = eval.quantize(rng.uniform_point(region.box.lo, region.box.hi));
-    if (!region.contains(x, 1e-9)) continue;
-    if (!oracle(x, hflow, bflow)) continue;
-    for (int e = 0; e < net.num_edges(); ++e) {
-      const bool h = hflow[e] > opts.flow_eps;
-      const bool b = bflow[e] > opts.flow_eps;
-      EdgeScore& s = out.edges[e];
-      if (h && b)
-        ++s.both;
-      else if (b)
-        ++s.benchmark_only;
-      else if (h)
-        ++s.heuristic_only;
-      else
-        ++s.neither;
-    }
-    ++collected;
+  // One sample per slot, each with its own derived RNG stream; a slot that
+  // cannot produce an accepted point within attempts_per_sample draws is
+  // dropped.  Workers accumulate integer per-edge counts into private
+  // partials, merged exactly afterwards — sums of ints are independent of
+  // both chunking and merge order, so any worker count produces bitwise
+  // identical output.
+  const int workers = util::resolve_workers(opts.workers);
+  struct Partial {
+    std::vector<int> both, bench_only, heur_only, neither;
+    int samples_used = 0;
+  };
+  std::vector<Partial> partials(workers);
+  for (auto& p : partials) {
+    p.both.assign(ne, 0);
+    p.bench_only.assign(ne, 0);
+    p.heur_only.assign(ne, 0);
+    p.neither.assign(ne, 0);
   }
-  out.samples_used = collected;
+
+  util::parallel_chunks(
+      static_cast<std::size_t>(std::max(0, opts.samples)), workers,
+      [&](std::size_t begin, std::size_t end, int worker) {
+        Partial& acc = partials[worker];
+        // Thread-local flow scratch, reused across the chunk's oracle calls.
+        std::vector<double> hflow, bflow;
+        for (std::size_t slot = begin; slot < end; ++slot) {
+          util::SlotRng rng(util::Rng::derive_seed(opts.seed, slot));
+          bool accepted = false;
+          for (int attempt = 0;
+               attempt < opts.attempts_per_sample && !accepted; ++attempt) {
+            auto x =
+                eval.quantize(rng.uniform_point(region.box.lo, region.box.hi));
+            if (!region.contains(x, 1e-9)) continue;
+            if (!oracle(x, hflow, bflow)) continue;
+            accepted = true;
+            for (int e = 0; e < ne; ++e) {
+              const bool h = hflow[e] > opts.flow_eps;
+              const bool b = bflow[e] > opts.flow_eps;
+              if (h && b)
+                ++acc.both[e];
+              else if (b)
+                ++acc.bench_only[e];
+              else if (h)
+                ++acc.heur_only[e];
+              else
+                ++acc.neither[e];
+            }
+          }
+          if (accepted) ++acc.samples_used;
+        }
+      });
+
+  for (const Partial& p : partials) {
+    out.samples_used += p.samples_used;
+    for (int e = 0; e < ne; ++e) {
+      out.edges[e].both += p.both[e];
+      out.edges[e].benchmark_only += p.bench_only[e];
+      out.edges[e].heuristic_only += p.heur_only[e];
+      out.edges[e].neither += p.neither[e];
+    }
+  }
   for (auto& s : out.edges) {
     const int n = s.both + s.benchmark_only + s.heuristic_only + s.neither;
     if (n > 0)

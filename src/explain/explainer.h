@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "flowgraph/network.h"
@@ -23,6 +22,14 @@ struct ExplainOptions {
   int samples = 3000;       // the paper uses 3000 per figure
   double flow_eps = 1e-6;   // an edge "carries flow" above this
   std::uint64_t seed = 99;
+  /// Rejection-sampling attempts per sample slot before the slot is
+  /// abandoned (degenerate regions).
+  int attempts_per_sample = 64;
+  /// Worker threads for the sampling loop; <= 0 = one per hardware thread.
+  /// Every sample slot derives its own RNG stream from (seed, slot index)
+  /// and edge scores are integer counts, so the result is bitwise identical
+  /// for any worker count.
+  int workers = 0;
 };
 
 struct EdgeScore {
@@ -37,8 +44,9 @@ struct Explanation {
   std::vector<EdgeScore> edges;  // indexed by EdgeId::v
   int samples_used = 0;
 
-  /// Heat keyed by edge id (direct input to flowgraph::to_dot).
-  std::map<int, double> heat_map() const;
+  /// Heat per edge, indexed by EdgeId::v (direct input to
+  /// flowgraph::to_dot's edge_heat).
+  std::vector<double> heat_map() const;
 };
 
 /// Produces (heuristic flows, benchmark flows) on the network's edges for

@@ -49,7 +49,7 @@ void write_heatmap_csv(const std::string& path,
 
 std::string heatmap_dot(const flowgraph::FlowNetwork& net,
                         const Explanation& ex) {
-  const auto heat = ex.heat_map();
+  const std::vector<double> heat = ex.heat_map();
   flowgraph::DotOptions opts;
   opts.edge_heat = &heat;
   return flowgraph::to_dot(net, opts);

@@ -62,12 +62,10 @@ std::string to_dot(const FlowNetwork& net, const DotOptions& opts) {
       os << " (cap " << ed.capacity << ")";
     if (ed.fixed) os << " (=" << *ed.fixed << ")";
     os << "\"";
-    if (opts.edge_heat) {
-      auto it = opts.edge_heat->find(e);
-      if (it != opts.edge_heat->end()) {
-        os << " color=\"" << heat_color(it->second) << "\" penwidth="
-           << 1.0 + 3.0 * std::abs(it->second);
-      }
+    if (opts.edge_heat && e < static_cast<int>(opts.edge_heat->size())) {
+      const double h = (*opts.edge_heat)[e];
+      os << " color=\"" << heat_color(h) << "\" penwidth="
+         << 1.0 + 3.0 * std::abs(h);
     }
     os << "];\n";
   }

@@ -2,8 +2,8 @@
 // heatmap (paper Fig. 4: red = heuristic-only edges, blue = benchmark-only).
 #pragma once
 
-#include <map>
 #include <string>
+#include <vector>
 
 #include "flowgraph/network.h"
 
@@ -11,8 +11,9 @@ namespace xplain::flowgraph {
 
 struct DotOptions {
   /// Per-edge heat in [-1, 1]: negative = heuristic-only (red), positive =
-  /// benchmark-only (blue), 0 = both/neither (gray).  Keyed by EdgeId::v.
-  const std::map<int, double>* edge_heat = nullptr;
+  /// benchmark-only (blue), 0 = both/neither (gray).  Indexed by EdgeId::v;
+  /// edges beyond the vector's length are left uncolored.
+  const std::vector<double>* edge_heat = nullptr;
   bool show_capacities = true;
 };
 

@@ -36,6 +36,7 @@ solver::MilpResult Model::solve(const solver::MilpOptions& opts) const {
     r.x = std::move(s.x);
     r.best_bound = r.obj;
     r.nodes = 1;
+    r.lp_solves = 1;
     r.lp_iterations = s.iterations;
     return r;
   }

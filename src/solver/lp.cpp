@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <sstream>
 
 namespace xplain::solver {
@@ -25,24 +24,30 @@ int LpProblem::add_col(double lo, double hi, double obj, bool integer,
   hi_.push_back(hi);
   obj_.push_back(obj);
   integer_.push_back(integer ? 1 : 0);
-  if (name.empty()) name = "c" + std::to_string(j);
-  col_names_.push_back(std::move(name));
+  col_names_.push_back(std::move(name));  // empty = lazy "c<j>" (col_name())
   return j;
 }
 
 void LpProblem::add_row(std::vector<std::pair<int, double>> coef,
                         RowSense sense, double rhs, std::string name) {
   // Merge duplicates and drop zeros so the simplex sees clean columns.
-  std::map<int, double> merged;
-  for (const auto& [j, v] : coef) merged[j] += v;
+  // Sort + in-place merge: rows arrive as small vectors, and a std::map
+  // here costs one node allocation per term during every model build.
+  std::sort(coef.begin(), coef.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < coef.size();) {
+    int col = coef[i].first;
+    double sum = 0.0;
+    for (; i < coef.size() && coef[i].first == col; ++i) sum += coef[i].second;
+    if (std::abs(sum) > 1e-12) coef[out++] = {col, sum};
+  }
+  coef.resize(out);
   Row r;
   r.sense = sense;
   r.rhs = rhs;
-  if (name.empty()) name = "r" + std::to_string(num_rows());
-  r.name = std::move(name);
-  r.coef.reserve(merged.size());
-  for (const auto& [j, v] : merged)
-    if (std::abs(v) > 1e-12) r.coef.emplace_back(j, v);
+  r.name = std::move(name);  // empty = lazy "r<i>" in dumps
+  r.coef = std::move(coef);
   rows_.push_back(std::move(r));
 }
 
@@ -85,18 +90,19 @@ std::string LpProblem::to_string() const {
   std::ostringstream os;
   os << (sense == Sense::kMinimize ? "min" : "max");
   for (int j = 0; j < num_cols(); ++j)
-    if (obj_[j] != 0.0) os << " + " << obj_[j] << "*" << col_names_[j];
+    if (obj_[j] != 0.0) os << " + " << obj_[j] << "*" << col_name(j);
   os << "\n";
-  for (const auto& r : rows_) {
-    os << "  " << r.name << ":";
-    for (const auto& [j, v] : r.coef) os << " + " << v << "*" << col_names_[j];
+  for (int i = 0; i < num_rows(); ++i) {
+    const Row& r = rows_[i];
+    os << "  " << (r.name.empty() ? "r" + std::to_string(i) : r.name) << ":";
+    for (const auto& [j, v] : r.coef) os << " + " << v << "*" << col_name(j);
     os << (r.sense == RowSense::kLe   ? " <= "
            : r.sense == RowSense::kGe ? " >= "
                                       : " == ")
        << r.rhs << "\n";
   }
   for (int j = 0; j < num_cols(); ++j) {
-    os << "  " << lo_[j] << " <= " << col_names_[j] << " <= " << hi_[j];
+    os << "  " << lo_[j] << " <= " << col_name(j) << " <= " << hi_[j];
     if (integer_[j]) os << " (int)";
     os << "\n";
   }

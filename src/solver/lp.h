@@ -5,6 +5,7 @@
 // target it). It plays the role Gurobi's model object plays for MetaOpt.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <utility>
@@ -55,14 +56,40 @@ class LpProblem {
   double lo(int j) const { return lo_[j]; }
   double hi(int j) const { return hi_[j]; }
   bool integer(int j) const { return integer_[j] != 0; }
-  const std::string& col_name(int j) const { return col_names_[j]; }
+  /// The column's given name, or a generated "c<j>" placeholder.  Default
+  /// names are materialized lazily: the sampling hot loops build thousands
+  /// of throwaway models whose names nobody reads.
+  std::string col_name(int j) const {
+    return col_names_[j].empty() ? "c" + std::to_string(j) : col_names_[j];
+  }
   const Row& row(int i) const { return rows_[i]; }
   const std::vector<Row>& rows() const { return rows_; }
+
+  /// Pre-sizes the column/row storage (model builders that know their
+  /// shape avoid reallocation churn).
+  void reserve(int cols, int rows) {
+    obj_.reserve(cols);
+    lo_.reserve(cols);
+    hi_.reserve(cols);
+    integer_.reserve(cols);
+    col_names_.reserve(cols);
+    rows_.reserve(rows);
+  }
 
   void set_obj(int j, double c) { obj_[j] = c; }
   void set_bounds(int j, double lo, double hi) {
     lo_[j] = lo;
     hi_[j] = hi;
+  }
+
+  /// Whole bound vectors, for callers (branch-and-bound) that snapshot and
+  /// restore bounds without copying the rows.
+  const std::vector<double>& lower_bounds() const { return lo_; }
+  const std::vector<double>& upper_bounds() const { return hi_; }
+  void set_all_bounds(const std::vector<double>& lo,
+                      const std::vector<double>& hi) {
+    lo_ = lo;  // copy-assign: reuses the existing buffers' capacity
+    hi_ = hi;
   }
 
   /// Objective value of a point (no feasibility check).
@@ -82,6 +109,17 @@ class LpProblem {
   std::vector<Row> rows_;
 };
 
+/// A simplex basis over the columns of an LpProblem plus one slack per row
+/// (slack of row i has variable index num_cols + i).  Because the revised
+/// simplex handles column bounds natively, a basis stays meaningful across
+/// bound changes on the same rows — that is what makes warm starts work.
+struct Basis {
+  std::vector<int> basic;               // size num_rows: variable basic in row i
+  std::vector<std::uint8_t> at_upper;   // size num_cols + num_rows: nonbasic
+                                        // variable rests at its upper bound
+  bool empty() const { return basic.empty() && at_upper.empty(); }
+};
+
 struct LpSolution {
   Status status = Status::kError;
   double obj = 0.0;
@@ -89,6 +127,19 @@ struct LpSolution {
   std::vector<double> y;  // dual values, one per row (sign: for the stated
                           // sense; empty for MILP solves)
   long iterations = 0;
+  /// Optimal basis (populated on kOptimal); feed back into solve_lp as a
+  /// warm start after bound tightenings.
+  Basis basis;
 };
+
+/// Process-wide LP accounting, incremented by every solve_lp call (atomic,
+/// so the parallel sampling loops count too).  Snapshot before/after a
+/// region of interest and subtract.
+struct LpCounters {
+  long solves = 0;
+  long iterations = 0;
+  long warm_solves = 0;  // solves that started from a caller basis
+};
+LpCounters lp_counters();
 
 }  // namespace xplain::solver

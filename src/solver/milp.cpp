@@ -14,21 +14,49 @@ namespace xplain::solver {
 
 namespace {
 
-struct Node {
-  // Bound overrides relative to the root problem, ordered by creation.
-  std::vector<std::tuple<int, double, double>> bounds;
+// Branch decisions live in an arena: each entry holds ONE new bound and a
+// link to its parent, so siblings share their common prefix instead of each
+// carrying a full copy of the path (the old shared_ptr<Node> scheme copied
+// the whole override vector into both children at every branch).
+struct BranchArena {
+  struct Entry {
+    int parent;  // arena index, -1 for the root
+    int col;
+    double lo, hi;
+  };
+  std::vector<Entry> pool;
+
+  int add(int parent, int col, double lo, double hi) {
+    pool.push_back({parent, col, lo, hi});
+    return static_cast<int>(pool.size()) - 1;
+  }
+
+  /// Applies the chain of bound intersections ending at `id` to `sub`.
+  void apply(int id, LpProblem& sub) const {
+    for (; id >= 0; id = pool[id].parent) {
+      const Entry& e = pool[id];
+      sub.set_bounds(e.col, std::max(e.lo, sub.lo(e.col)),
+                     std::min(e.hi, sub.hi(e.col)));
+    }
+  }
+};
+
+struct OpenNode {
   double parent_bound;  // LP bound inherited from the parent (min-sense)
   int depth = 0;
+  int branch = -1;  // arena index of the last bound decision
+  // The parent's optimal basis; both children share one copy and the LP
+  // re-solve repairs it with dual simplex instead of starting cold.
+  std::shared_ptr<const Basis> warm;
 };
 
 struct NodeCompare {
   // Best-bound first: smaller parent bound (min sense) wins; deeper node
   // breaks ties so plunges finish.
-  bool operator()(const std::shared_ptr<Node>& a,
-                  const std::shared_ptr<Node>& b) const {
-    if (a->parent_bound != b->parent_bound)
-      return a->parent_bound > b->parent_bound;
-    return a->depth < b->depth;
+  bool operator()(const OpenNode& a, const OpenNode& b) const {
+    if (a.parent_bound != b.parent_bound)
+      return a.parent_bound > b.parent_bound;
+    return a.depth < b.depth;
   }
 };
 
@@ -89,10 +117,21 @@ MilpResult solve_milp(const LpProblem& root, const MilpOptions& opts) {
     if (p.feasible(r, 1e-7)) try_incumbent(r, p.eval_obj(r));
   };
 
-  std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>,
-                      NodeCompare>
-      open;
-  open.push(std::make_shared<Node>(Node{{}, -kInf, 0}));
+  BranchArena arena;
+  std::priority_queue<OpenNode, std::vector<OpenNode>, NodeCompare> open;
+  open.push(OpenNode{-kInf, 0, -1, nullptr});
+
+  // One scratch problem for every node: rows never change down the tree, so
+  // re-solving a node is "restore root bounds, apply the branch chain,
+  // propagate" — no LpProblem copy, and the LP warm-starts from the parent
+  // basis instead of rebuilding its factorization from scratch.
+  LpProblem sub = p;
+  const std::vector<double> root_lo = p.lower_bounds();
+  const std::vector<double> root_hi = p.upper_bounds();
+  // Node LPs need the basis (for the children's warm starts) but never the
+  // row duals; skip that extraction on every node.
+  SimplexOptions node_lp = opts.lp;
+  node_lp.want_duals = false;
 
   bool hit_limit = false;
 
@@ -101,31 +140,28 @@ MilpResult solve_milp(const LpProblem& root, const MilpOptions& opts) {
       hit_limit = true;
       break;
     }
-    auto node = open.top();
+    OpenNode node = open.top();
     open.pop();
-    if (node->parent_bound >= incumbent_obj - opts.gap_tol) continue;  // pruned
+    if (node.parent_bound >= incumbent_obj - opts.gap_tol) continue;  // pruned
 
     // Apply node bounds, then propagate them through the constraints: on
     // big-M indicator models this fixes most binaries without an LP.
-    LpProblem sub = p;
-    for (const auto& [j, lo, hi] : node->bounds) {
-      const double nlo = std::max(lo, sub.lo(j));
-      const double nhi = std::min(hi, sub.hi(j));
-      sub.set_bounds(j, nlo, nhi);
-    }
+    sub.set_all_bounds(root_lo, root_hi);
+    arena.apply(node.branch, sub);
     if (!propagate_bounds(sub).feasible) {
       ++res.nodes;
       continue;
     }
 
-    LpSolution lp = solve_lp(sub, opts.lp);
+    LpSolution lp = solve_lp(sub, node_lp, node.warm.get());
     ++res.nodes;
+    ++res.lp_solves;
     res.lp_iterations += lp.iterations;
     if (lp.status == Status::kInfeasible) continue;
     if (lp.status == Status::kUnbounded) {
       // An unbounded relaxation at the root means the MILP is unbounded (or
       // its integer restriction is; either way we cannot bound it).
-      if (node->depth == 0 && !std::isfinite(incumbent_obj)) {
+      if (node.depth == 0 && !std::isfinite(incumbent_obj)) {
         res.status = Status::kUnbounded;
         return res;
       }
@@ -146,16 +182,13 @@ MilpResult solve_milp(const LpProblem& root, const MilpOptions& opts) {
     round_heuristic(lp.x);
 
     const double v = lp.x[bc];
-    auto down = std::make_shared<Node>(*node);
-    down->bounds.emplace_back(bc, -kInf, std::floor(v));
-    down->parent_bound = bound;
-    down->depth = node->depth + 1;
-    auto up = std::make_shared<Node>(*node);
-    up->bounds.emplace_back(bc, std::ceil(v), kInf);
-    up->parent_bound = bound;
-    up->depth = node->depth + 1;
-    open.push(std::move(down));
-    open.push(std::move(up));
+    auto warm = std::make_shared<const Basis>(std::move(lp.basis));
+    open.push(OpenNode{bound, node.depth + 1,
+                       arena.add(node.branch, bc, -kInf, std::floor(v)),
+                       warm});
+    open.push(OpenNode{bound, node.depth + 1,
+                       arena.add(node.branch, bc, std::ceil(v), kInf),
+                       std::move(warm)});
   }
 
   const bool have_incumbent = std::isfinite(incumbent_obj);
@@ -171,7 +204,7 @@ MilpResult solve_milp(const LpProblem& root, const MilpOptions& opts) {
   // Proven bound: min over remaining open nodes (or the incumbent if solved).
   double open_bound = incumbent_obj;
   if (hit_limit && !open.empty())
-    open_bound = std::min(open_bound, open.top()->parent_bound);
+    open_bound = std::min(open_bound, open.top().parent_bound);
   res.best_bound = flip * open_bound;
   return res;
 }

@@ -31,7 +31,8 @@ struct MilpResult {
   std::vector<double> x;       // incumbent point
   double best_bound = 0.0;     // proven bound on the optimum
   long nodes = 0;
-  long lp_iterations = 0;
+  long lp_solves = 0;          // node relaxations actually solved
+  long lp_iterations = 0;      // simplex pivots across all node LPs
 };
 
 MilpResult solve_milp(const LpProblem& p, const MilpOptions& opts = {});

@@ -1,7 +1,7 @@
 #include "solver/simplex.h"
 
 #include <algorithm>
-#include <cassert>
+#include <atomic>
 #include <climits>
 #include <cmath>
 #include <vector>
@@ -12,427 +12,791 @@ namespace xplain::solver {
 
 namespace {
 
-// How one original column maps into standard-form columns.
-enum class SubstKind {
-  kShift,     // x = shift + t          (finite lower bound)
-  kNegShift,  // x = shift - t          (lower = -inf, finite upper)
-  kSplit,     // x = t1 - t2            (free)
+std::atomic<long> g_lp_solves{0};
+std::atomic<long> g_lp_iterations{0};
+std::atomic<long> g_lp_warm_solves{0};
+
+// Variable status.  Nonbasic variables rest at a bound (or at 0 when free);
+// fixed variables (lo == hi) are nonbasic-at-lower and never priced.
+enum class VStat : std::uint8_t { kBasic, kAtLower, kAtUpper, kFree };
+
+/// Bounded-variable revised simplex over the standardized system
+///   A x + I s = b,   lo <= (x, s) <= hi,   minimize c'x,
+/// with one slack per row (Le: s in [0, inf), Ge: s in (-inf, 0],
+/// Eq: s fixed at 0).  Columns are stored sparsely (CSC); the basis inverse
+/// is dense and updated in product form with periodic refactorization.
+class RevisedSimplex {
+ public:
+  /// Rebinds the solver to a problem.  Instances are reused (thread_local in
+  /// solve_lp) so the dozens of internal buffers keep their capacity across
+  /// the tiny back-to-back solves the sampling loops issue.
+  void reset(const LpProblem& p, const SimplexOptions& opts) {
+    p_ = &p;
+    opts_ = &opts;
+    iters_ = 0;
+    bland_ = false;
+    factorize_failed_ = false;
+    degen_run_ = 0;
+    pivots_since_refactor_ = 0;
+    build();
+  }
+
+  LpSolution run(const Basis* warm);
+
+ private:
+  enum class Step { kOptimal, kUnbounded, kLimit, kError };
+
+  void build();
+  void add_artificial(int row, double sign);
+  bool factorize();
+  void set_nonbasic_value(int j);
+  void compute_basic_values();
+  void ftran(int j, std::vector<double>& out) const;  // out = B^-1 A_j
+  void btran_costs(const std::vector<double>& cost,
+                   std::vector<double>& y) const;     // y = c_B' B^-1
+  double reduced_cost(int j, const std::vector<double>& y,
+                      const std::vector<double>& cost) const;
+  void pivot(int enter, int leave_row, const std::vector<double>& alpha);
+  void refactor_and_recompute();
+
+  Step primal(const std::vector<double>& cost, long budget);
+  Step dual_repair(long budget);
+  bool warm_install(const Basis& warm);
+  bool dual_feasible(const std::vector<double>& y) const;
+
+  LpSolution extract();
+  void export_basis(LpSolution& sol) const;
+
+  bool fixed(int j) const { return lo_[j] == hi_[j]; }
+
+  const LpProblem* p_ = nullptr;
+  const SimplexOptions* opts_ = nullptr;
+
+  // Standardized problem (min sense).
+  int m_ = 0;        // rows
+  int nstruct_ = 0;  // original columns
+  int nreal_ = 0;    // nstruct_ + m_ (structural + slacks)
+  int ntotal_ = 0;   // nreal_ + artificials
+  std::vector<int> cp_;        // CSC column pointers (ntotal_ + 1)
+  std::vector<int> ci_;        // CSC row indices
+  std::vector<double> cx_;     // CSC values
+  std::vector<double> cost_;   // phase-2 cost (min sense)
+  std::vector<double> lo_, hi_;
+  std::vector<double> b_;
+  std::vector<int> art_row_;   // row of each artificial (index - nreal_)
+  double obj_scale_ = 1.0;
+
+  // Simplex state.
+  std::vector<int> basis_;     // size m_: variable basic in row i
+  std::vector<VStat> stat_;    // size ntotal_
+  std::vector<double> x_;      // size ntotal_
+  std::vector<double> binv_;   // m_ * m_ row-major
+  long iters_ = 0;
+  bool bland_ = false;
+  bool factorize_failed_ = false;
+  long degen_run_ = 0;
+  int pivots_since_refactor_ = 0;
+
+  // Scratch.
+  std::vector<double> y_, alpha_, work_, inv_buf_, resid_;
+  std::vector<int> fill_;
 };
 
-struct Subst {
-  SubstKind kind;
-  int col1 = -1;
-  int col2 = -1;
-  double shift = 0.0;
-};
+void RevisedSimplex::build() {
+  m_ = p_->num_rows();
+  nstruct_ = p_->num_cols();
+  nreal_ = nstruct_ + m_;
+  ntotal_ = nreal_;
+  obj_scale_ = (p_->sense == Sense::kMaximize) ? -1.0 : 1.0;
 
-struct Standard {
-  // Dense tableau data, row-major: m rows of (ncols + 1); last entry is rhs.
-  int m = 0;
-  int ncols = 0;  // structural + slack/surplus + artificial
-  std::vector<double> tab;
-  std::vector<int> basis;           // basis[i] = column basic in row i
-  std::vector<double> cost;         // phase-2 cost per column
-  std::vector<char> artificial;     // per column
-  std::vector<int> identity_col;    // per row: initial identity column
-  std::vector<double> row_scale;    // +1 or -1: sign applied to original row
-  int num_original_rows = 0;        // rows before appended bound rows
-  double obj_offset = 0.0;          // constant from lower-bound shifts
-  double obj_scale = 1.0;           // -1 when original sense was maximize
-  std::vector<Subst> subst;         // per original column
-};
+  std::size_t nnz = 0;
+  for (const auto& r : p_->rows()) nnz += r.coef.size();
 
-double& at(Standard& s, int r, int c) { return s.tab[r * (s.ncols + 1) + c]; }
-double& rhs(Standard& s, int r) { return s.tab[r * (s.ncols + 1) + s.ncols]; }
-
-// Builds the standard-form tableau: min c't, A t (=) b, t >= 0, b >= 0,
-// with an initial identity basis of slacks/artificials.
-Standard build_standard(const LpProblem& p) {
-  Standard s;
-  s.obj_scale = (p.sense == Sense::kMaximize) ? -1.0 : 1.0;
-  const int n0 = p.num_cols();
-
-  // --- Column substitutions. ---
-  int next_col = 0;
-  std::vector<double> struct_cost;
-  s.subst.resize(n0);
-  struct UpperRow {
-    int col;
-    double cap;
-  };
-  std::vector<UpperRow> upper_rows;
-  for (int j = 0; j < n0; ++j) {
-    const double lo = p.lo(j), hi = p.hi(j);
-    const double c = s.obj_scale * p.obj(j);
-    if (lo > hi + 1e-12) {
-      // Empty box: encode as an infeasible bound row below via shift + cap<0.
-      s.subst[j] = {SubstKind::kShift, next_col++, -1, lo};
-      struct_cost.push_back(c);
-      s.obj_offset += c * lo;
-      upper_rows.push_back({s.subst[j].col1, hi - lo});  // cap < 0
-      continue;
+  // CSC assembly: count per column, then fill.
+  cp_.assign(nreal_ + 1, 0);
+  for (const auto& r : p_->rows())
+    for (const auto& [j, v] : r.coef) {
+      (void)v;
+      ++cp_[j + 1];
     }
-    if (lo != -kInf) {
-      s.subst[j] = {SubstKind::kShift, next_col++, -1, lo};
-      struct_cost.push_back(c);
-      s.obj_offset += c * lo;
-      if (hi != kInf && hi - lo < kInf)
-        upper_rows.push_back({s.subst[j].col1, hi - lo});
-    } else if (hi != kInf) {
-      s.subst[j] = {SubstKind::kNegShift, next_col++, -1, hi};
-      struct_cost.push_back(-c);
-      s.obj_offset += c * hi;
-    } else {
-      s.subst[j] = {SubstKind::kSplit, next_col, next_col + 1, 0.0};
-      next_col += 2;
-      struct_cost.push_back(c);
-      struct_cost.push_back(-c);
+  for (int i = 0; i < m_; ++i) cp_[nstruct_ + i + 1] = 1;  // slack units
+  for (int j = 0; j < nreal_; ++j) cp_[j + 1] += cp_[j];
+  ci_.resize(nnz + m_);
+  cx_.resize(nnz + m_);
+  fill_.assign(cp_.begin(), cp_.end() - 1);
+  for (int i = 0; i < m_; ++i) {
+    for (const auto& [j, v] : p_->row(i).coef) {
+      ci_[fill_[j]] = i;
+      cx_[fill_[j]] = v;
+      ++fill_[j];
     }
   }
-  const int nstruct = next_col;
-
-  // --- Row assembly (original rows then bound rows). ---
-  struct RawRow {
-    std::vector<std::pair<int, double>> coef;  // on structural columns
-    RowSense sense;
-    double rhs;
-  };
-  std::vector<RawRow> raws;
-  raws.reserve(p.num_rows() + upper_rows.size());
-  for (const auto& row : p.rows()) {
-    RawRow rr;
-    rr.sense = row.sense;
-    rr.rhs = row.rhs;
-    for (const auto& [j, v] : row.coef) {
-      const Subst& sub = s.subst[j];
-      switch (sub.kind) {
-        case SubstKind::kShift:
-          rr.coef.emplace_back(sub.col1, v);
-          rr.rhs -= v * sub.shift;
-          break;
-        case SubstKind::kNegShift:
-          rr.coef.emplace_back(sub.col1, -v);
-          rr.rhs -= v * sub.shift;
-          break;
-        case SubstKind::kSplit:
-          rr.coef.emplace_back(sub.col1, v);
-          rr.coef.emplace_back(sub.col2, -v);
-          break;
-      }
-    }
-    raws.push_back(std::move(rr));
+  for (int i = 0; i < m_; ++i) {
+    ci_[fill_[nstruct_ + i]] = i;
+    cx_[fill_[nstruct_ + i]] = 1.0;
   }
-  s.num_original_rows = static_cast<int>(raws.size());
-  for (const auto& ur : upper_rows)
-    raws.push_back({{{ur.col, 1.0}}, RowSense::kLe, ur.cap});
 
-  s.m = static_cast<int>(raws.size());
-  s.row_scale.assign(s.m, 1.0);
-
-  // Count auxiliary columns: one slack/surplus per inequality row, one
-  // artificial per row whose slack cannot start basic.
-  int nslack = 0, nart = 0;
-  std::vector<int> slack_col(s.m, -1), art_col(s.m, -1);
-  for (int i = 0; i < s.m; ++i) {
-    if (raws[i].rhs < 0) {
-      s.row_scale[i] = -1.0;
-      raws[i].rhs = -raws[i].rhs;
-      for (auto& [j, v] : raws[i].coef) v = -v;
-      if (raws[i].sense == RowSense::kLe)
-        raws[i].sense = RowSense::kGe;
-      else if (raws[i].sense == RowSense::kGe)
-        raws[i].sense = RowSense::kLe;
-    }
-    if (raws[i].sense != RowSense::kEq) ++nslack;
-    if (raws[i].sense != RowSense::kLe) ++nart;
+  cost_.assign(nreal_, 0.0);
+  lo_.resize(nreal_);
+  hi_.resize(nreal_);
+  for (int j = 0; j < nstruct_; ++j) {
+    cost_[j] = obj_scale_ * p_->obj(j);
+    lo_[j] = p_->lo(j);
+    hi_[j] = p_->hi(j);
   }
-  s.ncols = nstruct + nslack + nart;
-  s.cost.assign(s.ncols, 0.0);
-  std::copy(struct_cost.begin(), struct_cost.end(), s.cost.begin());
-  s.artificial.assign(s.ncols, 0);
-  s.tab.assign(static_cast<std::size_t>(s.m) * (s.ncols + 1), 0.0);
-  s.basis.assign(s.m, -1);
-  s.identity_col.assign(s.m, -1);
-
-  int aux = nstruct;
-  for (int i = 0; i < s.m; ++i) {
-    for (const auto& [j, v] : raws[i].coef) at(s, i, j) += v;
-    rhs(s, i) = raws[i].rhs;
-    if (raws[i].sense == RowSense::kLe) {
-      slack_col[i] = aux;
-      at(s, i, aux) = 1.0;
-      s.basis[i] = aux;
-      s.identity_col[i] = aux;
-      ++aux;
-    } else if (raws[i].sense == RowSense::kGe) {
-      slack_col[i] = aux;
-      at(s, i, aux) = -1.0;
-      ++aux;
+  b_.resize(m_);
+  for (int i = 0; i < m_; ++i) {
+    const auto& row = p_->row(i);
+    b_[i] = row.rhs;
+    const int s = nstruct_ + i;
+    switch (row.sense) {
+      case RowSense::kLe: lo_[s] = 0.0; hi_[s] = kInf; break;
+      case RowSense::kGe: lo_[s] = -kInf; hi_[s] = 0.0; break;
+      case RowSense::kEq: lo_[s] = 0.0; hi_[s] = 0.0; break;
     }
   }
-  for (int i = 0; i < s.m; ++i) {
-    if (s.basis[i] >= 0) continue;  // has a basic slack already
-    art_col[i] = aux;
-    at(s, i, aux) = 1.0;
-    s.artificial[aux] = 1;
-    s.basis[i] = aux;
-    s.identity_col[i] = aux;
-    ++aux;
-  }
-  assert(aux == s.ncols);
-  return s;
 }
 
-struct PhaseResult {
-  Status status = Status::kOptimal;
-  long iterations = 0;
-};
+void RevisedSimplex::add_artificial(int row, double sign) {
+  cp_.push_back(cp_.back() + 1);
+  ci_.push_back(row);
+  cx_.push_back(sign);
+  cost_.push_back(0.0);
+  lo_.push_back(0.0);
+  hi_.push_back(kInf);
+  art_row_.push_back(row);
+  stat_.push_back(VStat::kAtLower);
+  x_.push_back(0.0);
+  ++ntotal_;
+}
 
-// Runs the simplex on `s` minimizing `phase_cost` until optimal, unbounded,
-// or the iteration budget is exhausted.  `forbid` marks columns that must
-// never enter the basis (phase-2 artificials).
-PhaseResult run_phase(Standard& s, const std::vector<double>& phase_cost,
-                      const std::vector<char>& forbid,
-                      const SimplexOptions& opts, long iter_budget) {
-  const int m = s.m, n = s.ncols;
-  // Reduced costs: cbar_j = c_j - sum_i c_B[i] * T[i][j].
-  std::vector<double> cbar(phase_cost);
-  for (int i = 0; i < m; ++i) {
-    const double cb = phase_cost[s.basis[i]];
-    if (cb == 0.0) continue;
-    const double* row = &s.tab[static_cast<std::size_t>(i) * (n + 1)];
-    for (int j = 0; j < n; ++j) cbar[j] -= cb * row[j];
+bool RevisedSimplex::factorize() {
+  // Gauss-Jordan inversion of the basis matrix with partial pivoting, into
+  // a scratch buffer so a singular basis leaves binv_ untouched.
+  const int m = m_;
+  work_.assign(static_cast<std::size_t>(m) * m, 0.0);  // basis matrix
+  for (int k = 0; k < m; ++k) {
+    const int j = basis_[k];
+    for (int t = cp_[j]; t < cp_[j + 1]; ++t)
+      work_[static_cast<std::size_t>(ci_[t]) * m + k] = cx_[t];
   }
+  std::vector<double>& inv_buf = inv_buf_;
+  inv_buf.assign(static_cast<std::size_t>(m) * m, 0.0);
+  for (int i = 0; i < m; ++i) inv_buf[static_cast<std::size_t>(i) * m + i] = 1.0;
 
-  PhaseResult res;
-  long degenerate_run = 0;
-  bool bland = false;
-  for (long iter = 0; iter < iter_budget; ++iter) {
-    // Basic columns must show zero reduced cost; clamp drift.
-    for (int i = 0; i < m; ++i) cbar[s.basis[i]] = 0.0;
+  for (int col = 0; col < m; ++col) {
+    int piv = -1;
+    double best = 1e-11;
+    for (int i = col; i < m; ++i) {
+      const double a = std::abs(work_[static_cast<std::size_t>(i) * m + col]);
+      if (a > best) {
+        best = a;
+        piv = i;
+      }
+    }
+    if (piv < 0) return false;  // singular basis
+    if (piv != col) {
+      for (int t = 0; t < m; ++t) {
+        std::swap(work_[static_cast<std::size_t>(piv) * m + t],
+                  work_[static_cast<std::size_t>(col) * m + t]);
+        std::swap(inv_buf[static_cast<std::size_t>(piv) * m + t],
+                  inv_buf[static_cast<std::size_t>(col) * m + t]);
+      }
+    }
+    double* wrow = &work_[static_cast<std::size_t>(col) * m];
+    double* brow = &inv_buf[static_cast<std::size_t>(col) * m];
+    const double inv = 1.0 / wrow[col];
+    for (int t = 0; t < m; ++t) {
+      wrow[t] *= inv;
+      brow[t] *= inv;
+    }
+    for (int i = 0; i < m; ++i) {
+      if (i == col) continue;
+      const double f = work_[static_cast<std::size_t>(i) * m + col];
+      if (f == 0.0) continue;
+      double* wi = &work_[static_cast<std::size_t>(i) * m];
+      double* bi = &inv_buf[static_cast<std::size_t>(i) * m];
+      for (int t = 0; t < m; ++t) {
+        wi[t] -= f * wrow[t];
+        bi[t] -= f * brow[t];
+      }
+    }
+  }
+  std::swap(binv_, inv_buf);  // old binv_ storage becomes next call's scratch
+  pivots_since_refactor_ = 0;
+  return true;
+}
+
+void RevisedSimplex::set_nonbasic_value(int j) {
+  switch (stat_[j]) {
+    case VStat::kAtLower: x_[j] = lo_[j]; break;
+    case VStat::kAtUpper: x_[j] = hi_[j]; break;
+    case VStat::kFree: x_[j] = 0.0; break;
+    case VStat::kBasic: break;
+  }
+}
+
+void RevisedSimplex::compute_basic_values() {
+  // x_B = B^-1 (b - N x_N).
+  work_.assign(m_, 0.0);
+  for (int i = 0; i < m_; ++i) work_[i] = b_[i];
+  for (int j = 0; j < ntotal_; ++j) {
+    if (stat_[j] == VStat::kBasic || x_[j] == 0.0) continue;
+    const double v = x_[j];
+    for (int t = cp_[j]; t < cp_[j + 1]; ++t) work_[ci_[t]] -= cx_[t] * v;
+  }
+  for (int i = 0; i < m_; ++i) {
+    const double* row = &binv_[static_cast<std::size_t>(i) * m_];
+    double acc = 0.0;
+    for (int k = 0; k < m_; ++k) acc += row[k] * work_[k];
+    x_[basis_[i]] = acc;
+  }
+}
+
+void RevisedSimplex::ftran(int j, std::vector<double>& out) const {
+  out.assign(m_, 0.0);
+  for (int t = cp_[j]; t < cp_[j + 1]; ++t) {
+    const double v = cx_[t];
+    const int r = ci_[t];
+    for (int i = 0; i < m_; ++i)
+      out[i] += binv_[static_cast<std::size_t>(i) * m_ + r] * v;
+  }
+}
+
+void RevisedSimplex::btran_costs(const std::vector<double>& cost,
+                                 std::vector<double>& y) const {
+  y.assign(m_, 0.0);
+  for (int k = 0; k < m_; ++k) {
+    const double cb = cost[basis_[k]];
+    if (cb == 0.0) continue;
+    const double* row = &binv_[static_cast<std::size_t>(k) * m_];
+    for (int i = 0; i < m_; ++i) y[i] += cb * row[i];
+  }
+}
+
+double RevisedSimplex::reduced_cost(int j, const std::vector<double>& y,
+                                    const std::vector<double>& cost) const {
+  double d = cost[j];
+  for (int t = cp_[j]; t < cp_[j + 1]; ++t) d -= y[ci_[t]] * cx_[t];
+  return d;
+}
+
+void RevisedSimplex::pivot(int enter, int leave_row,
+                           const std::vector<double>& alpha) {
+  // binv <- E binv with the eta column derived from alpha = B^-1 A_enter.
+  const double inv = 1.0 / alpha[leave_row];
+  double* prow = &binv_[static_cast<std::size_t>(leave_row) * m_];
+  for (int t = 0; t < m_; ++t) prow[t] *= inv;
+  for (int i = 0; i < m_; ++i) {
+    if (i == leave_row) continue;
+    const double f = alpha[i];
+    if (f == 0.0) continue;
+    double* row = &binv_[static_cast<std::size_t>(i) * m_];
+    for (int t = 0; t < m_; ++t) row[t] -= f * prow[t];
+  }
+  basis_[leave_row] = enter;
+  stat_[enter] = VStat::kBasic;
+  ++pivots_since_refactor_;
+}
+
+void RevisedSimplex::refactor_and_recompute() {
+  if (!factorize()) {
+    // A numerically singular update chain; keep going with the stale
+    // (eta-updated) inverse but remember it, so extract() re-verifies the
+    // final point and reports kError instead of a bogus optimum.
+    factorize_failed_ = true;
+    pivots_since_refactor_ = 0;
+    return;
+  }
+  for (int j = 0; j < ntotal_; ++j)
+    if (stat_[j] != VStat::kBasic) set_nonbasic_value(j);
+  compute_basic_values();
+}
+
+RevisedSimplex::Step RevisedSimplex::primal(const std::vector<double>& cost,
+                                            long budget) {
+  for (long it = 0; it < budget; ++it) {
+    btran_costs(cost, y_);
 
     // --- Pricing. ---
     int enter = -1;
-    if (!bland) {
-      double best = -opts.cost_tol;
-      for (int j = 0; j < n; ++j) {
-        if (forbid[j]) continue;
-        if (cbar[j] < best) {
-          best = cbar[j];
+    double best = opts_->cost_tol;
+    for (int j = 0; j < ntotal_; ++j) {
+      if (stat_[j] == VStat::kBasic || fixed(j)) continue;
+      const double d = reduced_cost(j, y_, cost);
+      double viol = 0.0;
+      if (stat_[j] == VStat::kAtLower) {
+        viol = -d;
+      } else if (stat_[j] == VStat::kAtUpper) {
+        viol = d;
+      } else {  // free
+        viol = std::abs(d);
+      }
+      if (viol > best) {
+        if (bland_) {
           enter = j;
+          break;
+        }
+        best = viol;
+        enter = j;
+      }
+    }
+    if (enter < 0) return Step::kOptimal;
+
+    const double d_enter = reduced_cost(enter, y_, cost);
+    const double dir =
+        (stat_[enter] == VStat::kAtLower ||
+         (stat_[enter] == VStat::kFree && d_enter < 0.0))
+            ? 1.0
+            : -1.0;
+
+    ftran(enter, alpha_);
+
+    // --- Ratio test (with bound flips). ---
+    const double range = hi_[enter] - lo_[enter];  // inf when either infinite
+    double best_t = std::isfinite(range) ? range : kInf;
+    int leave = -1;          // -1 with finite best_t = bound flip
+    double best_piv = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      const double a = dir * alpha_[i];
+      const int bj = basis_[i];
+      double t = kInf;
+      if (a > opts_->pivot_tol) {
+        if (lo_[bj] == -kInf) continue;
+        t = (x_[bj] - lo_[bj]) / a;
+      } else if (a < -opts_->pivot_tol) {
+        if (hi_[bj] == kInf) continue;
+        t = (hi_[bj] - x_[bj]) / (-a);
+      } else {
+        continue;
+      }
+      if (t < 0.0) t = 0.0;  // numerical drift
+      if (t < best_t - 1e-12 ||
+          (t < best_t + 1e-12 && std::abs(alpha_[i]) > best_piv)) {
+        best_t = t;
+        best_piv = std::abs(alpha_[i]);
+        leave = i;
+      }
+    }
+    if (bland_ && leave >= 0) {
+      // Among rows achieving the minimum ratio, leave the smallest variable.
+      const double min_t = best_t;
+      int best_var = INT_MAX;
+      for (int i = 0; i < m_; ++i) {
+        const double a = dir * alpha_[i];
+        const int bj = basis_[i];
+        double t = kInf;
+        if (a > opts_->pivot_tol && lo_[bj] != -kInf)
+          t = std::max(0.0, (x_[bj] - lo_[bj]) / a);
+        else if (a < -opts_->pivot_tol && hi_[bj] != kInf)
+          t = std::max(0.0, (hi_[bj] - x_[bj]) / (-a));
+        if (t <= min_t + opts_->feas_tol && bj < best_var) {
+          best_var = bj;
+          leave = i;
         }
       }
+    }
+    if (!std::isfinite(best_t)) return Step::kUnbounded;
+
+    ++iters_;
+    degen_run_ = (best_t <= opts_->feas_tol) ? degen_run_ + 1 : 0;
+    if (degen_run_ > 2L * (m_ + ntotal_)) bland_ = true;
+
+    const bool flip =
+        leave < 0 || (std::isfinite(range) && range <= best_t + 1e-12);
+    if (flip) {
+      // The entering variable runs to its opposite bound; basis unchanged.
+      for (int i = 0; i < m_; ++i)
+        if (alpha_[i] != 0.0) x_[basis_[i]] -= dir * range * alpha_[i];
+      stat_[enter] = (dir > 0) ? VStat::kAtUpper : VStat::kAtLower;
+      set_nonbasic_value(enter);
+      continue;
+    }
+
+    const int out_var = basis_[leave];
+    for (int i = 0; i < m_; ++i)
+      if (alpha_[i] != 0.0) x_[basis_[i]] -= dir * best_t * alpha_[i];
+    x_[enter] += dir * best_t;
+    stat_[out_var] =
+        (dir * alpha_[leave] > 0) ? VStat::kAtLower : VStat::kAtUpper;
+    pivot(enter, leave, alpha_);
+    set_nonbasic_value(out_var);
+    if (pivots_since_refactor_ >= opts_->refactor_every)
+      refactor_and_recompute();
+  }
+  return Step::kLimit;
+}
+
+bool RevisedSimplex::dual_feasible(const std::vector<double>& y) const {
+  for (int j = 0; j < ntotal_; ++j) {
+    if (stat_[j] == VStat::kBasic || fixed(j)) continue;
+    const double d = reduced_cost(j, y, cost_);
+    const double tol = 1e-6 * (1.0 + std::abs(cost_[j]));
+    if (stat_[j] == VStat::kAtLower && d < -tol) return false;
+    if (stat_[j] == VStat::kAtUpper && d > tol) return false;
+    if (stat_[j] == VStat::kFree && std::abs(d) > tol) return false;
+  }
+  return true;
+}
+
+RevisedSimplex::Step RevisedSimplex::dual_repair(long budget) {
+  for (long it = 0; it < budget; ++it) {
+    // --- Leaving: the basic variable most outside its bounds. ---
+    int leave = -1;
+    double worst = opts_->feas_tol;
+    bool below = false;
+    for (int i = 0; i < m_; ++i) {
+      const int bj = basis_[i];
+      const double under = lo_[bj] - x_[bj];
+      const double over = x_[bj] - hi_[bj];
+      if (under > worst) {
+        worst = under;
+        leave = i;
+        below = true;
+      }
+      if (over > worst) {
+        worst = over;
+        leave = i;
+        below = false;
+      }
+    }
+    if (leave < 0) return Step::kOptimal;  // primal feasible again
+
+    btran_costs(cost_, y_);
+    // rho = e_leave' B^-1.
+    const double* rho = &binv_[static_cast<std::size_t>(leave) * m_];
+
+    // --- Entering: bounded-variable dual ratio test. ---
+    int enter = -1;
+    double best_ratio = kInf, best_piv = 0.0;
+    for (int j = 0; j < ntotal_; ++j) {
+      if (stat_[j] == VStat::kBasic || fixed(j)) continue;
+      double arj = 0.0;
+      for (int t = cp_[j]; t < cp_[j + 1]; ++t) arj += rho[ci_[t]] * cx_[t];
+      if (std::abs(arj) <= opts_->pivot_tol) continue;
+      // Admissibility: entering must move the leaving variable toward its
+      // violated bound while respecting its own allowed direction.
+      bool ok = false;
+      if (stat_[j] == VStat::kFree) {
+        ok = true;
+      } else if (below) {  // x_B must increase: delta_j * arj < 0
+        ok = (stat_[j] == VStat::kAtLower && arj < 0) ||
+             (stat_[j] == VStat::kAtUpper && arj > 0);
+      } else {  // x_B must decrease
+        ok = (stat_[j] == VStat::kAtLower && arj > 0) ||
+             (stat_[j] == VStat::kAtUpper && arj < 0);
+      }
+      if (!ok) continue;
+      const double d = reduced_cost(j, y_, cost_);
+      const double ratio = std::abs(d) / std::abs(arj);
+      if (ratio < best_ratio - 1e-12 ||
+          (ratio < best_ratio + 1e-12 && std::abs(arj) > best_piv)) {
+        best_ratio = ratio;
+        best_piv = std::abs(arj);
+        enter = j;
+      }
+    }
+    if (enter < 0) return Step::kUnbounded;  // dual unbounded = primal infeasible
+
+    ftran(enter, alpha_);
+    const double arq = alpha_[leave];
+    if (std::abs(arq) <= opts_->pivot_tol) return Step::kError;
+    const int out_var = basis_[leave];
+    const double target = below ? lo_[out_var] : hi_[out_var];
+    const double delta = (x_[out_var] - target) / arq;
+    for (int i = 0; i < m_; ++i)
+      if (i != leave && alpha_[i] != 0.0) x_[basis_[i]] -= delta * alpha_[i];
+    x_[enter] += delta;
+    stat_[out_var] = below ? VStat::kAtLower : VStat::kAtUpper;
+    pivot(enter, leave, alpha_);
+    set_nonbasic_value(out_var);
+    ++iters_;
+    if (pivots_since_refactor_ >= opts_->refactor_every)
+      refactor_and_recompute();
+  }
+  return Step::kLimit;
+}
+
+bool RevisedSimplex::warm_install(const Basis& warm) {
+  if (static_cast<int>(warm.basic.size()) != m_ ||
+      static_cast<int>(warm.at_upper.size()) != nreal_)
+    return false;
+  std::vector<char> used(nreal_, 0);
+  for (int j : warm.basic) {
+    if (j < 0 || j >= nreal_ || used[j]) return false;
+    used[j] = 1;
+  }
+  basis_ = warm.basic;
+  stat_.assign(nreal_, VStat::kAtLower);
+  x_.assign(nreal_, 0.0);
+  for (int j = 0; j < nreal_; ++j) {
+    if (used[j]) {
+      stat_[j] = VStat::kBasic;
+      continue;
+    }
+    // Snap nonbasic variables to the (possibly tightened) bounds.
+    const bool want_upper = warm.at_upper[j] != 0;
+    if (want_upper && hi_[j] != kInf) {
+      stat_[j] = VStat::kAtUpper;
+    } else if (!want_upper && lo_[j] != -kInf) {
+      stat_[j] = VStat::kAtLower;
+    } else if (lo_[j] != -kInf) {
+      stat_[j] = VStat::kAtLower;
+    } else if (hi_[j] != kInf) {
+      stat_[j] = VStat::kAtUpper;
     } else {
-      for (int j = 0; j < n; ++j) {
-        if (forbid[j]) continue;
-        if (cbar[j] < -opts.cost_tol) {
-          enter = j;
+      stat_[j] = VStat::kFree;
+    }
+    set_nonbasic_value(j);
+  }
+  if (!factorize()) return false;
+  compute_basic_values();
+  btran_costs(cost_, y_);
+  // Only repair from a dual-feasible basis: dual simplex verdicts
+  // (infeasible = prune) are only trustworthy then.
+  return dual_feasible(y_);
+}
+
+LpSolution RevisedSimplex::extract() {
+  LpSolution sol;
+  sol.iterations = iters_;
+  sol.x.assign(nstruct_, 0.0);
+  for (int j = 0; j < nstruct_; ++j) sol.x[j] = x_[j];
+  // A failed mid-run refactorization means every later pivot, the final
+  // optimality test, and the duals all used a stale inverse.  A feasibility
+  // check could not tell a true optimum from a feasible-but-suboptimal
+  // vertex, so the only honest report is kError (callers fall back: the
+  // warm path restarts cold, solve_milp treats it as a limit).
+  if (factorize_failed_) {
+    sol.status = Status::kError;
+    return sol;
+  }
+  sol.obj = p_->eval_obj(sol.x);
+  if (opts_->want_duals) {
+    btran_costs(cost_, y_);
+    sol.y.assign(m_, 0.0);
+    for (int i = 0; i < m_; ++i) sol.y[i] = obj_scale_ * y_[i];
+  }
+  if (opts_->want_basis) export_basis(sol);
+  sol.status = Status::kOptimal;
+  return sol;
+}
+
+void RevisedSimplex::export_basis(LpSolution& sol) const {
+  sol.basis.basic.assign(m_, 0);
+  for (int i = 0; i < m_; ++i) {
+    const int j = basis_[i];
+    // A residual basic artificial marks a redundant row; hand the row's
+    // slack to the warm-start consumer (re-factorization validates it).
+    sol.basis.basic[i] = (j >= nreal_) ? nstruct_ + art_row_[j - nreal_] : j;
+  }
+  sol.basis.at_upper.assign(nreal_, 0);
+  for (int j = 0; j < nreal_; ++j)
+    sol.basis.at_upper[j] = (stat_[j] == VStat::kAtUpper) ? 1 : 0;
+}
+
+LpSolution RevisedSimplex::run(const Basis* warm) {
+  g_lp_solves.fetch_add(1, std::memory_order_relaxed);
+  LpSolution sol;
+
+  // Empty variable boxes decide infeasibility before any pivoting.
+  for (int j = 0; j < nstruct_; ++j) {
+    if (lo_[j] > hi_[j] + 1e-12) {
+      sol.status = Status::kInfeasible;
+      return sol;
+    }
+  }
+
+  const long budget = opts_->max_iterations;
+
+  // --- Warm path: reinstall the caller's basis and repair with dual
+  // simplex.  Any failure — including a mid-run refactorization failure,
+  // whose stale inverse makes every later verdict untrustworthy — falls
+  // through to the cold start. ---
+  if (warm != nullptr && m_ > 0 && !warm->empty()) {
+    if (warm_install(*warm)) {
+      g_lp_warm_solves.fetch_add(1, std::memory_order_relaxed);
+      const Step ds = dual_repair(budget);
+      if (ds == Step::kUnbounded && !factorize_failed_) {
+        sol.status = Status::kInfeasible;  // dual unbounded = primal empty
+        sol.iterations = iters_;
+        g_lp_iterations.fetch_add(iters_, std::memory_order_relaxed);
+        return sol;
+      }
+      if (ds == Step::kOptimal) {
+        const Step ps = primal(cost_, budget - iters_);
+        if (ps == Step::kOptimal) {
+          sol = extract();  // re-verifies the point if factorize_failed_
+          if (sol.status == Status::kOptimal) {
+            // Count only on return: a fallback to cold reports the
+            // cumulative iters_ once at its own exit.
+            g_lp_iterations.fetch_add(iters_, std::memory_order_relaxed);
+            return sol;
+          }
+        } else if (ps == Step::kUnbounded && !factorize_failed_) {
+          sol.status = Status::kUnbounded;
+          sol.iterations = iters_;
+          g_lp_iterations.fetch_add(iters_, std::memory_order_relaxed);
+          return sol;
+        }
+      }
+      // kLimit / kError / stale-inverse verdict: restart cold below.  The
+      // warm attempt's pivots stay in iters_ so max_iterations caps total
+      // work per solve and the reported counts include the discarded
+      // attempt.
+    }
+    bland_ = false;
+    degen_run_ = 0;
+    factorize_failed_ = false;
+  }
+
+  // --- Cold start: slack basis; infeasible rows get artificials. ---
+  ntotal_ = nreal_;
+  cp_.resize(nreal_ + 1);
+  ci_.resize(cp_.back());
+  cx_.resize(cp_.back());
+  cost_.resize(nreal_);
+  lo_.resize(nreal_);
+  hi_.resize(nreal_);
+  art_row_.clear();
+
+  basis_.resize(m_);
+  stat_.assign(nreal_, VStat::kAtLower);
+  x_.assign(nreal_, 0.0);
+  for (int j = 0; j < nstruct_; ++j) {
+    if (lo_[j] != -kInf) {
+      stat_[j] = VStat::kAtLower;
+    } else if (hi_[j] != kInf) {
+      stat_[j] = VStat::kAtUpper;
+    } else {
+      stat_[j] = VStat::kFree;
+    }
+    set_nonbasic_value(j);
+  }
+  // Slack-basis values: x_s = b - A x_N (B = I).
+  resid_ = b_;
+  std::vector<double>& resid = resid_;
+  for (int j = 0; j < nstruct_; ++j) {
+    if (x_[j] == 0.0) continue;
+    for (int t = cp_[j]; t < cp_[j + 1]; ++t) resid[ci_[t]] -= cx_[t] * x_[j];
+  }
+  bool any_art = false;
+  for (int i = 0; i < m_; ++i) {
+    const int s = nstruct_ + i;
+    const double v = resid[i];
+    if (v >= lo_[s] - opts_->feas_tol && v <= hi_[s] + opts_->feas_tol) {
+      basis_[i] = s;
+      stat_[s] = VStat::kBasic;
+      x_[s] = v;
+      continue;
+    }
+    // Slack rests at the nearest bound; an artificial absorbs the residual.
+    stat_[s] = (v > hi_[s]) ? VStat::kAtUpper : VStat::kAtLower;
+    set_nonbasic_value(s);
+    const double rem = v - x_[s];
+    add_artificial(i, rem >= 0 ? 1.0 : -1.0);
+    const int a = ntotal_ - 1;
+    basis_[i] = a;
+    stat_[a] = VStat::kBasic;
+    x_[a] = std::abs(rem);
+    any_art = true;
+  }
+  // The initial basis is all unit columns (slacks at +1, artificials at
+  // +-1), so its inverse is the diagonal of column signs — skip the O(m^3)
+  // factorization that would otherwise dominate small hot-loop solves.
+  binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+  for (int i = 0; i < m_; ++i) {
+    const int j = basis_[i];
+    const double sign = (j >= nreal_) ? cx_[cp_[j]] : 1.0;
+    binv_[static_cast<std::size_t>(i) * m_ + i] = sign;
+  }
+  pivots_since_refactor_ = 0;
+
+  // --- Phase 1: drive the artificials to zero. ---
+  if (any_art) {
+    std::vector<double> c1(ntotal_, 0.0);
+    for (int j = nreal_; j < ntotal_; ++j) c1[j] = 1.0;
+    const Step r1 = primal(c1, budget - iters_);
+    if (r1 == Step::kLimit) {
+      sol.status = Status::kLimit;
+      sol.iterations = iters_;
+      g_lp_iterations.fetch_add(iters_, std::memory_order_relaxed);
+      return sol;
+    }
+    double infeas = 0.0;
+    for (int j = nreal_; j < ntotal_; ++j) infeas += std::max(0.0, x_[j]);
+    if (r1 == Step::kUnbounded ||
+        infeas > 1e2 * opts_->feas_tol * (1.0 + m_)) {
+      // A stale basis inverse cannot be trusted to prove infeasibility.
+      sol.status = factorize_failed_ ? Status::kError : Status::kInfeasible;
+      sol.iterations = iters_;
+      g_lp_iterations.fetch_add(iters_, std::memory_order_relaxed);
+      return sol;
+    }
+    // Freeze the artificials; pivot residual basic ones out when possible.
+    for (int j = nreal_; j < ntotal_; ++j) {
+      lo_[j] = hi_[j] = 0.0;
+      if (stat_[j] != VStat::kBasic) {
+        stat_[j] = VStat::kAtLower;
+        x_[j] = 0.0;
+      }
+    }
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] < nreal_) continue;
+      const double* rho = &binv_[static_cast<std::size_t>(i) * m_];
+      for (int j = 0; j < nreal_; ++j) {
+        if (stat_[j] == VStat::kBasic || fixed(j)) continue;
+        double arj = 0.0;
+        for (int t = cp_[j]; t < cp_[j + 1]; ++t) arj += rho[ci_[t]] * cx_[t];
+        if (std::abs(arj) > 1e3 * opts_->pivot_tol) {
+          ftran(j, alpha_);
+          const int out_var = basis_[i];
+          pivot(j, i, alpha_);  // degenerate pivot: t = 0, values unchanged
+          stat_[out_var] = VStat::kAtLower;
+          x_[out_var] = 0.0;
           break;
         }
       }
     }
-    if (enter < 0) {
-      res.iterations = iter;
-      return res;  // optimal for this phase
-    }
-
-    // --- Ratio test (with the zero-artificial guard). ---
-    int leave = -1;
-    double best_ratio = kInf, best_pivot = 0.0;
-    for (int i = 0; i < m; ++i) {
-      const double a = at(s, i, enter);
-      const double b = rhs(s, i);
-      // Basic artificial stuck at zero: pivot it out on any nonzero entry so
-      // it can never become positive again.
-      if (s.artificial[s.basis[i]] && std::abs(b) <= opts.feas_tol &&
-          std::abs(a) > opts.pivot_tol) {
-        leave = i;
-        best_ratio = 0.0;
-        best_pivot = std::abs(a);
-        break;
-      }
-      if (a > opts.pivot_tol) {
-        const double ratio = b / a;
-        if (ratio < best_ratio - 1e-12 ||
-            (ratio < best_ratio + 1e-12 && std::abs(a) > best_pivot)) {
-          best_ratio = ratio;
-          best_pivot = std::abs(a);
-          leave = i;
-        }
-      }
-    }
-    if (leave < 0) {
-      res.status = Status::kUnbounded;
-      res.iterations = iter;
-      return res;
-    }
-    if (bland) {
-      // Bland: among rows achieving the minimum ratio, leave the smallest
-      // basis index (recompute strictly).
-      double min_ratio = kInf;
-      for (int i = 0; i < m; ++i) {
-        const double a = at(s, i, enter);
-        if (a > opts.pivot_tol) min_ratio = std::min(min_ratio, rhs(s, i) / a);
-      }
-      leave = -1;
-      int best_var = INT_MAX;
-      for (int i = 0; i < m; ++i) {
-        const double a = at(s, i, enter);
-        if (a > opts.pivot_tol &&
-            rhs(s, i) / a <= min_ratio + opts.feas_tol &&
-            s.basis[i] < best_var) {
-          best_var = s.basis[i];
-          leave = i;
-        }
-      }
-      if (leave < 0) {
-        res.status = Status::kUnbounded;
-        res.iterations = iter;
-        return res;
-      }
-      best_ratio = min_ratio;
-    }
-
-    degenerate_run = (best_ratio <= opts.feas_tol) ? degenerate_run + 1 : 0;
-    if (degenerate_run > 2 * (m + n)) bland = true;
-
-    // --- Pivot. ---
-    const double piv = at(s, leave, enter);
-    double* prow = &s.tab[static_cast<std::size_t>(leave) * (n + 1)];
-    const double inv = 1.0 / piv;
-    for (int j = 0; j <= n; ++j) prow[j] *= inv;
-    for (int i = 0; i < m; ++i) {
-      if (i == leave) continue;
-      const double f = at(s, i, enter);
-      if (f == 0.0) continue;
-      double* row = &s.tab[static_cast<std::size_t>(i) * (n + 1)];
-      for (int j = 0; j <= n; ++j) row[j] -= f * prow[j];
-      row[enter] = 0.0;
-    }
-    {
-      const double f = cbar[enter];
-      if (f != 0.0)
-        for (int j = 0; j < n; ++j) cbar[j] -= f * prow[j];
-      cbar[enter] = 0.0;
-    }
-    s.basis[leave] = enter;
+    refactor_and_recompute();
   }
-  res.status = Status::kLimit;
-  res.iterations = iter_budget;
-  return res;
-}
 
-double phase_objective(const Standard& s, const std::vector<double>& cost) {
-  double v = 0.0;
-  for (int i = 0; i < s.m; ++i)
-    v += cost[s.basis[i]] *
-         s.tab[static_cast<std::size_t>(i) * (s.ncols + 1) + s.ncols];
-  return v;
+  // --- Phase 2. ---
+  const Step r2 = primal(cost_, budget - iters_);
+  sol.iterations = iters_;
+  g_lp_iterations.fetch_add(iters_, std::memory_order_relaxed);
+  if (r2 == Step::kUnbounded) {
+    // Same caveat: unboundedness derived from a stale inverse is not proof.
+    sol.status = factorize_failed_ ? Status::kError : Status::kUnbounded;
+    return sol;
+  }
+  if (r2 != Step::kOptimal) {
+    sol.status = Status::kLimit;
+    return sol;
+  }
+  sol = extract();
+  sol.iterations = iters_;
+  return sol;
 }
 
 }  // namespace
 
-LpSolution solve_lp(const LpProblem& p, const SimplexOptions& opts) {
-  LpSolution sol;
-  Standard s = build_standard(p);
-  const int m = s.m, n = s.ncols;
+LpCounters lp_counters() {
+  LpCounters c;
+  c.solves = g_lp_solves.load(std::memory_order_relaxed);
+  c.iterations = g_lp_iterations.load(std::memory_order_relaxed);
+  c.warm_solves = g_lp_warm_solves.load(std::memory_order_relaxed);
+  return c;
+}
 
-  // --- Phase 1: minimize the sum of artificials. ---
-  bool any_art = std::any_of(s.artificial.begin(), s.artificial.end(),
-                             [](char a) { return a != 0; });
-  long iters = 0;
-  if (any_art) {
-    std::vector<double> c1(n, 0.0);
-    for (int j = 0; j < n; ++j)
-      if (s.artificial[j]) c1[j] = 1.0;
-    std::vector<char> forbid(n, 0);
-    PhaseResult r1 = run_phase(s, c1, forbid, opts, opts.max_iterations);
-    iters += r1.iterations;
-    if (r1.status == Status::kLimit) {
-      sol.status = Status::kLimit;
-      sol.iterations = iters;
-      return sol;
-    }
-    // Phase-1 LP is bounded below by 0, so kUnbounded cannot occur here.
-    if (phase_objective(s, c1) > 1e2 * opts.feas_tol * (1.0 + m)) {
-      sol.status = Status::kInfeasible;
-      sol.iterations = iters;
-      return sol;
-    }
-    // Pivot residual zero-valued artificials out of the basis when possible.
-    for (int i = 0; i < m; ++i) {
-      if (!s.artificial[s.basis[i]]) continue;
-      for (int j = 0; j < n; ++j) {
-        if (s.artificial[j]) continue;
-        if (std::abs(at(s, i, j)) > 1e3 * opts.pivot_tol) {
-          const double piv = at(s, i, j);
-          double* prow = &s.tab[static_cast<std::size_t>(i) * (n + 1)];
-          const double inv = 1.0 / piv;
-          for (int k = 0; k <= n; ++k) prow[k] *= inv;
-          for (int r = 0; r < m; ++r) {
-            if (r == i) continue;
-            const double f = at(s, r, j);
-            if (f == 0.0) continue;
-            double* row = &s.tab[static_cast<std::size_t>(r) * (n + 1)];
-            for (int k = 0; k <= n; ++k) row[k] -= f * prow[k];
-            row[j] = 0.0;
-          }
-          s.basis[i] = j;
-          break;
-        }
-      }
-    }
-  }
-
-  // --- Phase 2. ---
-  std::vector<char> forbid(n, 0);
-  for (int j = 0; j < n; ++j) forbid[j] = s.artificial[j];
-  PhaseResult r2 = run_phase(s, s.cost, forbid, opts,
-                             opts.max_iterations - iters);
-  iters += r2.iterations;
-  sol.iterations = iters;
-  if (r2.status == Status::kUnbounded) {
-    sol.status = Status::kUnbounded;
-    return sol;
-  }
-  if (r2.status == Status::kLimit) {
-    sol.status = Status::kLimit;
-    return sol;
-  }
-
-  // --- Extraction: primal values. ---
-  std::vector<double> t(n, 0.0);
-  for (int i = 0; i < m; ++i) t[s.basis[i]] = rhs(s, i);
-  sol.x.assign(p.num_cols(), 0.0);
-  for (int j = 0; j < p.num_cols(); ++j) {
-    const Subst& sub = s.subst[j];
-    switch (sub.kind) {
-      case SubstKind::kShift: sol.x[j] = sub.shift + t[sub.col1]; break;
-      case SubstKind::kNegShift: sol.x[j] = sub.shift - t[sub.col1]; break;
-      case SubstKind::kSplit: sol.x[j] = t[sub.col1] - t[sub.col2]; break;
-    }
-  }
-  sol.obj = p.eval_obj(sol.x);
-
-  // --- Duals from the initial-identity columns. ---
-  // For row i whose initial identity column is q:  y_i = c_q - cbar_q, where
-  // cbar_q = c_q - sum c_B[i'] T[i'][q]; both slack and artificial columns
-  // carry zero phase-2 cost, so y_i = sum_i' c_B[i'] * T[i'][q].
-  sol.y.assign(s.num_original_rows, 0.0);
-  for (int i = 0; i < s.num_original_rows; ++i) {
-    const int q = s.identity_col[i];
-    double y = 0.0;
-    for (int r = 0; r < m; ++r) {
-      const double cb = s.cost[s.basis[r]];
-      if (cb != 0.0) y += cb * at(s, r, q);
-    }
-    // Undo row negation; undo the min/max objective flip.
-    y *= s.row_scale[i];
-    sol.y[i] = s.obj_scale * y;
-  }
-
-  sol.status = Status::kOptimal;
-  return sol;
+LpSolution solve_lp(const LpProblem& p, const SimplexOptions& opts,
+                    const Basis* warm) {
+  // One reusable solver per thread: the sampling hot loops issue hundreds of
+  // thousands of tiny solves, and reusing the internal buffers removes every
+  // steady-state allocation (thread_local keeps the parallel stages safe).
+  thread_local RevisedSimplex solver;
+  solver.reset(p, opts);
+  return solver.run(warm);
 }
 
 }  // namespace xplain::solver

@@ -1,14 +1,21 @@
-// Two-phase dense tableau simplex.
+// Bounded-variable revised simplex.
 //
-// Handles general column bounds (finite lowers are shifted out, finite
-// uppers become explicit bound rows, free columns are split), maximization,
-// and equality/inequality rows.  Anti-cycling is Dantzig pricing with a
-// Bland's-rule fallback after a run of degenerate pivots.
+// The production LP solver: column bounds are handled natively (no bound
+// rows, no variable splitting — on the FF/DP MILP encodings this roughly
+// halves the row count versus the old dense tableau), constraint rows are
+// stored sparsely, and the optimal basis is returned in LpSolution so
+// callers can warm-start the next solve.  Warm starts restore the caller's
+// basis and, when bound tightenings broke primal feasibility, repair it
+// with a dual-simplex phase — the classic branch-and-bound re-solve, which
+// typically needs a handful of pivots instead of a from-scratch solve.
+//
+// Anti-cycling is Dantzig pricing with a Bland's-rule fallback after a run
+// of degenerate pivots; the basis inverse is refactorized periodically for
+// numerical hygiene.
 //
 // Scope note: this is the Gurobi stand-in for the XPlain reproduction.  It
-// is exact and deliberately simple (dense tableau); the models the paper's
-// analyses generate are small (tens to a few hundred rows), where density
-// is not a bottleneck.
+// is exact; the basis inverse is kept dense, which is the right trade for
+// the tens-to-hundreds-of-rows models the paper's analyses generate.
 #pragma once
 
 #include "solver/lp.h"
@@ -20,13 +27,33 @@ struct SimplexOptions {
   double feas_tol = 1e-7;   // primal feasibility / phase-1 residual
   double pivot_tol = 1e-9;  // minimum admissible pivot magnitude
   double cost_tol = 1e-9;   // reduced-cost optimality threshold
+  /// Refactorize the basis inverse every this many pivots.
+  int refactor_every = 96;
+  /// Skip computing row duals / exporting the optimal basis on kOptimal.
+  /// Sampling-loop callers that use neither shave the extraction work from
+  /// every one of their millions of tiny solves.
+  bool want_duals = true;
+  bool want_basis = true;
 };
 
 /// Solves the relaxation of `p` (integrality markers are ignored).
 ///
-/// On kOptimal the solution carries primal values for every column and dual
+/// On kOptimal the solution carries primal values for every column, dual
 /// values for every row with the convention y_i = d(obj)/d(rhs_i) for the
-/// problem's stated sense.
-LpSolution solve_lp(const LpProblem& p, const SimplexOptions& opts = {});
+/// problem's stated sense, and the optimal Basis.
+///
+/// `warm`, when non-null, must be a basis returned by a previous solve of a
+/// problem with the *same rows* (only bounds may differ — exactly the
+/// branch-and-bound situation).  The solver re-installs it, repairs primal
+/// feasibility with dual simplex if bound changes broke it, and falls back
+/// to a cold solve if the basis is stale or singular.  Warm starts never
+/// change the answer, only the path to it.
+LpSolution solve_lp(const LpProblem& p, const SimplexOptions& opts = {},
+                    const Basis* warm = nullptr);
+
+/// The old dense two-phase tableau implementation, retained as a reference
+/// oracle for tests (exact but slow; no bounds handling beyond row
+/// encodings, no warm starts).
+LpSolution solve_lp_tableau(const LpProblem& p, const SimplexOptions& opts = {});
 
 }  // namespace xplain::solver

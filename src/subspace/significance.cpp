@@ -1,6 +1,7 @@
 #include "subspace/significance.h"
 
 #include "stats/descriptive.h"
+#include "util/parallel.h"
 
 namespace xplain::subspace {
 
@@ -12,7 +13,11 @@ SignificanceReport check_significance(const analyzer::GapEvaluator& eval,
   const Box limit = eval.input_box();
   const Box shell_box = inflate(region.box, opts.shell_frac, limit);
 
-  std::vector<double> inside_gaps, outside_gaps;
+  // Phase 1 (sequential, cheap): rejection-sample the paired points from
+  // the checker's single stream — geometry tests only, no gap evaluations,
+  // so the drawn sequence matches the single-threaded code exactly.
+  std::vector<std::pair<std::vector<double>, std::vector<double>>> pairs;
+  pairs.reserve(opts.pairs);
   for (int p = 0; p < opts.pairs; ++p) {
     // Inside draw: rejection-sample the polytope within its box.
     std::vector<double> xin;
@@ -35,9 +40,19 @@ SignificanceReport check_significance(const analyzer::GapEvaluator& eval,
       }
     }
     if (xout.empty()) continue;
-    inside_gaps.push_back(eval.gap(xin));
-    outside_gaps.push_back(eval.gap(xout));
+    pairs.emplace_back(std::move(xin), std::move(xout));
   }
+
+  // Phase 2 (parallel): the expensive gap evaluations, two per pair, into
+  // slot-indexed storage — bitwise identical for any worker count.
+  std::vector<double> inside_gaps(pairs.size()), outside_gaps(pairs.size());
+  util::parallel_chunks(
+      pairs.size(), opts.workers, [&](std::size_t begin, std::size_t end, int) {
+        for (std::size_t p = begin; p < end; ++p) {
+          inside_gaps[p] = eval.gap(pairs[p].first);
+          outside_gaps[p] = eval.gap(pairs[p].second);
+        }
+      });
 
   rep.pairs_collected = static_cast<int>(inside_gaps.size());
   if (rep.pairs_collected == 0) return rep;

@@ -16,6 +16,12 @@ struct SignificanceOptions {
   double p_threshold = 0.05;
   double shell_frac = 0.4;  // shell width as a fraction of the region box
   std::uint64_t seed = 7;
+  /// Worker threads for the paired gap evaluations; <= 0 = one per
+  /// hardware thread.  The paired points are drawn sequentially from one
+  /// stream (geometry only — identical to the single-threaded sequence);
+  /// only the expensive gap scoring fans out, into slot-indexed storage:
+  /// bitwise deterministic for any worker count.
+  int workers = 1;
 };
 
 struct SignificanceReport {

@@ -1,8 +1,9 @@
 #include "te/maxflow.h"
 
 #include <cassert>
+#include <utility>
 
-#include "model/model.h"
+#include "solver/simplex.h"
 
 namespace xplain::te {
 
@@ -23,32 +24,46 @@ FlowResult solve_max_flow(const TeInstance& inst, const std::vector<double>& d,
                           const std::vector<double>* residual_caps,
                           const std::vector<bool>* skip) {
   assert(static_cast<int>(d.size()) == inst.num_pairs());
-  model::Model m;
-  // Per (pair, path) flow variable.
-  std::vector<std::vector<model::Var>> f(inst.num_pairs());
-  model::LinExpr total;
-  std::vector<model::LinExpr> link_load(inst.topo.num_links());
+  // This runs once or twice per gap() evaluation — the innermost loop of
+  // the sampling stages — so the LP is assembled directly (no Model /
+  // LinExpr temporaries; that front end measurably dominated the solve on
+  // these tiny instances).
+  solver::LpProblem lp;
+  lp.sense = solver::Sense::kMaximize;
+  int nvars = 0;
+  for (int k = 0; k < inst.num_pairs(); ++k)
+    if (!skip || !(*skip)[k])
+      nvars += static_cast<int>(inst.pairs[k].paths.size());
+  lp.reserve(nvars, inst.num_pairs() + inst.topo.num_links());
+  // Per (pair, path) flow variable; objective 1 on each (maximize total).
+  std::vector<int> first_var(inst.num_pairs(), -1);
+  std::vector<std::vector<std::pair<int, double>>> link_load(
+      inst.topo.num_links());
+  std::vector<std::pair<int, double>> routed;
   for (int k = 0; k < inst.num_pairs(); ++k) {
     if (skip && (*skip)[k]) continue;
     const auto& paths = inst.pairs[k].paths;
-    model::LinExpr routed;
+    routed.clear();
     for (std::size_t p = 0; p < paths.size(); ++p) {
-      model::Var v = m.add_continuous(0, solver::kInf);
-      f[k].push_back(v);
-      routed += model::LinExpr(v);
+      const int v = lp.add_col(0, solver::kInf, 1.0);
+      if (p == 0) first_var[k] = v;
+      routed.emplace_back(v, 1.0);
       for (LinkId l : paths[p].links(inst.topo))
-        link_load[l.v] += model::LinExpr(v);
+        link_load[l.v].emplace_back(v, 1.0);
     }
-    m.add(routed <= model::LinExpr(d[k]));
-    total += routed;
+    lp.add_row(routed, solver::RowSense::kLe, d[k]);
   }
   for (int l = 0; l < inst.topo.num_links(); ++l) {
     const double cap =
         residual_caps ? (*residual_caps)[l] : inst.topo.link(LinkId{l}).capacity;
-    m.add(link_load[l] <= model::LinExpr(cap));
+    lp.add_row(std::move(link_load[l]), solver::RowSense::kLe, cap);
   }
-  m.set_objective(solver::Sense::kMaximize, total);
-  auto s = m.solve_lp();
+  // Neither the duals nor the basis are consumed here — skip extracting
+  // them on this innermost-loop solve.
+  solver::SimplexOptions sopts;
+  sopts.want_duals = false;
+  sopts.want_basis = false;
+  auto s = solver::solve_lp(lp, sopts);
 
   FlowResult res;
   if (s.status != solver::Status::kOptimal) return res;
@@ -57,8 +72,9 @@ FlowResult solve_max_flow(const TeInstance& inst, const std::vector<double>& d,
   res.flow.resize(inst.num_pairs());
   for (int k = 0; k < inst.num_pairs(); ++k) {
     res.flow[k].assign(inst.pairs[k].paths.size(), 0.0);
-    for (std::size_t p = 0; p < f[k].size(); ++p)
-      res.flow[k][p] = s.x[f[k][p].index];
+    if (first_var[k] < 0) continue;
+    for (std::size_t p = 0; p < inst.pairs[k].paths.size(); ++p)
+      res.flow[k][p] = s.x[first_var[k] + static_cast<int>(p)];
   }
   return res;
 }

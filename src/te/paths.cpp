@@ -9,6 +9,7 @@ namespace xplain::te {
 
 std::vector<LinkId> Path::links(const Topology& t) const {
   std::vector<LinkId> out;
+  out.reserve(nodes.empty() ? 0 : nodes.size() - 1);
   for (std::size_t i = 0; i + 1 < nodes.size(); ++i)
     out.push_back(t.find_link(nodes[i], nodes[i + 1]));
   return out;

@@ -2,9 +2,17 @@
 
 namespace xplain::te {
 
+namespace {
+std::uint64_t link_key(int from, int to) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+         static_cast<std::uint32_t>(to);
+}
+}  // namespace
+
 LinkId Topology::add_link(int from, int to, double capacity) {
   LinkId id{num_links()};
   links_.push_back({from, to, capacity});
+  link_index_.emplace(link_key(from, to), id.v);
   return id;
 }
 
@@ -14,9 +22,8 @@ void Topology::add_bidi(int a, int b, double capacity) {
 }
 
 LinkId Topology::find_link(int from, int to) const {
-  for (int i = 0; i < num_links(); ++i)
-    if (links_[i].from == from && links_[i].to == to) return LinkId{i};
-  return LinkId{};
+  auto it = link_index_.find(link_key(from, to));
+  return it == link_index_.end() ? LinkId{} : LinkId{it->second};
 }
 
 std::vector<LinkId> Topology::out_links(int node) const {

@@ -3,7 +3,9 @@
 // (paper §5.4) uses to produce diverse problem instances.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "util/random.h"
@@ -61,6 +63,9 @@ class Topology {
  private:
   int num_nodes_ = 0;
   std::vector<Link> links_;
+  // (from, to) -> link index, so find_link is O(1) — it sits inside every
+  // path-to-links translation on the sampling hot path.
+  std::unordered_map<std::uint64_t, int> link_index_;
 };
 
 }  // namespace xplain::te

@@ -1,0 +1,55 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xplain::util {
+
+int resolve_workers(int workers) {
+  if (workers > 0) return workers;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void parallel_chunks(
+    std::size_t n, int workers,
+    const std::function<void(std::size_t, std::size_t, int)>& fn) {
+  if (n == 0) return;
+  workers = std::min<std::size_t>(resolve_workers(workers), n);
+  if (workers <= 1) {
+    fn(0, n, 0);
+    return;
+  }
+  // Dynamic chunking: small enough for load balance across slots of very
+  // different cost (rejection sampling, LP solves), large enough that the
+  // atomic fetch is noise.
+  const std::size_t chunk =
+      std::max<std::size_t>(1, n / (static_cast<std::size_t>(workers) * 8));
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  auto body = [&](int worker) {
+    for (std::size_t begin = next.fetch_add(chunk); begin < n;
+         begin = next.fetch_add(chunk)) {
+      try {
+        fn(begin, std::min(begin + chunk, n), worker);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        next.store(n);
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (int w = 1; w < workers; ++w) pool.emplace_back(body, w);
+  body(0);
+  for (auto& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace xplain::util

@@ -1,0 +1,28 @@
+// Shared worker-pool helper for the sampling hot loops.
+//
+// The contract every parallel stage in XPlain follows (first proven out by
+// xplain::run_batch): work is split into index-addressed slots, each slot's
+// randomness comes from a seed derived purely from (base seed, slot index),
+// and slot results land in slot-indexed storage or are merged with exact
+// (integer / order-independent) arithmetic.  Under that contract the output
+// is bitwise identical for ANY worker count — parallelism changes only the
+// wall clock, never the answer.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace xplain::util {
+
+/// Resolves a worker-count option: n <= 0 means "one per hardware thread".
+int resolve_workers(int workers);
+
+/// Runs fn(begin, end, worker) over dynamic chunks of [0, n) on `workers`
+/// threads (after resolve_workers; 1 or tiny n degenerates to an inline
+/// call).  `worker` is in [0, workers) — index per-worker accumulators with
+/// it.  Exceptions thrown by fn propagate to the caller (first one wins).
+void parallel_chunks(
+    std::size_t n, int workers,
+    const std::function<void(std::size_t, std::size_t, int)>& fn);
+
+}  // namespace xplain::util

@@ -19,14 +19,16 @@ struct Bnb {
   std::vector<int> best_assign;      // by sorted position
   std::vector<double> load;          // open bin loads
   std::vector<int> assign;
+  std::vector<double> suffix;        // suffix[i] = sum of sizes[i..)
+  double open_residual = 0.0;        // sum over open bins of (capacity-load)
 
   Bnb(const std::vector<double>& s, const std::vector<int>& o, double cap)
-      : sizes(s), order(o), capacity(cap) {}
-
-  double remaining_after(int i) const {
-    double r = 0.0;
-    for (std::size_t j = i; j < sizes.size(); ++j) r += sizes[j];
-    return r;
+      : sizes(s), order(o), capacity(cap) {
+    // Suffix sums turn the per-node remaining-volume bound from O(n) into
+    // O(1); the open-bin residual is maintained incrementally the same way.
+    suffix.assign(s.size() + 1, 0.0);
+    for (std::size_t i = s.size(); i > 0; --i)
+      suffix[i - 1] = suffix[i] + s[i - 1];
   }
 
   void dfs(int i) {
@@ -38,9 +40,8 @@ struct Bnb {
     }
     // Lower bound: open bins + extra bins forced by remaining volume beyond
     // the open bins' residual capacity.
-    double residual = 0.0;
-    for (double l : load) residual += capacity - l;
-    const double rem = remaining_after(i);
+    const double residual = open_residual;
+    const double rem = suffix[i];
     const int lb = static_cast<int>(load.size()) +
                    std::max(0, static_cast<int>(std::ceil(
                                    (rem - residual) / capacity - 1e-12)));
@@ -53,16 +54,20 @@ struct Bnb {
       last_load = load[j];
       if (load[j] + sizes[i] > capacity + 1e-12) continue;
       load[j] += sizes[i];
+      open_residual -= sizes[i];
       assign.push_back(static_cast<int>(j));
       dfs(i + 1);
       assign.pop_back();
+      open_residual += sizes[i];
       load[j] -= sizes[i];
     }
     // Open a new bin.
     load.push_back(sizes[i]);
+    open_residual += capacity - sizes[i];
     assign.push_back(static_cast<int>(load.size()) - 1);
     dfs(i + 1);
     assign.pop_back();
+    open_residual -= capacity - sizes[i];
     load.pop_back();
   }
 };

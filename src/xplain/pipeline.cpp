@@ -1,12 +1,10 @@
 #include "xplain/pipeline.h"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
 
+#include "solver/lp.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace xplain {
@@ -59,6 +57,8 @@ StageTimes& StageTimes::operator+=(const StageTimes& o) {
   analyze_seconds += o.analyze_seconds;
   subspace_seconds += o.subspace_seconds;
   explain_seconds += o.explain_seconds;
+  lp_solves += o.lp_solves;
+  lp_iterations += o.lp_iterations;
   return *this;
 }
 
@@ -80,6 +80,7 @@ PipelineResult run_pipeline(const analyzer::GapEvaluator& eval,
                             const explain::FlowOracle& oracle,
                             const PipelineOptions& opts) {
   util::Timer timer;
+  const solver::LpCounters lp0 = solver::lp_counters();
   PipelineResult out;
 
   TimedAnalyzer timed(an, out.stages.analyze_seconds, out.best_gap_found);
@@ -100,9 +101,13 @@ PipelineResult run_pipeline(const analyzer::GapEvaluator& eval,
     }
     out.stages.explain_seconds = stage.seconds();
   }
+  const solver::LpCounters lp1 = solver::lp_counters();
+  out.stages.lp_solves = lp1.solves - lp0.solves;
+  out.stages.lp_iterations = lp1.iterations - lp0.iterations;
   out.wall_seconds = timer.seconds();
   XPLAIN_INFO << "pipeline: " << out.subspaces.size() << " subspaces in "
-              << out.wall_seconds << "s";
+              << out.wall_seconds << "s (" << out.stages.lp_solves
+              << " LP solves)";
   return out;
 }
 
@@ -129,47 +134,41 @@ PipelineResult run_pipeline(const HeuristicCase& c,
 BatchResult run_batch(const CaseList& cases, const PipelineOptions& opts,
                       const BatchOptions& batch) {
   util::Timer timer;
+  const solver::LpCounters lp0 = solver::lp_counters();
   BatchResult out;
   out.results.resize(cases.size());
 
-  std::atomic<std::size_t> next{0};
-  // First exception wins and stops further scheduling; rethrown after the
-  // join so a throwing case behaves the same for any worker count.
-  std::exception_ptr error;
-  std::mutex error_mu;
-  auto worker = [&] {
-    for (std::size_t i = next.fetch_add(1); i < cases.size();
-         i = next.fetch_add(1)) {
-      if (!cases[i]) continue;
-      try {
-        out.results[i] = run_pipeline(
-            *cases[i], batch.reseed_per_instance
-                           ? reseed(opts, static_cast<int>(i))
-                           : opts);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!error) error = std::current_exception();
-        next.store(cases.size());
-      }
-    }
-  };
-
   const int workers = std::max(
       1, std::min<int>(batch.workers, static_cast<int>(cases.size())));
-  if (workers <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
-  }
-  if (error) std::rethrow_exception(error);
+
+  // Scheduling, first-exception-wins propagation, and worker clamping all
+  // come from the shared worker-pool helper; determinism holds because
+  // results land in slot-indexed storage and every instance's options are a
+  // pure function of (opts, i).
+  util::parallel_chunks(
+      cases.size(), workers, [&](std::size_t begin, std::size_t end, int) {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (!cases[i]) continue;
+          PipelineOptions o = batch.reseed_per_instance
+                                  ? reseed(opts, static_cast<int>(i))
+                                  : opts;
+          // The batch already fans out across instances; an "auto" explain
+          // pool inside every concurrent pipeline would oversubscribe the
+          // machine workers-fold.  An explicit positive count is respected.
+          if (workers > 1 && o.explain.workers <= 0) o.explain.workers = 1;
+          out.results[i] = run_pipeline(*cases[i], o);
+        }
+      });
 
   for (const auto& r : out.results) {
     out.trace += r.trace;
     out.stages += r.stages;
   }
+  // With concurrent workers the per-instance counter deltas overlap (the
+  // counters are process-wide); the batch-level snapshot is exact.
+  const solver::LpCounters lp1 = solver::lp_counters();
+  out.stages.lp_solves = lp1.solves - lp0.solves;
+  out.stages.lp_iterations = lp1.iterations - lp0.iterations;
   out.wall_seconds = timer.seconds();
   XPLAIN_INFO << "batch: " << cases.size() << " instances, "
               << out.total_subspaces() << " subspaces, " << workers

@@ -14,6 +14,7 @@
 // callers assembling pieces by hand.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,12 +35,18 @@ struct PipelineOptions {
   std::uint64_t seed_salt = 0;
 };
 
-/// Per-stage wall-clock breakdown of one pipeline run.
+/// Per-stage wall-clock breakdown of one pipeline run, plus the LP solver
+/// work the run triggered (from solver::lp_counters deltas; in run_batch
+/// with several workers the per-instance attribution is approximate because
+/// the counters are process-wide, and the batch total is snapshotted
+/// globally instead).
 struct StageTimes {
   double compile_seconds = 0.0;   // case -> evaluator/analyzer/oracle
   double analyze_seconds = 0.0;   // inside HeuristicAnalyzer::find_adversarial
   double subspace_seconds = 0.0;  // expansion + tree + significance
   double explain_seconds = 0.0;   // Type-2 sampling
+  long lp_solves = 0;             // LP relaxations solved during the run
+  long lp_iterations = 0;         // simplex pivots across those solves
 
   double total() const {
     return compile_seconds + analyze_seconds + subspace_seconds +

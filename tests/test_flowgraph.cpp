@@ -463,7 +463,7 @@ TEST(Dot, RendersHeatAndStructure) {
                         .edge("d", "t").cap(5)
                         .objective("t", true)
                         .build();
-  std::map<int, double> heat{{0, -0.8}};
+  std::vector<double> heat{-0.8};
   DotOptions opts;
   opts.edge_heat = &heat;
   const std::string dot = to_dot(net, opts);

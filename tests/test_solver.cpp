@@ -225,6 +225,139 @@ TEST_P(RandomLpProperty, StrongDualityAndFeasibility) {
 INSTANTIATE_TEST_SUITE_P(Sweep, RandomLpProperty, ::testing::Range(0, 40));
 
 // ---------------------------------------------------------------------------
+// Revised simplex vs. the retained dense-tableau oracle, and warm-start
+// equivalence: warm solves must agree with cold solves in status and
+// optimum on LPs with tightened bounds (the branch-and-bound situation).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Random LP exercising every bound shape (finite/infinite/negative lowers,
+// finite uppers, free and fixed columns) and every row sense.
+LpProblem random_bounded_lp(xplain::util::Rng& rng) {
+  LpProblem p;
+  p.sense = rng.bernoulli(0.5) ? Sense::kMaximize : Sense::kMinimize;
+  const int n = rng.uniform_int(2, 7);
+  for (int j = 0; j < n; ++j) {
+    const int shape = rng.uniform_int(0, 4);
+    double lo = 0.0, hi = kInf;
+    if (shape == 0) {            // [0, u]
+      hi = rng.uniform(0.5, 8.0);
+    } else if (shape == 1) {     // [-l, u]
+      lo = -rng.uniform(0.5, 5.0);
+      hi = rng.uniform(0.5, 8.0);
+    } else if (shape == 2) {     // (-inf, u]
+      lo = -kInf;
+      hi = rng.uniform(0.0, 6.0);
+    } else if (shape == 3) {     // fixed
+      lo = hi = rng.uniform(-2.0, 2.0);
+    }                            // else [0, inf)
+    p.add_col(lo, hi, rng.uniform(-3.0, 3.0));
+  }
+  const int m = rng.uniform_int(1, 5);
+  for (int i = 0; i < m; ++i) {
+    std::vector<std::pair<int, double>> coef;
+    for (int j = 0; j < n; ++j)
+      if (rng.bernoulli(0.7)) coef.emplace_back(j, rng.uniform(-2.0, 3.0));
+    if (coef.empty()) coef.emplace_back(rng.uniform_int(0, n - 1), 1.0);
+    const int s = rng.uniform_int(0, 5);
+    const RowSense sense = s <= 2   ? RowSense::kLe
+                           : s <= 4 ? RowSense::kGe
+                                    : RowSense::kEq;
+    p.add_row(std::move(coef), sense, rng.uniform(-4.0, 12.0));
+  }
+  return p;
+}
+
+void expect_agreement(const LpProblem& p, const xs::LpSolution& a,
+                      const xs::LpSolution& b, const char* what) {
+  ASSERT_EQ(a.status, b.status) << what << "\n" << p.to_string();
+  if (a.status != Status::kOptimal) return;
+  EXPECT_NEAR(a.obj, b.obj, 1e-6 * (1.0 + std::abs(b.obj)))
+      << what << "\n" << p.to_string();
+  EXPECT_TRUE(p.feasible(a.x, 1e-6)) << what << "\n" << p.to_string();
+}
+
+}  // namespace
+
+TEST(SimplexOracle, NamedCasesMatchTableau) {
+  std::vector<LpProblem> cases;
+  cases.push_back(textbook_max());
+  {
+    LpProblem p;
+    int x = p.add_col(0, kInf, 2, false, "x");
+    int y = p.add_col(0, kInf, 3, false, "y");
+    p.add_row({{x, 1}, {y, 1}}, RowSense::kGe, 10);
+    p.add_row({{x, 1}, {y, -1}}, RowSense::kLe, 4);
+    cases.push_back(p);
+  }
+  {
+    LpProblem p;
+    p.sense = Sense::kMaximize;
+    p.add_col(0, 2.5, 1, false, "x");
+    p.add_col(0, 1.5, 1, false, "y");
+    p.add_row({{0, 1}, {1, 1}}, RowSense::kLe, 100);
+    cases.push_back(p);
+  }
+  {
+    LpProblem p;
+    int x = p.add_col(-5, kInf, 1, false, "x");
+    int y = p.add_col(-kInf, 3, 0, false, "y");
+    p.add_row({{x, 1}, {y, 1}}, RowSense::kEq, 0);
+    cases.push_back(p);
+  }
+  for (const auto& p : cases)
+    expect_agreement(p, xs::solve_lp(p), xs::solve_lp_tableau(p), "named");
+}
+
+class RandomLpOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLpOracle, MatchesTableau) {
+  xplain::util::Rng rng(4242 + GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    LpProblem p = random_bounded_lp(rng);
+    expect_agreement(p, xs::solve_lp(p), xs::solve_lp_tableau(p), "random");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomLpOracle, ::testing::Range(0, 25));
+
+TEST(SimplexWarmStart, WarmEqualsColdUnderBoundTightenings) {
+  xplain::util::Rng rng(20240715);
+  int solved = 0;
+  for (int trial = 0; trial < 1200 && solved < 250; ++trial) {
+    LpProblem p = random_bounded_lp(rng);
+    auto cold = xs::solve_lp(p);
+    if (cold.status != Status::kOptimal) continue;
+    // Tighten 1-3 random column boxes the way branch-and-bound would:
+    // around (or away from) the optimal point.
+    LpProblem q = p;
+    const int cuts = rng.uniform_int(1, 3);
+    for (int c = 0; c < cuts; ++c) {
+      const int j = rng.uniform_int(0, p.num_cols() - 1);
+      const double x = cold.x[j];
+      if (rng.bernoulli(0.5)) {
+        q.set_bounds(j, q.lo(j), std::min(q.hi(j), x - rng.uniform(0.0, 1.5)));
+      } else {
+        q.set_bounds(j, std::max(q.lo(j), x + rng.uniform(0.0, 1.5)), q.hi(j));
+      }
+    }
+    auto warm = xs::solve_lp(q, {}, &cold.basis);
+    auto fresh = xs::solve_lp(q);
+    ASSERT_EQ(warm.status, fresh.status)
+        << p.to_string() << "--- tightened ---\n" << q.to_string();
+    if (warm.status == Status::kOptimal) {
+      EXPECT_NEAR(warm.obj, fresh.obj, 1e-6 * (1.0 + std::abs(fresh.obj)))
+          << q.to_string();
+      EXPECT_TRUE(q.feasible(warm.x, 1e-6)) << q.to_string();
+    }
+    ++solved;
+  }
+  // The generator must actually exercise the warm path.
+  EXPECT_GE(solved, 200);
+}
+
+// ---------------------------------------------------------------------------
 // MILP tests.
 // ---------------------------------------------------------------------------
 

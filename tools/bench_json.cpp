@@ -1,0 +1,56 @@
+#include "bench_json.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "solver/lp.h"
+#include "util/timer.h"
+
+namespace xplain::tools {
+
+struct BenchReport::Impl {
+  std::string name;
+  util::Timer timer;
+  solver::LpCounters start;
+  std::vector<std::pair<std::string, double>> extra;
+  bool written = false;
+};
+
+BenchReport::BenchReport(std::string name) : impl_(new Impl) {
+  impl_->name = std::move(name);
+  impl_->start = solver::lp_counters();
+}
+
+BenchReport::~BenchReport() {
+  write();
+  delete impl_;
+}
+
+void BenchReport::metric(const std::string& key, double value) {
+  impl_->extra.emplace_back(key, value);
+}
+
+void BenchReport::write() {
+  if (impl_->written) return;
+  impl_->written = true;
+  const double wall = impl_->timer.seconds();
+  const solver::LpCounters end = solver::lp_counters();
+  std::ostringstream os;
+  os.precision(9);
+  os << "{\n"
+     << "  \"bench\": \"" << impl_->name << "\",\n"
+     << "  \"wall_seconds\": " << wall << ",\n"
+     << "  \"lp_solves\": " << end.solves - impl_->start.solves << ",\n"
+     << "  \"lp_iterations\": " << end.iterations - impl_->start.iterations
+     << ",\n"
+     << "  \"lp_warm_solves\": "
+     << end.warm_solves - impl_->start.warm_solves;
+  for (const auto& [k, v] : impl_->extra) os << ",\n  \"" << k << "\": " << v;
+  os << "\n}\n";
+  std::ofstream out("BENCH_" + impl_->name + ".json");
+  out << os.str();
+}
+
+}  // namespace xplain::tools

@@ -1,0 +1,34 @@
+// Machine-readable bench reporting.
+//
+// Every bench_* binary declares one BenchReport at the top of main(); on
+// destruction it writes BENCH_<name>.json next to the working directory
+// with the end-to-end wall time and the LP solver work (solves, simplex
+// iterations, warm-started solves) the run triggered.  CI uploads these as
+// artifacts, giving the repo a perf trajectory instead of eyeballed logs.
+#pragma once
+
+#include <string>
+
+namespace xplain::tools {
+
+class BenchReport {
+ public:
+  /// `name` names the output file: BENCH_<name>.json.
+  explicit BenchReport(std::string name);
+  ~BenchReport();
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  /// Attaches an extra numeric datum (e.g. a bench-specific count).
+  void metric(const std::string& key, double value);
+
+  /// Writes the JSON now (also called by the destructor; idempotent).
+  void write();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace xplain::tools
