@@ -1,16 +1,55 @@
 #include "cases/dp_case.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <memory>
 
 #include "generalize/features.h"
 #include "te/maxflow.h"
 
 namespace xplain::cases {
 
+namespace {
+
+/// Per-thread max-flow structure cache for the dp_gap sampling hot loop.
+///
+/// A gap() call solves two max-flow LPs on the SAME instance (the residual
+/// flow inside run_demand_pinning and the OPT benchmark); with thousands of
+/// samples per pipeline stage, rebuilding the LpProblem per call was pure
+/// front-end overhead (the PR 3 headroom note in ROADMAP.md).  Each thread
+/// keeps one MaxFlowSolver per live evaluator identity: structure is built
+/// once, every sample's solves just move column bounds and warm-start from
+/// the solver's fixed reference basis.  Keyed by a process-unique id rather
+/// than the evaluator pointer so a recycled allocation can never alias a
+/// dead evaluator's cache entry; the single slot is enough because sampling
+/// stages drive one evaluator at a time.  Determinism: the reference-basis
+/// warm start makes every solve a pure function of its inputs, so worker
+/// count and sample order never change results (test_parallel_determinism).
+std::uint64_t next_evaluator_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;
+}
+
+te::MaxFlowSolver& thread_max_flow_solver(std::uint64_t id,
+                                          const te::TeInstance& inst) {
+  thread_local std::uint64_t cached_id = 0;
+  thread_local std::unique_ptr<te::MaxFlowSolver> solver;
+  if (cached_id != id) {
+    solver = std::make_unique<te::MaxFlowSolver>(inst);
+    cached_id = id;
+  }
+  return *solver;
+}
+
+}  // namespace
+
 DpGapEvaluator::DpGapEvaluator(te::TeInstance inst, te::DpConfig cfg,
                                double quantum)
-    : inst_(std::move(inst)), cfg_(cfg), quantum_(quantum) {}
+    : inst_(std::move(inst)),
+      cfg_(cfg),
+      quantum_(quantum),
+      cache_id_(next_evaluator_id()) {}
 
 int DpGapEvaluator::dim() const { return inst_.num_pairs(); }
 
@@ -22,7 +61,8 @@ analyzer::Box DpGapEvaluator::input_box() const {
 }
 
 double DpGapEvaluator::gap(const std::vector<double>& x) const {
-  return te::dp_gap(inst_, cfg_, x);
+  return te::dp_gap(inst_, cfg_, x,
+                    &thread_max_flow_solver(cache_id_, inst_));
 }
 
 std::vector<double> DpGapEvaluator::quantize(

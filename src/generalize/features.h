@@ -7,6 +7,7 @@
 #include <map>
 #include <string>
 
+#include "lb/instance.h"
 #include "te/demand_pinning.h"
 #include "vbp/instance.h"
 
@@ -27,5 +28,16 @@ FeatureMap dp_instance_features(const te::TeInstance& inst,
 
 /// VBP instance features: num_balls, num_bins, dims, capacity.
 FeatureMap vbp_instance_features(const vbp::VbpInstance& inst);
+
+/// LB instance features:
+///   num_commodities, num_links, num_nodes
+///   paths_per_commodity   mean candidate-path count
+///   path_hops             mean hop count across all candidate paths
+///   shared_link_degree    mean number of candidate paths crossing a link
+///                         (the contention WCMP's local splits ignore)
+///   demand_cap_ratio      num_commodities * t_max / total link capacity
+///   skew_span             skew_hi - skew_lo (0: no skew dimension)
+///   skewed_links          number of links the skew dimension squeezes
+FeatureMap lb_instance_features(const lb::LbInstance& inst);
 
 }  // namespace xplain::generalize

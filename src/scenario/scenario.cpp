@@ -1,0 +1,202 @@
+#include "scenario/scenario.h"
+
+#include <cassert>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "util/random.h"
+
+namespace xplain::scenario {
+
+namespace {
+
+// Fat-tree node-id layout, shared by the builder and the endpoint pool:
+// cores first, then per pod k/2 aggregation + k/2 edge switches.
+int fat_tree_cores(int k) { return (k / 2) * (k / 2); }
+int fat_tree_agg_id(int k, int pod, int j) {
+  return fat_tree_cores(k) + pod * k + j;
+}
+int fat_tree_edge_id(int k, int pod, int j) {
+  return fat_tree_cores(k) + pod * k + k / 2 + j;
+}
+
+te::Topology fat_tree(int k, double edge_capacity) {
+  assert(k >= 2 && k % 2 == 0);
+  const int half = k / 2;
+  te::Topology t(fat_tree_cores(k) + k * k);
+  for (int pod = 0; pod < k; ++pod) {
+    for (int e = 0; e < half; ++e)
+      for (int a = 0; a < half; ++a)
+        t.add_bidi(fat_tree_edge_id(k, pod, e), fat_tree_agg_id(k, pod, a),
+                   edge_capacity);
+    // Aggregation switch j uplinks to core group j; uplinks carry 2x the
+    // edge capacity (this is the tier the LB skew dimension squeezes).
+    for (int a = 0; a < half; ++a)
+      for (int c = 0; c < half; ++c)
+        t.add_bidi(fat_tree_agg_id(k, pod, a), a * half + c,
+                   2.0 * edge_capacity);
+  }
+  return t;
+}
+
+te::Topology waxman(const ScenarioSpec& spec) {
+  const int n = spec.size;
+  util::Rng rng(util::Rng::derive_seed(spec.seed, /*index=*/0));
+  std::vector<double> px(n), py(n);
+  for (int i = 0; i < n; ++i) {
+    px[i] = rng.uniform(0.0, 1.0);
+    py[i] = rng.uniform(0.0, 1.0);
+  }
+  auto cap = [&]() { return rng.uniform(0.5 * spec.capacity, spec.capacity); };
+  te::Topology t(n);
+  // Random spanning tree first (guarantees connectivity) ...
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+  for (int i = 1; i < n; ++i) {
+    const int parent = order[rng.uniform_int(0, i - 1)];
+    t.add_bidi(order[i], parent, cap());
+  }
+  // ... then Waxman-probability extra links: nearby nodes link more often.
+  const double scale = spec.waxman_beta * std::sqrt(2.0);
+  for (int a = 0; a < n; ++a)
+    for (int b = a + 1; b < n; ++b) {
+      const double dist = std::hypot(px[a] - px[b], py[a] - py[b]);
+      const double p = spec.waxman_alpha * std::exp(-dist / scale);
+      const bool link = rng.bernoulli(p);
+      if (link && !t.find_link(a, b).valid()) t.add_bidi(a, b, cap());
+    }
+  return t;
+}
+
+te::Topology star(int n, double capacity) {
+  te::Topology t(n);
+  for (int i = 1; i < n; ++i) t.add_bidi(0, i, capacity);
+  return t;
+}
+
+/// Candidate endpoints for demand/commodity selection: the edge tier for
+/// fat-trees (inter-rack traffic), every node otherwise.
+std::vector<int> endpoint_pool(const ScenarioSpec& spec,
+                               const te::Topology& topo) {
+  std::vector<int> pool;
+  if (spec.kind == TopologyKind::kFatTree) {
+    const int k = spec.size;
+    for (int pod = 0; pod < k; ++pod)
+      for (int j = 0; j < k / 2; ++j)
+        pool.push_back(fat_tree_edge_id(k, pod, j));
+  } else {
+    for (int i = 0; i < topo.num_nodes(); ++i) pool.push_back(i);
+  }
+  return pool;
+}
+
+/// `count` distinct ordered (src, dst) pairs, seed-deterministically drawn
+/// from the pool (a different stream than topology construction uses).
+std::vector<std::pair<int, int>> pick_pairs(const ScenarioSpec& spec,
+                                            const std::vector<int>& pool,
+                                            int count) {
+  util::Rng rng(util::Rng::derive_seed(spec.seed, /*index=*/1));
+  std::vector<std::pair<int, int>> pairs;
+  std::set<std::pair<int, int>> seen;
+  const int n = static_cast<int>(pool.size());
+  const long max_distinct = static_cast<long>(n) * (n - 1);
+  for (int attempts = 0;
+       static_cast<int>(pairs.size()) < count &&
+       static_cast<long>(pairs.size()) < max_distinct && attempts < 64 * count;
+       ++attempts) {
+    const int src = pool[rng.uniform_int(0, n - 1)];
+    const int dst = pool[rng.uniform_int(0, n - 1)];
+    if (src == dst) continue;
+    if (!seen.insert({src, dst}).second) continue;
+    pairs.emplace_back(src, dst);
+  }
+  return pairs;
+}
+
+}  // namespace
+
+const char* to_string(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kFatTree: return "fat_tree";
+    case TopologyKind::kWaxman: return "waxman";
+    case TopologyKind::kLine: return "line";
+    case TopologyKind::kStar: return "star";
+  }
+  return "?";
+}
+
+std::string ScenarioSpec::name() const {
+  // The seed is part of every label: it selects the instance endpoints for
+  // all kinds (and the topology for Waxman), so two specs differing only
+  // by seed are genuinely different scenarios.
+  std::string n = to_string(kind);
+  n += kind == TopologyKind::kFatTree ? "_k" : "_n";
+  n += std::to_string(size);
+  n += "_s" + std::to_string(seed);
+  return n;
+}
+
+te::Topology build_topology(const ScenarioSpec& spec) {
+  switch (spec.kind) {
+    case TopologyKind::kFatTree: return fat_tree(spec.size, spec.capacity);
+    case TopologyKind::kWaxman: return waxman(spec);
+    case TopologyKind::kLine: return te::Topology::line(spec.size, spec.capacity);
+    case TopologyKind::kStar: return star(spec.size, spec.capacity);
+  }
+  return te::Topology(0);
+}
+
+te::TeInstance make_te_instance(const ScenarioSpec& spec, int num_pairs,
+                                int k_paths, double d_max) {
+  te::Topology topo = build_topology(spec);
+  if (num_pairs <= 0)
+    return te::TeInstance::all_pairs(std::move(topo), k_paths, d_max);
+  const auto pairs = pick_pairs(spec, endpoint_pool(spec, topo), num_pairs);
+  return te::TeInstance::make(std::move(topo), pairs, k_paths, d_max);
+}
+
+lb::LbInstance make_lb_instance(const ScenarioSpec& spec, int num_commodities,
+                                int k_paths, double t_max, double skew_lo,
+                                double skew_hi) {
+  te::Topology topo = build_topology(spec);
+  const auto pairs =
+      pick_pairs(spec, endpoint_pool(spec, topo), num_commodities);
+  lb::LbInstance inst =
+      lb::LbInstance::make(std::move(topo), pairs, k_paths, t_max);
+  if (skew_hi > skew_lo) inst.skew_top_tier(skew_lo, skew_hi);
+  return inst;
+}
+
+std::vector<ScenarioSpec> default_corpus() {
+  std::vector<ScenarioSpec> corpus;
+  {
+    ScenarioSpec s;
+    s.kind = TopologyKind::kFatTree;
+    s.size = 4;
+    corpus.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.kind = TopologyKind::kWaxman;
+    s.size = 12;
+    s.seed = 7;
+    corpus.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.kind = TopologyKind::kLine;
+    s.size = 6;
+    corpus.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.kind = TopologyKind::kStar;
+    s.size = 8;
+    corpus.push_back(s);
+  }
+  return corpus;
+}
+
+}  // namespace xplain::scenario

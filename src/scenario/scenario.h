@@ -1,0 +1,77 @@
+// Scenario corpus: parameterized, seed-deterministic topology and instance
+// generators, so every registered case (DP, FF/BF, WCMP) can be driven
+// across a corpus of scenarios instead of one fixed example.
+//
+// Scenario generation is a pure function of its ScenarioSpec: the same spec
+// (including its seed) produces the identical topology and instance no
+// matter where, when, or on how many worker threads it is built — the same
+// determinism contract the sampling loops follow (util/parallel.h).
+//
+// Shapes:
+//   kFatTree  k-ary fat-tree switch fabric (k even): (k/2)^2 cores, k pods
+//             of k/2 aggregation + k/2 edge switches; aggregation<->core
+//             uplinks carry 2x the edge capacity (the tier the LB case's
+//             capacity-skew dimension squeezes).
+//   kWaxman   Waxman-style random WAN: nodes uniform in the unit square,
+//             link probability alpha * exp(-dist / (beta * sqrt(2))), made
+//             connected with a random spanning tree first.
+//   kLine     path graph: the serialization stress shape (every commodity
+//             shares the middle links).
+//   kStar     hub-and-spoke: the incast stress shape (everything crosses
+//             the hub).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lb/instance.h"
+#include "te/demand.h"
+#include "te/topology.h"
+
+namespace xplain::scenario {
+
+enum class TopologyKind { kFatTree, kWaxman, kLine, kStar };
+
+const char* to_string(TopologyKind k);
+
+struct ScenarioSpec {
+  TopologyKind kind = TopologyKind::kFatTree;
+  /// Fat-tree arity k (even), or node count for the other shapes.
+  int size = 4;
+  /// Base link capacity (edge tier for fat-trees; cap range top for Waxman).
+  double capacity = 100.0;
+  /// Waxman shape parameters (ignored by the deterministic shapes).
+  double waxman_alpha = 0.7;
+  double waxman_beta = 0.35;
+  /// Seed for the randomized shapes AND for instance endpoint selection.
+  std::uint64_t seed = 1;
+
+  /// Corpus-stable label, e.g. "fat_tree_k4_s1" / "waxman_n12_s7" (the
+  /// seed is always included — it selects instance endpoints everywhere).
+  std::string name() const;
+};
+
+/// Builds the spec's topology (pure function of the spec).
+te::Topology build_topology(const ScenarioSpec& spec);
+
+/// A TE instance over the scenario: `num_pairs` distinct demand pairs
+/// drawn seed-deterministically from the topology's reachable node pairs
+/// (num_pairs <= 0 selects all ordered pairs).
+te::TeInstance make_te_instance(const ScenarioSpec& spec, int num_pairs,
+                                int k_paths, double d_max);
+
+/// An LB instance over the scenario: `num_commodities` distinct commodities
+/// (fat-trees draw endpoints from the edge tier — inter-rack traffic), each
+/// with up to k_paths candidates, rates in [0, t_max], and the top capacity
+/// tier skewed over [skew_lo, skew_hi] (skew_lo >= skew_hi disables the
+/// skew dimension).
+lb::LbInstance make_lb_instance(const ScenarioSpec& spec, int num_commodities,
+                                int k_paths, double t_max, double skew_lo = 1.0,
+                                double skew_hi = 1.0);
+
+/// The default scenario corpus the benches sweep: fat-tree(4), a 12-node
+/// Waxman WAN, and the line/star stress shapes.
+std::vector<ScenarioSpec> default_corpus();
+
+}  // namespace xplain::scenario

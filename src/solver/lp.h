@@ -81,6 +81,12 @@ class LpProblem {
     lo_[j] = lo;
     hi_[j] = hi;
   }
+  /// Moves a row's right-hand side in place (coefficients and sense stay).
+  /// Callers that re-solve a structurally identical problem with fresh
+  /// rhs/bounds (te::MaxFlowSolver) mutate instead of rebuilding; a basis
+  /// from a previous solve stays warm-startable across rhs moves just as
+  /// across bound moves (see solve_lp).
+  void set_row_rhs(int i, double rhs) { rows_[i].rhs = rhs; }
 
   /// Whole bound vectors, for callers (branch-and-bound) that snapshot and
   /// restore bounds without copying the rows.

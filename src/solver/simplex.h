@@ -43,11 +43,15 @@ struct SimplexOptions {
 /// problem's stated sense, and the optimal Basis.
 ///
 /// `warm`, when non-null, must be a basis returned by a previous solve of a
-/// problem with the *same rows* (only bounds may differ — exactly the
-/// branch-and-bound situation).  The solver re-installs it, repairs primal
-/// feasibility with dual simplex if bound changes broke it, and falls back
-/// to a cold solve if the basis is stale or singular.  Warm starts never
-/// change the answer, only the path to it.
+/// problem with the *same structure* — identical columns and row
+/// coefficients; bounds AND row right-hand sides may differ.  (Bound moves
+/// are the branch-and-bound situation; rhs moves are the resampling
+/// situation, e.g. te::MaxFlowSolver.  Both only perturb primal
+/// feasibility, which the dual-simplex repair phase restores — dual
+/// feasibility of a basis never depends on bounds or rhs.)  The solver
+/// re-installs the basis, repairs, and falls back to a cold solve if the
+/// basis is stale or singular.  Warm starts never change the answer, only
+/// the path to it.
 LpSolution solve_lp(const LpProblem& p, const SimplexOptions& opts = {},
                     const Basis* warm = nullptr);
 

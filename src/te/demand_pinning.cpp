@@ -5,7 +5,7 @@
 namespace xplain::te {
 
 DpResult run_demand_pinning(const TeInstance& inst, const DpConfig& cfg,
-                            const std::vector<double>& d) {
+                            const std::vector<double>& d, MaxFlowSolver* mf) {
   assert(static_cast<int>(d.size()) == inst.num_pairs());
   DpResult res;
   res.pinned.assign(inst.num_pairs(), false);
@@ -30,7 +30,8 @@ DpResult run_demand_pinning(const TeInstance& inst, const DpConfig& cfg,
   }
 
   // Phase 2: optimal residual max-flow for the unpinned demands.
-  FlowResult rest = solve_max_flow(inst, d, &residual, &skip);
+  FlowResult rest = mf ? mf->solve(d, &residual, &skip)
+                       : solve_max_flow(inst, d, &residual, &skip);
   if (!rest.feasible) return res;
   res.feasible = true;
   res.total += rest.total;
@@ -42,10 +43,10 @@ DpResult run_demand_pinning(const TeInstance& inst, const DpConfig& cfg,
 }
 
 double dp_gap(const TeInstance& inst, const DpConfig& cfg,
-              const std::vector<double>& d) {
-  DpResult h = run_demand_pinning(inst, cfg, d);
+              const std::vector<double>& d, MaxFlowSolver* mf) {
+  DpResult h = run_demand_pinning(inst, cfg, d, mf);
   if (!h.feasible) return 0.0;
-  FlowResult opt = solve_max_flow(inst, d);
+  FlowResult opt = mf ? mf->solve(d) : solve_max_flow(inst, d);
   if (!opt.feasible) return 0.0;
   return opt.total - h.total;
 }

@@ -35,14 +35,19 @@ struct DpResult {
   std::vector<std::vector<double>> flow;  // flow[k][p]
 };
 
-/// Runs the DP heuristic on demand vector `d`.
+/// Runs the DP heuristic on demand vector `d`.  `mf`, when non-null, is a
+/// prebuilt MaxFlowSolver for `inst` used for the residual solve (the
+/// sampling hot loops keep one per thread instead of rebuilding the LP
+/// every call — see cases/dp_case.cpp).
 DpResult run_demand_pinning(const TeInstance& inst, const DpConfig& cfg,
-                            const std::vector<double>& d);
+                            const std::vector<double>& d,
+                            MaxFlowSolver* mf = nullptr);
 
 /// OPT total minus DP total (>= 0 whenever DP is feasible); 0 when DP is
-/// infeasible on `d` (such points are excluded, matching MetaOpt).
+/// infeasible on `d` (such points are excluded, matching MetaOpt).  `mf` as
+/// in run_demand_pinning (the same solver serves both embedded max-flows).
 double dp_gap(const TeInstance& inst, const DpConfig& cfg,
-              const std::vector<double>& d);
+              const std::vector<double>& d, MaxFlowSolver* mf = nullptr);
 
 // --- DSL face (Fig. 4a). ---
 

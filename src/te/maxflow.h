@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "solver/lp.h"
 #include "te/demand.h"
 
 namespace xplain::te {
@@ -26,5 +27,39 @@ struct FlowResult {
 FlowResult solve_max_flow(const TeInstance& inst, const std::vector<double>& d,
                           const std::vector<double>* residual_caps = nullptr,
                           const std::vector<bool>* skip = nullptr);
+
+/// Reusable max-flow LP for one TE instance: the column/row structure is
+/// built ONCE and every solve only moves row right-hand sides (demands,
+/// residual capacities; a skipped pair is a demand rhs of 0) — the
+/// structure-preserving perturbation the simplex warm start supports.
+///
+/// Every solve warm-starts from one fixed *reference basis* (taken from a
+/// cold solve at the center of the demand box during construction), never
+/// from the previous sample's basis: solve() stays a pure function of its
+/// arguments, which is what keeps the parallel sampling loops bitwise
+/// deterministic for any worker count even though each worker thread owns
+/// its own solver (see the per-thread cache in cases/dp_case.cpp).
+///
+/// Not thread-safe: use one instance per thread.
+class MaxFlowSolver {
+ public:
+  explicit MaxFlowSolver(const TeInstance& inst);
+
+  /// Same contract as solve_max_flow (demands d, optional residual
+  /// capacities, optional skipped pairs).
+  FlowResult solve(const std::vector<double>& d,
+                   const std::vector<double>* residual_caps = nullptr,
+                   const std::vector<bool>* skip = nullptr);
+
+ private:
+  int num_pairs_ = 0;
+  int num_links_ = 0;
+  std::vector<double> base_caps_;
+  std::vector<int> first_flow_var_;  // first f[k][p] column per pair
+  std::vector<int> num_paths_;       // candidate paths per pair
+  solver::LpProblem lp_;
+  solver::Basis reference_basis_;
+  bool has_reference_ = false;
+};
 
 }  // namespace xplain::te

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -11,6 +12,16 @@ namespace xplain::util {
 
 int resolve_workers(int workers) {
   if (workers > 0) return workers;
+  // XPLAIN_WORKERS caps the "auto" pool size process-wide (containers and
+  // CI runners advertise more hardware threads than they should use).  An
+  // explicit positive `workers` argument always wins; unparsable or
+  // non-positive values are ignored.
+  if (const char* env = std::getenv("XPLAIN_WORKERS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0)
+      return static_cast<int>(std::min<long>(v, 4096));
+  }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
 }

@@ -14,7 +14,10 @@
 
 namespace xplain::util {
 
-/// Resolves a worker-count option: n <= 0 means "one per hardware thread".
+/// Resolves a worker-count option: n <= 0 means "one per hardware thread",
+/// unless the XPLAIN_WORKERS environment variable holds a positive integer,
+/// which then overrides the hardware default (an explicit positive argument
+/// always wins over the environment).
 int resolve_workers(int workers);
 
 /// Runs fn(begin, end, worker) over dynamic chunks of [0, n) on `workers`

@@ -5,9 +5,12 @@
 // the answer — and it is what keeps run_batch reproducible end to end.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "analyzer/search_analyzer.h"
 #include "explain/explainer.h"
 #include "subspace/significance.h"
+#include "util/parallel.h"
 #include "xplain/case.h"
 
 namespace {
@@ -92,6 +95,58 @@ TEST(ParallelDeterminism, SignificanceBitwiseEqualAcrossWorkerCounts) {
     EXPECT_EQ(runs[0].mean_gap_outside, runs[r].mean_gap_outside);
     EXPECT_EQ(runs[0].test.p_value, runs[r].test.p_value);
     EXPECT_EQ(runs[0].significant, runs[r].significant);
+  }
+}
+
+TEST(ParallelDeterminism, ResolveWorkersHonorsEnvOverride) {
+  // RAII guard: whatever happens, leave the env as we found it.
+  struct EnvGuard {
+    ~EnvGuard() { unsetenv("XPLAIN_WORKERS"); }
+  } guard;
+
+  setenv("XPLAIN_WORKERS", "3", 1);
+  EXPECT_EQ(util::resolve_workers(0), 3);
+  EXPECT_EQ(util::resolve_workers(-1), 3);
+  // An explicit positive count always wins over the environment.
+  EXPECT_EQ(util::resolve_workers(2), 2);
+  // Garbage and non-positive values fall back to the hardware default.
+  setenv("XPLAIN_WORKERS", "banana", 1);
+  EXPECT_GE(util::resolve_workers(0), 1);
+  setenv("XPLAIN_WORKERS", "0", 1);
+  EXPECT_GE(util::resolve_workers(0), 1);
+  setenv("XPLAIN_WORKERS", "-4", 1);
+  EXPECT_GE(util::resolve_workers(0), 1);
+}
+
+TEST(ParallelDeterminism, EnvWorkerOverrideDoesNotChangeResults) {
+  // workers = 0 resolves through XPLAIN_WORKERS; per the parallel contract
+  // the explanation must stay bitwise identical to an explicit pool size.
+  auto cp = dp_case();
+  const HeuristicCase& c = *cp;
+  auto eval = c.make_evaluator();
+  auto oracle = c.make_oracle();
+  const subspace::Polytope region = central_region(*eval);
+
+  explain::ExplainOptions opts;
+  opts.samples = 200;
+  opts.seed = 777;
+  opts.workers = 4;
+  const auto expected =
+      explain::explain_subspace(*eval, region, c.network(), oracle, opts);
+
+  struct EnvGuard {
+    ~EnvGuard() { unsetenv("XPLAIN_WORKERS"); }
+  } guard;
+  setenv("XPLAIN_WORKERS", "2", 1);
+  opts.workers = 0;  // resolves to the env override
+  const auto via_env =
+      explain::explain_subspace(*eval, region, c.network(), oracle, opts);
+
+  ASSERT_EQ(expected.samples_used, via_env.samples_used);
+  ASSERT_EQ(expected.edges.size(), via_env.edges.size());
+  for (std::size_t e = 0; e < expected.edges.size(); ++e) {
+    EXPECT_EQ(expected.edges[e].heat, via_env.edges[e].heat) << "edge " << e;
+    EXPECT_EQ(expected.edges[e].both, via_env.edges[e].both) << "edge " << e;
   }
 }
 

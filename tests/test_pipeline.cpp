@@ -77,6 +77,39 @@ TEST(Pipeline, BestFitThirdCaseEndToEnd) {
   EXPECT_GE(result.explanations[0].samples_used, 50);
 }
 
+TEST(Pipeline, WcmpFourthCaseEndToEnd) {
+  // The new-subsystem acceptance: the WCMP load-balancing case — a domain
+  // from a different family than DP/FF/BF, on a generated fat-tree(4)
+  // scenario — runs the identical pipeline purely via its registration in
+  // src/cases/lb_case.cpp.
+  auto c = registry().find("wcmp");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->input_box().dim(), 9);  // 8 commodity rates + cap_skew
+  PipelineOptions opts;
+  opts.min_gap = 20.0;
+  opts.subspace.max_subspaces = 1;
+  opts.explain.samples = 150;
+  auto result = run_pipeline(*c, opts);
+
+  EXPECT_EQ(result.case_name, "wcmp");
+  ASSERT_GE(result.subspaces.size(), 1u);
+  const auto& sub = result.subspaces[0];
+  EXPECT_TRUE(sub.significant);
+  EXPECT_GE(sub.seed_gap, 20.0);
+  EXPECT_GT(sub.mean_gap_inside, sub.mean_gap_outside);
+  ASSERT_EQ(result.explanations.size(), result.subspaces.size());
+  EXPECT_GE(result.explanations[0].samples_used, 50);
+  // Type-2 sanity: under contention some edge must be benchmark-preferred
+  // (the optimal's detours) — the WCMP analogue of the DP heat check.
+  double max_heat = -1;
+  for (const auto& e : result.explanations[0].edges)
+    max_heat = std::max(max_heat, e.heat);
+  EXPECT_GT(max_heat, 0.3);
+  // Type-3 feed is wired: LB features are exported.
+  EXPECT_EQ(result.features.count("shared_link_degree"), 1u);
+  EXPECT_EQ(result.features.count("skew_span"), 1u);
+}
+
 TEST(Pipeline, StageTimesArePopulated) {
   auto c = registry().find("demand_pinning");
   ASSERT_NE(c, nullptr);

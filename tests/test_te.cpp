@@ -145,6 +145,69 @@ TEST(DemandPinning, GapIsNonNegativeProperty) {
   }
 }
 
+TEST(MaxFlowSolver, MatchesDirectSolveAcrossDemandsResidualsSkips) {
+  // The warm-started structure cache must be a drop-in for solve_max_flow
+  // under every (d, residual, skip) combination dp_gap exercises.
+  auto inst = TeInstance::fig1a_example();
+  MaxFlowSolver mf(inst);
+  xplain::util::Rng rng(17);
+  for (int it = 0; it < 60; ++it) {
+    std::vector<double> d(3);
+    for (auto& v : d) v = rng.uniform(0, 100);
+    std::vector<double> residual(inst.topo.num_links());
+    for (int l = 0; l < inst.topo.num_links(); ++l)
+      residual[l] = rng.uniform(0.2, 1.0) * inst.topo.link(LinkId{l}).capacity;
+    std::vector<bool> skip(3);
+    for (int k = 0; k < 3; ++k) skip[k] = rng.bernoulli(0.3);
+
+    const auto direct = solve_max_flow(inst, d);
+    const auto cached = mf.solve(d);
+    ASSERT_EQ(direct.feasible, cached.feasible);
+    EXPECT_NEAR(direct.total, cached.total, 1e-6);
+
+    const auto direct_r = solve_max_flow(inst, d, &residual, &skip);
+    const auto cached_r = mf.solve(d, &residual, &skip);
+    ASSERT_EQ(direct_r.feasible, cached_r.feasible);
+    EXPECT_NEAR(direct_r.total, cached_r.total, 1e-6);
+    // Skipped pairs must carry no flow in the cached formulation.
+    for (int k = 0; k < 3; ++k) {
+      if (!skip[k]) continue;
+      for (double f : cached_r.flow[k]) EXPECT_NEAR(f, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(MaxFlowSolver, DpGapAgreesWithUncachedPath) {
+  auto inst = TeInstance::fig1a_example();
+  DpConfig cfg{50.0};
+  MaxFlowSolver mf(inst);
+  xplain::util::Rng rng(23);
+  for (int it = 0; it < 50; ++it) {
+    std::vector<double> d(3);
+    for (auto& v : d) v = rng.uniform(0, 100);
+    EXPECT_NEAR(dp_gap(inst, cfg, d), dp_gap(inst, cfg, d, &mf), 1e-6);
+  }
+}
+
+TEST(MaxFlowSolver, SolveIsAPureFunctionOfItsArguments) {
+  // The fixed reference basis means call history cannot change results —
+  // the property the per-thread evaluator caches rely on for bitwise
+  // parallel determinism.
+  auto inst = TeInstance::fig1a_example();
+  MaxFlowSolver a(inst), b(inst);
+  std::vector<double> d1{90, 80, 70}, d2{10, 95, 40};
+  // Drive `a` through extra history before the comparison solves.
+  for (int it = 0; it < 5; ++it) a.solve({5.0 * it, 100.0 - it, 50.0});
+  const auto ra = a.solve(d1);
+  const auto rb = b.solve(d1);
+  EXPECT_EQ(ra.total, rb.total);  // bitwise
+  EXPECT_EQ(ra.flow, rb.flow);
+  const auto ra2 = a.solve(d2);
+  const auto rb2 = b.solve(d2);
+  EXPECT_EQ(ra2.total, rb2.total);
+  EXPECT_EQ(ra2.flow, rb2.flow);
+}
+
 TEST(DemandPinning, PinnedOverloadIsInfeasible) {
   // Two parallel demands pinned onto one tiny link exceed its capacity.
   Topology t(2);

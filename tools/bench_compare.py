@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Diff a fresh BENCH_*.json against a committed baseline.
+
+Usage:
+    bench_compare.py FRESH.json BASELINE.json [--max-regression 0.25]
+                     [--max-counter-regression 0.25]
+
+Two gates, both exiting non-zero on failure:
+
+* wall_seconds may not regress by more than --max-regression (default 25%).
+  Wall time is machine-dependent — baselines are recorded on a developer
+  machine, CI runners differ — so CI passes a looser threshold here and
+  relies on the counter gate for precision.
+* lp_iterations may not regress by more than --max-counter-regression
+  (default 25%).  The LP work counters are bitwise deterministic for a
+  given code version, so any drift is a real behavior change, not noise;
+  this is the machine-independent regression signal.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="BENCH_*.json from the current run")
+    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed relative wall-time increase (default 0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--max-counter-regression",
+        type=float,
+        default=0.25,
+        help="allowed relative lp_iterations increase (default 0.25)",
+    )
+    args = parser.parse_args()
+
+    fresh = load(args.fresh)
+    base = load(args.baseline)
+
+    if fresh.get("bench") != base.get("bench"):
+        print(
+            f"bench_compare: bench name mismatch: "
+            f"{fresh.get('bench')!r} vs {base.get('bench')!r}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+
+    name = fresh.get("bench", "?")
+    print(f"bench_compare: {name}")
+    for key in ("lp_solves", "lp_iterations", "lp_warm_solves"):
+        f, b = fresh.get(key), base.get(key)
+        if f is None or b is None:
+            continue
+        drift = f" ({100.0 * (f - b) / b:+.1f}%)" if b else ""
+        print(f"  {key:>15}: {f} vs baseline {b}{drift}")
+
+    failed = []
+
+    fi, bi = fresh.get("lp_iterations"), base.get("lp_iterations")
+    if fi is not None and bi:
+        if fi / bi > 1.0 + args.max_counter_regression:
+            failed.append(
+                f"lp_iterations {fi} is {100.0 * (fi / bi - 1.0):.1f}% above "
+                f"baseline {bi} (allowed "
+                f"+{100.0 * args.max_counter_regression:.0f}%; this counter "
+                f"is deterministic — a real behavior change)"
+            )
+
+    fw, bw = fresh.get("wall_seconds"), base.get("wall_seconds")
+    if fw is None or bw is None or bw <= 0:
+        print("bench_compare: missing/invalid wall_seconds", file=sys.stderr)
+        sys.exit(2)
+    ratio = fw / bw
+    print(f"  {'wall_seconds':>15}: {fw:.4f} vs baseline {bw:.4f} "
+          f"({100.0 * (ratio - 1.0):+.1f}%)")
+    if ratio > 1.0 + args.max_regression:
+        failed.append(
+            f"wall_seconds is {100.0 * (ratio - 1.0):.1f}% slower than "
+            f"baseline (allowed +{100.0 * args.max_regression:.0f}%)"
+        )
+
+    if failed:
+        for msg in failed:
+            print(f"bench_compare: FAIL — {name}: {msg}", file=sys.stderr)
+        sys.exit(1)
+    print("bench_compare: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,19 +26,20 @@ err() {
 # types (their definitions live in the cases library).
 core_dirs="analyzer subspace explain flowgraph model solver stats util"
 for dir in $core_dirs; do
-  hits=$(grep -n '#include "\(te\|vbp\|cases\|generalize\|xplain\)/' \
+  hits=$(grep -n '#include "\(te\|vbp\|lb\|scenario\|cases\|generalize\|xplain\)/' \
       src/$dir/*.h src/$dir/*.cpp 2>/dev/null)
   if [ -n "$hits" ]; then
-    err "src/$dir must not include te/, vbp/, cases/, generalize/ or xplain/:
+    err "src/$dir must not include te/, vbp/, lb/, scenario/, cases/,
+generalize/ or xplain/:
 $hits"
   fi
 done
 
-xplain_hits=$(grep -n '#include "\(te\|vbp\|cases\|generalize\)/' \
+xplain_hits=$(grep -n '#include "\(te\|vbp\|lb\|scenario\|cases\|generalize\)/' \
     src/xplain/*.h src/xplain/*.cpp 2>/dev/null | grep -v '^src/xplain/compat.h:')
 if [ -n "$xplain_hits" ]; then
-  err "src/xplain must not include te/, vbp/, cases/ or generalize/ (only
-the deprecated compat.h shim header may):
+  err "src/xplain must not include te/, vbp/, lb/, scenario/, cases/ or
+generalize/ (only the deprecated compat.h shim header may):
 $xplain_hits"
 fi
 
@@ -60,12 +61,14 @@ rank_of() {
     stats) echo 3 ;;
     flowgraph) echo 4 ;;
     te|vbp) echo 5 ;;
-    analyzer) echo 6 ;;
-    subspace) echo 7 ;;
-    explain) echo 8 ;;
-    xplain) echo 9 ;;
-    generalize) echo 10 ;;
-    cases) echo 11 ;;
+    lb) echo 6 ;;
+    scenario) echo 7 ;;
+    analyzer) echo 8 ;;
+    subspace) echo 9 ;;
+    explain) echo 10 ;;
+    xplain) echo 11 ;;
+    generalize) echo 12 ;;
+    cases) echo 13 ;;
     *) echo 99 ;;
   esac
 }
