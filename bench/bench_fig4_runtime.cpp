@@ -2,23 +2,40 @@
 // took 20 minutes to produce each figure."
 //
 // We time the full per-figure pipeline (analyzer -> subspace -> significance
-// -> 3000-sample explanation) for both case studies, now with the per-stage
+// -> 3000-sample explanation) for both case studies, with the per-stage
 // breakdown the pipeline records (compile / analyze / subspace / explain).
 // Our substrate is a small simulator rather than Gurobi-on-a-testbed, so
 // absolute time is not expected to match; the reproduced shape is
 // "minutes-scale work dominated by gap evaluations, identical sample
 // budget".
+//
+// Engine-driven since the ExperimentSpec redesign: each figure is a
+// single-job experiment over the registry default.  reseed_jobs is off so
+// the jobs run with the historical seeds — the lp_iterations this emits
+// stay comparable against the committed BENCH_fig4_runtime.json baseline.
 #include <algorithm>
 #include <iostream>
 #include <utility>
 
+#include "engine/engine.h"
 #include "util/table.h"
-#include "xplain/pipeline.h"
 #include "bench_json.h"
 
 using namespace xplain;
 
 namespace {
+
+ExperimentResult run_figure(const std::string& case_name, double min_gap) {
+  ExperimentSpec spec;
+  spec.cases = {case_name};
+  spec.options.min_gap = min_gap;
+  spec.options.subspace.max_subspaces = 1;
+  spec.options.explain.samples = 3000;  // the paper's per-figure budget
+  spec.reseed_jobs = false;  // historical seeds: baseline-comparable
+  spec.run_generalizer = false;
+  spec.workers = 1;
+  return Engine().run(spec);
+}
 
 void add_rows(util::Table& t, const std::string& figure,
               const PipelineResult& r) {
@@ -54,18 +71,12 @@ int main() {
   util::Table t({"figure", "subspaces", "explanation samples", "seconds",
                  "paper"});
 
-  PipelineOptions dp_opts;
-  dp_opts.min_gap = 40.0;
-  dp_opts.subspace.max_subspaces = 1;
-  dp_opts.explain.samples = 3000;
-  auto dp = run_pipeline(*registry().find("demand_pinning"), dp_opts);
+  auto dp_exp = run_figure("demand_pinning", /*min_gap=*/40.0);
+  const PipelineResult& dp = dp_exp.jobs.at(0).pipeline;
   add_rows(t, "4a (DP)", dp);
 
-  PipelineOptions ff_opts;
-  ff_opts.min_gap = 1.0;
-  ff_opts.subspace.max_subspaces = 1;
-  ff_opts.explain.samples = 3000;
-  auto ff = run_pipeline(*registry().find("first_fit"), ff_opts);
+  auto ff_exp = run_figure("first_fit", /*min_gap=*/1.0);
+  const PipelineResult& ff = ff_exp.jobs.at(0).pipeline;
   add_rows(t, "4b (FF)", ff);
 
   t.print(std::cout);

@@ -2,21 +2,26 @@
 // larger when the shortest path of the pinnable demands is longer" — and
 // the §3 Type-3 sketch also predicts lower capacities hurt.
 //
-// We sweep the DP chain-with-detour family and print both the per-length
-// series (the raw trend) and the mined predicates.
+// Engine-driven since the ExperimentSpec redesign: the chain-with-detour
+// family is registered as the scenario-parameterized case
+// "demand_pinning_chain" (spec.size = chain length, spec.capacity = detour
+// capacity), so the whole §5.4 sweep is one declarative grid — no
+// hand-rolled instance loop, and the Type-3 mining happens inside
+// Engine::run.  The controlled per-length series (the raw trend) is kept
+// as a direct analyzer sweep for the figure's CSV.
 #include <iostream>
 
-#include "cases/dp_case.h"
 #include "analyzer/search_analyzer.h"
-#include "generalize/generalizer.h"
+#include "bench_json.h"
+#include "cases/dp_case.h"
+#include "engine/engine.h"
 #include "util/csv.h"
 #include "util/table.h"
-#include "bench_json.h"
 
 int main() {
   xplain::tools::BenchReport bench_report("sec54_generalizer");
   using namespace xplain;
-  std::cout << "E10 / §5.4 — Type-3 generalization for DP\n\n";
+  std::cout << "E10 / §5.4 — Type-3 generalization for DP (xplain::Engine)\n\n";
 
   // Controlled sweep: gap vs pinned-path length at fixed capacities.
   util::Table sweep({"pinned shortest-path hops", "worst gap", "gap / d_max"});
@@ -35,22 +40,44 @@ int main() {
   }
   sweep.print(std::cout);
 
-  // The generalizer proper: random instances, mined predicates.
-  std::cout << "\nMined predicates over 20 random instances:\n";
-  generalize::GeneralizerOptions opts;
-  opts.instances = 20;
-  opts.seed = 2024;
-  opts.search.restarts = 12;
-  opts.search.presamples = 150;
-  auto res = generalize::generalize(generalize::dp_case_factory(), opts);
+  // The generalizer proper, as one experiment: chain length 2..5 x detour
+  // capacity {35, 50, 65} — 12 family members, mined automatically.
+  std::cout << "\nExperiment grid: demand_pinning_chain x (len 2..5, detour "
+               "{35, 50, 65}):\n";
+  ExperimentSpec spec;
+  spec.cases = {"demand_pinning_chain"};
+  for (int len = 2; len <= 5; ++len) {
+    for (double detour_cap : {35.0, 50.0, 65.0}) {
+      scenario::ScenarioSpec s;
+      s.kind = scenario::TopologyKind::kLine;  // the chain's shape label
+      s.size = len;
+      s.capacity = detour_cap;
+      spec.scenarios.push_back(s);
+    }
+  }
+  spec.options.min_gap = 1.0;
+  spec.options.subspace.max_subspaces = 1;
+  spec.options.explain.samples = 0;  // Type-3 only needs the gaps
+  spec.seed = 2024;
+  spec.grammar.p_threshold = 0.1;
+
+  auto res = Engine().run(spec);
+  std::cout << "  " << res.jobs.size() << " jobs, "
+            << res.trends.observations.size() << " observations, "
+            << res.wall_seconds << "s\n\nMined predicates:\n";
   bool found_hops = false;
-  for (const auto& p : res.predicates) {
+  for (const auto& p : res.trends.predicates) {
     std::cout << "  " << p.to_string() << " (rho=" << p.rho
               << ", p=" << p.p_value << ")\n";
     if ((p.feature == "pinned_sp_hops" || p.feature == "pinned_sp_max_hops") &&
         p.trend == generalize::Trend::kIncreasing)
       found_hops = true;
   }
+  bench_report.metric("experiment_jobs", static_cast<double>(res.jobs.size()));
+  bench_report.metric("mined_predicates",
+                      static_cast<double>(res.trends.predicates.size()));
+  bench_report.raw("experiment", res.to_json());
+
   std::cout << "\nPaper's predicted predicate increasing(P) over pinned "
                "shortest-path length: "
             << (found_hops ? "emitted" : "NOT emitted") << "\n";

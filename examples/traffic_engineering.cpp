@@ -5,11 +5,13 @@
 // WAN heuristic (deployed in Microsoft's wide-area network) whose
 // performance gap the operator wants to understand — not just one bad
 // demand matrix, but *all* the regions where it underperforms and *why*,
-// across a whole family of topologies (run_batch + generalize_batch).
+// across a whole family of topologies (an xplain::Engine experiment over
+// the registered chain family).
 #include <fstream>
 #include <iostream>
 
 #include "cases/dp_case.h"
+#include "engine/engine.h"
 #include "explain/heatmap.h"
 #include "generalize/generalizer.h"
 #include "xplain/pipeline.h"
@@ -62,31 +64,36 @@ int main() {
     std::cout << "\n(wrote dp_explanation.dot)\n";
   }
 
-  // --- Type 3: a batched sweep across the instance family. ---
-  std::cout << "\nType 3 — batching 16 generated instances over 4 "
-               "workers...\n";
-  generalize::DpInstanceGenerator gen;
-  util::Rng rng(31337);
-  CaseList family;
-  for (int i = 0; i < 16; ++i) {
-    auto p = gen.next_params(rng);
-    family.push_back(std::make_shared<cases::DpCase>(
-        generalize::make_dp_family_instance(p), te::DpConfig{p.threshold},
-        /*quantum=*/p.d_max / 100.0));
+  // --- Type 3: a declarative experiment across the instance family. ---
+  // The chain-with-detour family is registered as the scenario-
+  // parameterized case "demand_pinning_chain" (spec.size = chain length,
+  // spec.capacity = detour capacity), so the sweep is one ExperimentSpec:
+  // the engine expands the grid, fans the jobs across workers
+  // (deterministically — any worker count gives identical results) and
+  // mines the Type-3 trends itself.
+  std::cout << "\nType 3 — an Engine experiment over the chain family...\n";
+  ExperimentSpec sweep_spec;
+  sweep_spec.cases = {"demand_pinning_chain"};
+  for (int len = 2; len <= 5; ++len) {
+    for (double detour_cap : {35.0, 45.0, 55.0, 65.0}) {
+      scenario::ScenarioSpec s;
+      s.kind = scenario::TopologyKind::kLine;
+      s.size = len;
+      s.capacity = detour_cap;
+      sweep_spec.scenarios.push_back(s);
+    }
   }
-  PipelineOptions sweep_opts;
-  sweep_opts.min_gap = 1.0;
-  sweep_opts.subspace.max_subspaces = 1;
-  sweep_opts.explain.samples = 0;  // Type-3 only needs the gaps
-  BatchOptions batch;
-  batch.workers = 4;
-  auto sweep = run_batch(family, sweep_opts, batch);
-  std::cout << "  " << sweep.total_subspaces() << " subspaces across the "
-            << "family in " << sweep.wall_seconds << "s wall ("
-            << sweep.stages.total() << "s of single-thread work)\n\n";
+  sweep_spec.options.min_gap = 1.0;
+  sweep_spec.options.subspace.max_subspaces = 1;
+  sweep_spec.options.explain.samples = 0;  // Type-3 only needs the gaps
+  sweep_spec.grammar.p_threshold = 0.1;
+  auto sweep = Engine().run(sweep_spec);
+  std::cout << "  " << sweep.jobs.size() << " jobs, "
+            << sweep.total_subspaces() << " subspaces across the family in "
+            << sweep.wall_seconds << "s wall (" << sweep.stages.total()
+            << "s of single-thread work)\n\n";
 
-  auto gres = generalize::generalize_batch(sweep.results);
-  for (const auto& p : gres.predicates)
+  for (const auto& p : sweep.trends.predicates)
     std::cout << "  " << p.to_string() << "  (rho=" << p.rho
               << ", p=" << p.p_value << ", n=" << p.support << ")\n";
   std::cout << "\nThe paper's predicted predicate is increasing("

@@ -4,7 +4,11 @@ namespace xplain::cases {
 
 namespace {
 [[maybe_unused]] const CaseRegistrar bf_registrar(
-    "best_fit", [] { return BestFitCase::paper(); });
+    "best_fit", [](const scenario::ScenarioSpec* spec) {
+      return spec ? std::make_shared<BestFitCase>(
+                        VbpCase::scenario_instance(*spec))
+                  : BestFitCase::paper();
+    });
 }  // namespace
 
 }  // namespace xplain::cases

@@ -6,6 +6,8 @@
 #include <memory>
 
 #include "generalize/features.h"
+#include "generalize/instance_generator.h"
+#include "scenario/scenario.h"
 #include "te/maxflow.h"
 
 namespace xplain::cases {
@@ -108,6 +110,26 @@ std::shared_ptr<DpCase> DpCase::fig1a() {
                                   te::DpConfig{50.0});
 }
 
+std::shared_ptr<DpCase> DpCase::from_scenario(
+    const scenario::ScenarioSpec& spec) {
+  // The Fig. 1a regime (d_max 100, pinning threshold at half of it)
+  // transplanted onto the generated topology; 6 pairs keeps the analyzer
+  // input space grid-sweepable while still contending for shared links.
+  constexpr double kDmax = 100.0;
+  te::TeInstance inst =
+      scenario::make_te_instance(spec, /*num_pairs=*/6, /*k_paths=*/2, kDmax);
+  return std::make_shared<DpCase>(std::move(inst), te::DpConfig{kDmax / 2});
+}
+
+std::shared_ptr<DpCase> DpCase::chain_from_scenario(
+    const scenario::ScenarioSpec& spec) {
+  generalize::DpFamilyParams params;
+  params.chain_len = std::max(2, spec.size);
+  params.detour_capacity = spec.capacity;
+  return std::make_shared<DpCase>(generalize::make_dp_family_instance(params),
+                                  te::DpConfig{params.threshold});
+}
+
 std::unique_ptr<analyzer::GapEvaluator> DpCase::make_evaluator() const {
   return std::make_unique<DpGapEvaluator>(inst_, cfg_, quantum_);
 }
@@ -122,7 +144,15 @@ std::map<std::string, double> DpCase::features() const {
 
 namespace {
 [[maybe_unused]] const CaseRegistrar dp_registrar(
-    "demand_pinning", [] { return DpCase::fig1a(); });
+    "demand_pinning", [](const scenario::ScenarioSpec* spec) {
+      return spec ? DpCase::from_scenario(*spec) : DpCase::fig1a();
+    });
+[[maybe_unused]] const CaseRegistrar dp_chain_registrar(
+    "demand_pinning_chain", [](const scenario::ScenarioSpec* spec) {
+      return spec ? DpCase::chain_from_scenario(*spec)
+                  : DpCase::chain_from_scenario(scenario::ScenarioSpec{
+                        scenario::TopologyKind::kLine, /*size=*/2});
+    });
 }  // namespace
 
 }  // namespace xplain::cases

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "analyzer/evaluator.h"
+#include "scenario/spec.h"
 #include "te/demand_pinning.h"
 #include "xplain/case.h"
 
@@ -56,6 +57,23 @@ class DpCase : public HeuristicCase {
 
   /// The paper's Fig. 1a instance with threshold 50 (the registry default).
   static std::shared_ptr<DpCase> fig1a();
+
+  /// DP over a generated scenario topology (the registry's spec path): 6
+  /// demand pairs drawn seed-deterministically from the scenario, 2
+  /// candidate paths each, d_max 100 and the Fig. 1a-style threshold at
+  /// d_max / 2.  This finally drives Demand Pinning across the scenario
+  /// corpus instead of only its private chain-with-detour family.
+  static std::shared_ptr<DpCase> from_scenario(
+      const scenario::ScenarioSpec& spec);
+
+  /// The paper's §5.4 chain-with-detour family as a scenario-parameterized
+  /// case (registered as "demand_pinning_chain"): spec.size is the chain
+  /// length (clamped to >= 2), spec.capacity the detour capacity, with the
+  /// family's main capacity 100 / threshold 50 / d_max 100.  Experiment
+  /// grids over this name sweep exactly the instances the paper's Type-3
+  /// section mines increasing(pinned path length) from.
+  static std::shared_ptr<DpCase> chain_from_scenario(
+      const scenario::ScenarioSpec& spec);
 
   std::string name() const override { return "demand_pinning"; }
   std::string description() const override {

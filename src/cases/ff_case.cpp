@@ -82,6 +82,16 @@ vbp::VbpInstance VbpCase::paper_instance() {
   return inst;
 }
 
+vbp::VbpInstance VbpCase::scenario_instance(
+    const scenario::ScenarioSpec& spec) {
+  vbp::VbpInstance inst;
+  inst.num_balls = std::clamp(spec.size, 2, 8);
+  inst.num_bins = inst.num_balls - 1;
+  inst.dims = 1;
+  inst.capacity = 1.0;
+  return inst;
+}
+
 std::string VbpCase::name() const { return vbp::to_string(h_); }
 
 std::string VbpCase::description() const {
@@ -103,7 +113,10 @@ std::map<std::string, double> VbpCase::features() const {
 
 namespace {
 [[maybe_unused]] const CaseRegistrar ff_registrar(
-    "first_fit", [] { return FfCase::paper(); });
+    "first_fit", [](const scenario::ScenarioSpec* spec) {
+      return spec ? std::make_shared<FfCase>(VbpCase::scenario_instance(*spec))
+                  : FfCase::paper();
+    });
 }  // namespace
 
 }  // namespace xplain::cases

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "analyzer/evaluator.h"
+#include "scenario/spec.h"
 #include "vbp/ff_model.h"
 #include "vbp/heuristics.h"
 #include "xplain/case.h"
@@ -67,6 +68,14 @@ class VbpCase : public HeuristicCase {
 
   /// The paper's Fig. 4b configuration: 4 balls, 3 unit bins.
   static vbp::VbpInstance paper_instance();
+
+  /// A VBP instance scaled by the scenario (the registry's spec path):
+  /// `spec.size` balls (clamped to [2, 8] — the exact-optimal benchmark is
+  /// exponential in the ball count), one bin fewer than balls, unit
+  /// capacity.  Bin packing has no topology, so the scenario contributes
+  /// its *size* dimension; generation is deterministic (the seed selects
+  /// nothing here).
+  static vbp::VbpInstance scenario_instance(const scenario::ScenarioSpec& spec);
 
   std::string name() const override;
   std::string description() const override;

@@ -108,6 +108,11 @@ std::shared_ptr<LbCase> LbCase::fat_tree4() {
   spec.size = 4;
   spec.capacity = 100.0;
   spec.seed = 3;
+  return from_scenario(spec);
+}
+
+std::shared_ptr<LbCase> LbCase::from_scenario(
+    const scenario::ScenarioSpec& spec) {
   lb::LbInstance inst = scenario::make_lb_instance(
       spec, /*num_commodities=*/8, /*k_paths=*/3, /*t_max=*/100.0,
       /*skew_lo=*/0.25, /*skew_hi=*/1.0);
@@ -139,7 +144,9 @@ std::map<std::string, double> LbCase::features() const {
 
 namespace {
 [[maybe_unused]] const CaseRegistrar lb_registrar(
-    "wcmp", [] { return LbCase::fat_tree4(); });
+    "wcmp", [](const scenario::ScenarioSpec* spec) {
+      return spec ? LbCase::from_scenario(*spec) : LbCase::fat_tree4();
+    });
 }  // namespace
 
 }  // namespace xplain::cases

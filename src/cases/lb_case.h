@@ -18,6 +18,7 @@
 
 #include "analyzer/evaluator.h"
 #include "lb/network.h"
+#include "scenario/spec.h"
 #include "lb/optimal.h"
 #include "lb/wcmp.h"
 #include "xplain/case.h"
@@ -62,6 +63,13 @@ class LbCase : public HeuristicCase {
   /// candidate paths each, rates in [0, 100], core uplinks skewed over
   /// [0.25, 1].
   static std::shared_ptr<LbCase> fat_tree4();
+
+  /// WCMP over any generated scenario (the registry's spec path): the
+  /// fat_tree4 commodity/path/skew regime transplanted onto `spec`'s
+  /// topology — 8 commodities, 3 candidate paths, rates in [0, 100], top
+  /// capacity tier skewed over [0.25, 1].
+  static std::shared_ptr<LbCase> from_scenario(
+      const scenario::ScenarioSpec& spec);
 
   std::string name() const override { return "wcmp"; }
   std::string description() const override {

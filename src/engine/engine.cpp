@@ -1,0 +1,324 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "generalize/grammar.h"
+#include "solver/lp.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace xplain {
+
+namespace {
+
+/// Every job's RNG streams derive purely from (spec seed, base options,
+/// grid index): decorrelated across jobs and experiments, identical for
+/// any worker count.
+PipelineOptions job_options(const ExperimentSpec& spec, int index) {
+  if (!spec.reseed_jobs) return spec.options;
+  return apply_seed_salt(spec.options,
+                         util::Rng::derive_seed(spec.seed, index + 1));
+}
+
+int count_significant(const PipelineResult& r) {
+  int n = 0;
+  for (const auto& s : r.subspaces) n += s.significant;
+  return n;
+}
+
+}  // namespace
+
+bool JobSummary::operator==(const JobSummary& o) const {
+  return case_name == o.case_name && scenario == o.scenario &&
+         index == o.index && ok == o.ok && error == o.error &&
+         subspaces == o.subspaces && significant == o.significant &&
+         best_gap_found == o.best_gap_found &&
+         max_seed_gap == o.max_seed_gap && gap_scale == o.gap_scale &&
+         wall_seconds == o.wall_seconds && lp_solves == o.lp_solves &&
+         lp_iterations == o.lp_iterations && features == o.features;
+}
+
+bool TrendSummary::operator==(const TrendSummary& o) const {
+  return predicate == o.predicate && feature == o.feature &&
+         increasing == o.increasing && rho == o.rho &&
+         p_value == o.p_value && support == o.support;
+}
+
+bool ExperimentSummary::operator==(const ExperimentSummary& o) const {
+  return jobs == o.jobs && trends == o.trends &&
+         observations == o.observations && wall_seconds == o.wall_seconds &&
+         lp_solves == o.lp_solves && lp_iterations == o.lp_iterations;
+}
+
+std::string ExperimentSummary::to_json(int indent) const {
+  util::Json root = util::Json::object();
+  util::Json job_arr = util::Json::array();
+  for (const auto& j : jobs) {
+    util::Json jj = util::Json::object();
+    jj.set("case", j.case_name);
+    jj.set("scenario", j.scenario.empty() ? util::Json() : util::Json(j.scenario));
+    jj.set("index", j.index);
+    jj.set("ok", j.ok);
+    if (!j.error.empty()) jj.set("error", j.error);
+    jj.set("subspaces", j.subspaces);
+    jj.set("significant", j.significant);
+    jj.set("best_gap_found", j.best_gap_found);
+    jj.set("max_seed_gap", j.max_seed_gap);
+    jj.set("gap_scale", j.gap_scale);
+    jj.set("wall_seconds", j.wall_seconds);
+    jj.set("lp_solves", j.lp_solves);
+    jj.set("lp_iterations", j.lp_iterations);
+    util::Json feats = util::Json::object();
+    for (const auto& [k, v] : j.features) feats.set(k, v);
+    jj.set("features", std::move(feats));
+    job_arr.push(std::move(jj));
+  }
+  root.set("jobs", std::move(job_arr));
+
+  util::Json trend_arr = util::Json::array();
+  for (const auto& t : trends) {
+    util::Json tj = util::Json::object();
+    tj.set("predicate", t.predicate);
+    tj.set("feature", t.feature);
+    tj.set("trend", t.increasing ? "increasing" : "decreasing");
+    tj.set("rho", t.rho);
+    tj.set("p_value", t.p_value);
+    tj.set("support", t.support);
+    trend_arr.push(std::move(tj));
+  }
+  root.set("trends", std::move(trend_arr));
+  root.set("observations", observations);
+  root.set("wall_seconds", wall_seconds);
+  root.set("lp_solves", lp_solves);
+  root.set("lp_iterations", lp_iterations);
+  return root.dump(indent);
+}
+
+std::optional<ExperimentSummary> ExperimentSummary::from_json(
+    const std::string& text) {
+  const auto parsed = util::Json::parse(text);
+  if (!parsed || parsed->kind() != util::Json::Kind::kObject)
+    return std::nullopt;
+  const util::Json* jobs = parsed->find("jobs");
+  const util::Json* trends = parsed->find("trends");
+  if (!jobs || jobs->kind() != util::Json::Kind::kArray || !trends ||
+      trends->kind() != util::Json::Kind::kArray)
+    return std::nullopt;
+
+  const auto num = [](const util::Json& obj, const char* key) {
+    const util::Json* v = obj.find(key);
+    return v ? v->as_num() : 0.0;
+  };
+  const auto str = [](const util::Json& obj, const char* key) {
+    const util::Json* v = obj.find(key);
+    return v ? v->as_str() : std::string();
+  };
+
+  ExperimentSummary out;
+  for (const auto& jj : jobs->items()) {
+    if (jj.kind() != util::Json::Kind::kObject) return std::nullopt;
+    JobSummary j;
+    j.case_name = str(jj, "case");
+    j.scenario = str(jj, "scenario");  // null -> "" (the default instance)
+    j.index = static_cast<int>(num(jj, "index"));
+    const util::Json* ok = jj.find("ok");
+    j.ok = ok && ok->as_bool();
+    j.error = str(jj, "error");
+    j.subspaces = static_cast<int>(num(jj, "subspaces"));
+    j.significant = static_cast<int>(num(jj, "significant"));
+    j.best_gap_found = num(jj, "best_gap_found");
+    j.max_seed_gap = num(jj, "max_seed_gap");
+    j.gap_scale = num(jj, "gap_scale");
+    j.wall_seconds = num(jj, "wall_seconds");
+    j.lp_solves = static_cast<long>(num(jj, "lp_solves"));
+    j.lp_iterations = static_cast<long>(num(jj, "lp_iterations"));
+    if (const util::Json* feats = jj.find("features"))
+      for (const auto& [k, v] : feats->members()) j.features[k] = v.as_num();
+    out.jobs.push_back(std::move(j));
+  }
+  for (const auto& tj : trends->items()) {
+    if (tj.kind() != util::Json::Kind::kObject) return std::nullopt;
+    TrendSummary t;
+    t.predicate = str(tj, "predicate");
+    t.feature = str(tj, "feature");
+    t.increasing = str(tj, "trend") != "decreasing";
+    t.rho = num(tj, "rho");
+    t.p_value = num(tj, "p_value");
+    t.support = static_cast<int>(num(tj, "support"));
+    out.trends.push_back(std::move(t));
+  }
+  out.observations = static_cast<int>(num(*parsed, "observations"));
+  out.wall_seconds = num(*parsed, "wall_seconds");
+  out.lp_solves = static_cast<long>(num(*parsed, "lp_solves"));
+  out.lp_iterations = static_cast<long>(num(*parsed, "lp_iterations"));
+  return out;
+}
+
+int ExperimentResult::total_subspaces() const {
+  int n = 0;
+  for (const auto& j : jobs) n += static_cast<int>(j.pipeline.subspaces.size());
+  return n;
+}
+
+ExperimentSummary ExperimentResult::summary() const {
+  ExperimentSummary out;
+  out.jobs.reserve(jobs.size());
+  for (const auto& j : jobs) {
+    JobSummary s;
+    s.case_name = j.job.case_name;
+    s.scenario =
+        j.job.scenario ? j.job.scenario->display_name() : std::string();
+    s.index = j.job.index;
+    s.ok = j.ok;
+    s.error = j.error;
+    s.subspaces = static_cast<int>(j.pipeline.subspaces.size());
+    s.significant = count_significant(j.pipeline);
+    s.best_gap_found = j.pipeline.best_gap_found;
+    s.max_seed_gap = j.pipeline.max_gap();
+    s.gap_scale = j.pipeline.gap_scale;
+    s.wall_seconds = j.pipeline.wall_seconds;
+    s.lp_solves = j.pipeline.stages.lp_solves;
+    s.lp_iterations = j.pipeline.stages.lp_iterations;
+    s.features = j.pipeline.features;
+    out.jobs.push_back(std::move(s));
+  }
+  out.trends.reserve(trends.predicates.size());
+  for (const auto& p : trends.predicates) {
+    TrendSummary t;
+    t.predicate = p.to_string();
+    t.feature = p.feature;
+    t.increasing = p.trend == generalize::Trend::kIncreasing;
+    t.rho = p.rho;
+    t.p_value = p.p_value;
+    t.support = p.support;
+    out.trends.push_back(std::move(t));
+  }
+  out.observations = static_cast<int>(trends.observations.size());
+  out.wall_seconds = wall_seconds;
+  out.lp_solves = stages.lp_solves;
+  out.lp_iterations = stages.lp_iterations;
+  return out;
+}
+
+std::vector<ExperimentJob> Engine::expand(const ExperimentSpec& spec) const {
+  std::vector<ExperimentJob> jobs;
+  jobs.reserve(spec.cases.size() *
+               std::max<std::size_t>(1, spec.scenarios.size()));
+  for (const auto& name : spec.cases) {
+    if (spec.scenarios.empty()) {
+      ExperimentJob job;
+      job.case_name = name;
+      job.index = static_cast<int>(jobs.size());
+      jobs.push_back(std::move(job));
+      continue;
+    }
+    for (const auto& scen : spec.scenarios) {
+      ExperimentJob job;
+      job.case_name = name;
+      job.scenario = scen;
+      job.index = static_cast<int>(jobs.size());
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+ExperimentResult Engine::run(const ExperimentSpec& spec,
+                             const JobCallback& on_job) const {
+  util::Timer timer;
+  const solver::LpCounters lp0 = solver::lp_counters();
+  ExperimentResult out;
+
+  const std::vector<ExperimentJob> jobs = expand(spec);
+  out.jobs.resize(jobs.size());
+
+  const int workers =
+      std::max(1, std::min<int>(util::resolve_workers(spec.workers),
+                                static_cast<int>(jobs.size())));
+  std::mutex stream_mu;
+
+  // Slot-determinism (util/parallel.h): each job's result lands in its grid
+  // slot and depends only on (registry content, spec, index) — scheduling
+  // changes wall clock and callback order, never content.
+  util::parallel_chunks(
+      jobs.size(), workers, [&](std::size_t begin, std::size_t end, int) {
+        for (std::size_t i = begin; i < end; ++i) {
+          JobResult jr;
+          jr.job = jobs[i];
+          // Scenario cells build fresh (create): a grid visits each cell
+          // once, and pumping every cell into the registry's keyed cache
+          // would retain one full instance per cell for the process
+          // lifetime.  Default jobs share the registry's (bounded,
+          // one-per-name) cached default.
+          std::shared_ptr<const HeuristicCase> c =
+              jr.job.scenario ? registry_->create(jr.job.case_name,
+                                                  *jr.job.scenario)
+                              : registry_->find(jr.job.case_name);
+          if (!c) {
+            jr.error = registry_->contains(jr.job.case_name)
+                           ? "case cannot build from a scenario "
+                             "(default-only registration)"
+                           : "unknown case";
+          } else {
+            PipelineOptions o = job_options(spec, jr.job.index);
+            // The grid already fans out across jobs; an "auto" explain pool
+            // inside every concurrent pipeline would oversubscribe the
+            // machine workers-fold.  An explicit positive count is
+            // respected.
+            if (workers > 1 && o.explain.workers <= 0) o.explain.workers = 1;
+            jr.pipeline = run_pipeline(*c, o);
+            jr.ok = true;
+          }
+          out.jobs[i] = std::move(jr);
+          if (on_job) {
+            std::lock_guard<std::mutex> lock(stream_mu);
+            on_job(out.jobs[i]);
+          }
+        }
+      });
+
+  for (const auto& j : out.jobs) {
+    out.trace += j.pipeline.trace;
+    out.stages += j.pipeline.stages;
+  }
+  // With concurrent workers the per-job counter deltas overlap (the
+  // counters are process-wide); the experiment-level snapshot is exact.
+  const solver::LpCounters lp1 = solver::lp_counters();
+  out.stages.lp_solves = lp1.solves - lp0.solves;
+  out.stages.lp_iterations = lp1.iterations - lp0.iterations;
+
+  if (spec.run_generalizer) {
+    // generalize_batch only reads (features, best gap, gap_scale); strip
+    // each job down to those instead of deep-copying subspaces and
+    // per-edge explanation heatmaps.  max_gap() is folded into
+    // best_gap_found, which generalize_batch maxes with it anyway.
+    std::vector<PipelineResult> ok_results;
+    ok_results.reserve(out.jobs.size());
+    for (const auto& j : out.jobs) {
+      if (!j.ok) continue;
+      PipelineResult slim;
+      slim.features = j.pipeline.features;
+      slim.gap_scale = j.pipeline.gap_scale;
+      slim.best_gap_found =
+          std::max(j.pipeline.max_gap(), j.pipeline.best_gap_found);
+      ok_results.push_back(std::move(slim));
+    }
+    out.trends = generalize::generalize_batch(ok_results, spec.grammar,
+                                              spec.normalize_gap);
+  }
+
+  out.wall_seconds = timer.seconds();
+  XPLAIN_INFO << "engine: " << jobs.size() << " jobs ("
+              << spec.cases.size() << " cases x "
+              << std::max<std::size_t>(1, spec.scenarios.size())
+              << " scenarios), " << out.total_subspaces() << " subspaces, "
+              << out.trends.predicates.size() << " trends, " << workers
+              << " workers, " << out.wall_seconds << "s";
+  return out;
+}
+
+}  // namespace xplain

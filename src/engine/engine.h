@@ -1,0 +1,188 @@
+// The experiment engine — the system's front door (ISSUE 4 / api_redesign).
+//
+// The paper's pipeline explains one (heuristic, benchmark, instance) study
+// at a time; the ROADMAP north-star sweeps *many* scenarios per heuristic.
+// xplain::ExperimentSpec describes such a sweep declaratively — case names
+// x a ScenarioSpec grid x PipelineOptions x a seed — and xplain::Engine
+// turns it into results:
+//
+//   * expand() multiplies the grid into (case, scenario) jobs in a fixed
+//     order (cases outer, scenarios inner; an empty grid yields one
+//     default-instance job per case);
+//   * run() shards the jobs across a worker pool with the repo's
+//     slot-determinism contract (util/parallel.h): every job's options are
+//     a pure function of (spec, job index), results land in slot-indexed
+//     storage, so the output is bitwise identical for ANY worker count /
+//     XPLAIN_WORKERS setting;
+//   * each finished job streams through an optional callback (serialized
+//     under a mutex; completion ORDER depends on scheduling, job CONTENT
+//     does not);
+//   * the batch is piped into generalize::generalize_batch automatically —
+//     Type-3 trends fall out of every multi-instance experiment without a
+//     bespoke per-domain CaseFactory adapter.
+//
+// ExperimentResult keeps the full per-job PipelineResults and carries a
+// JSON serialization (ExperimentSummary / to_json / from_json, built on
+// util::Json) — the single machine-readable output format the benches emit
+// through tools/bench_json.
+//
+// The engine lives above generalize/ and drives cases through the
+// CaseRegistry only — never through a concrete case include — so it stays
+// as heuristic-agnostic as the core pipeline (tools/check_layering.sh).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "generalize/generalizer.h"
+#include "scenario/spec.h"
+#include "xplain/case.h"
+#include "xplain/pipeline.h"
+
+namespace xplain {
+
+/// A declarative experiment: which cases, over which scenarios, with which
+/// pipeline knobs.  Everything downstream is a pure function of this.
+struct ExperimentSpec {
+  /// CaseRegistry keys, e.g. {"demand_pinning", "wcmp"}.
+  std::vector<std::string> cases;
+  /// Scenario grid; empty runs each case once on its default instance.
+  std::vector<scenario::ScenarioSpec> scenarios;
+  /// Per-job pipeline configuration (seeds are re-derived per job).
+  PipelineOptions options;
+  /// Experiment-level seed, folded into every job's RNG streams: two
+  /// experiments differing only in seed are decorrelated replications.
+  std::uint64_t seed = 0;
+  /// On (default): every job's RNG streams derive from (seed, job index),
+  /// decorrelating grid cells.  Off: every job runs with `options`' seeds
+  /// verbatim — a single-job experiment then reproduces a bare
+  /// run_pipeline(case, options) call bit for bit (grids become seed-
+  /// correlated; leave on for real sweeps).
+  bool reseed_jobs = true;
+  /// Worker threads; <= 0 resolves via util::resolve_workers (one per
+  /// hardware thread unless XPLAIN_WORKERS overrides).
+  int workers = 0;
+  /// Mine Type-3 trends across the finished jobs (generalize_batch).
+  bool run_generalizer = true;
+  generalize::GrammarOptions grammar;
+  /// Normalize per-job gaps by the case's gap_scale() before mining.
+  bool normalize_gap = true;
+};
+
+/// One cell of the expanded grid.
+struct ExperimentJob {
+  std::string case_name;
+  /// Empty: the case's registry default instance.
+  std::optional<scenario::ScenarioSpec> scenario;
+  /// Position in the expanded grid (drives the job's derived seeds).
+  int index = 0;
+
+  /// "wcmp@fat_tree_k4_s1" / "demand_pinning@default".  Uses the spec's
+  /// display_name(), which appends capacity / Waxman suffixes when they
+  /// differ from the defaults — grid cells that differ only in those
+  /// fields keep distinct labels (e.g. "...@line_n2_s1_c35").
+  std::string label() const {
+    return case_name + "@" + (scenario ? scenario->display_name() : "default");
+  }
+};
+
+struct JobResult {
+  ExperimentJob job;
+  /// False when the case is unknown or cannot build from the scenario
+  /// (default-only registration); `error` says which.
+  bool ok = false;
+  std::string error;
+  PipelineResult pipeline;
+};
+
+/// The JSON-serializable digest of one job — exactly what to_json writes.
+struct JobSummary {
+  std::string case_name;
+  std::string scenario;  // "" = default instance
+  int index = 0;
+  bool ok = false;
+  std::string error;
+  int subspaces = 0;
+  int significant = 0;
+  double best_gap_found = 0.0;
+  double max_seed_gap = 0.0;
+  double gap_scale = 1.0;
+  double wall_seconds = 0.0;
+  /// Approximate under concurrent workers (process-wide counters); the
+  /// experiment-level totals are snapshotted exactly.
+  long lp_solves = 0;
+  long lp_iterations = 0;
+  std::map<std::string, double> features;
+
+  bool operator==(const JobSummary& o) const;
+};
+
+struct TrendSummary {
+  std::string predicate;  // "increasing(pinned_sp_hops)"
+  std::string feature;
+  bool increasing = true;
+  double rho = 0.0;
+  double p_value = 1.0;
+  int support = 0;
+
+  bool operator==(const TrendSummary& o) const;
+};
+
+/// The machine-readable face of an ExperimentResult: round-trips through
+/// JSON bit-exactly (doubles are printed with max_digits10).
+struct ExperimentSummary {
+  std::vector<JobSummary> jobs;
+  std::vector<TrendSummary> trends;
+  int observations = 0;  // instances the generalizer mined over
+  double wall_seconds = 0.0;
+  long lp_solves = 0;
+  long lp_iterations = 0;
+
+  bool operator==(const ExperimentSummary& o) const;
+
+  std::string to_json(int indent = 2) const;
+  /// std::nullopt on malformed input.
+  static std::optional<ExperimentSummary> from_json(const std::string& text);
+};
+
+struct ExperimentResult {
+  /// Grid order (== Engine::expand order), regardless of scheduling.
+  std::vector<JobResult> jobs;
+  /// Type-3 output over the ok jobs (empty when run_generalizer is off).
+  generalize::GeneralizerResult trends;
+  /// Merged accounting; lp counters are exact experiment-level snapshots.
+  subspace::GenerationTrace trace;
+  StageTimes stages;
+  double wall_seconds = 0.0;
+
+  int total_subspaces() const;
+  ExperimentSummary summary() const;
+  std::string to_json(int indent = 2) const { return summary().to_json(indent); }
+};
+
+class Engine {
+ public:
+  /// The engine resolves case names against `reg` (default: the process
+  /// registry the built-in cases self-register into).
+  explicit Engine(CaseRegistry& reg = registry()) : registry_(&reg) {}
+
+  /// Invoked as each job finishes (serialized; nondeterministic order,
+  /// deterministic content).
+  using JobCallback = std::function<void(const JobResult&)>;
+
+  /// The (case x scenario) grid in its canonical order.
+  std::vector<ExperimentJob> expand(const ExperimentSpec& spec) const;
+
+  /// Runs the experiment.  Bitwise-deterministic for any worker count.
+  ExperimentResult run(const ExperimentSpec& spec,
+                       const JobCallback& on_job = {}) const;
+
+ private:
+  CaseRegistry* registry_;
+};
+
+}  // namespace xplain

@@ -42,18 +42,21 @@ using CaseFactory = std::function<Case(util::Rng&)>;
 GeneralizerResult generalize(const CaseFactory& factory,
                              const GeneralizerOptions& opts = {});
 
-/// Type-3 over a batched pipeline run: every PipelineResult whose case
+/// Type-3 over a batch of pipeline runs: every PipelineResult whose case
 /// published features() becomes one observation (the best analyzer gap,
 /// normalized by the case's gap_scale), and the grammar is mined across
-/// them.  Pairs with xplain::run_batch over an instance family; run the
-/// batch with a low PipelineOptions::min_gap so weak instances contribute
-/// their true gaps instead of zeros.
+/// them.  xplain::Engine::run calls this automatically over its finished
+/// (case x scenario) grid; run with a low PipelineOptions::min_gap so weak
+/// instances contribute their true gaps instead of zeros.
 GeneralizerResult generalize_batch(
     const std::vector<xplain::PipelineResult>& results,
     const GrammarOptions& grammar = {}, bool normalize_gap = true);
 
 /// Prebuilt factories for the paper's two running examples (defined in the
-/// cases layer; link xplain_cases to use them).
+/// cases layer; link xplain_cases to use them).  These predate the engine:
+/// a scenario-capable registered case needs no bespoke factory — an
+/// ExperimentSpec grid feeds generalize_batch directly (which is why there
+/// is no lb_case_factory: "wcmp" sweeps arrive via Engine::run).
 CaseFactory dp_case_factory(DpInstanceGenerator gen = DpInstanceGenerator{});
 CaseFactory vbp_case_factory(VbpInstanceGenerator gen = VbpInstanceGenerator{});
 

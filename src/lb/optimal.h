@@ -50,6 +50,11 @@ class LbOptimalSolver {
   /// LP is always feasible and bounded).
   double solve_total(const std::vector<double>& x);
 
+  /// The prebuilt LP structure (row/column counts feed the solver-scale
+  /// reporting in bench_lb_wcmp — the ROADMAP's LU-factorization note
+  /// tracks when instances reach thousands of rows).
+  const solver::LpProblem& problem() const { return lp_; }
+
  private:
   LbInstance inst_;  // own copy: cache entries may outlive their builder
   solver::LpProblem lp_;

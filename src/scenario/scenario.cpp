@@ -117,27 +117,6 @@ std::vector<std::pair<int, int>> pick_pairs(const ScenarioSpec& spec,
 
 }  // namespace
 
-const char* to_string(TopologyKind k) {
-  switch (k) {
-    case TopologyKind::kFatTree: return "fat_tree";
-    case TopologyKind::kWaxman: return "waxman";
-    case TopologyKind::kLine: return "line";
-    case TopologyKind::kStar: return "star";
-  }
-  return "?";
-}
-
-std::string ScenarioSpec::name() const {
-  // The seed is part of every label: it selects the instance endpoints for
-  // all kinds (and the topology for Waxman), so two specs differing only
-  // by seed are genuinely different scenarios.
-  std::string n = to_string(kind);
-  n += kind == TopologyKind::kFatTree ? "_k" : "_n";
-  n += std::to_string(size);
-  n += "_s" + std::to_string(seed);
-  return n;
-}
-
 te::Topology build_topology(const ScenarioSpec& spec) {
   switch (spec.kind) {
     case TopologyKind::kFatTree: return fat_tree(spec.size, spec.capacity);
@@ -171,10 +150,13 @@ lb::LbInstance make_lb_instance(const ScenarioSpec& spec, int num_commodities,
 
 std::vector<ScenarioSpec> default_corpus() {
   std::vector<ScenarioSpec> corpus;
-  {
+  // Fat-trees at k = 4, 6, 8: the LB case's home fabric at growing scale.
+  // k=8 is ~80 switches / 512 directed links — the thousands-of-rows LP
+  // regime the ROADMAP's LU-factorization note targets.
+  for (int k : {4, 6, 8}) {
     ScenarioSpec s;
     s.kind = TopologyKind::kFatTree;
-    s.size = 4;
+    s.size = k;
     corpus.push_back(s);
   }
   {

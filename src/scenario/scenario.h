@@ -21,36 +21,14 @@
 //             the hub).
 #pragma once
 
-#include <cstdint>
-#include <string>
 #include <vector>
 
 #include "lb/instance.h"
+#include "scenario/spec.h"
 #include "te/demand.h"
 #include "te/topology.h"
 
 namespace xplain::scenario {
-
-enum class TopologyKind { kFatTree, kWaxman, kLine, kStar };
-
-const char* to_string(TopologyKind k);
-
-struct ScenarioSpec {
-  TopologyKind kind = TopologyKind::kFatTree;
-  /// Fat-tree arity k (even), or node count for the other shapes.
-  int size = 4;
-  /// Base link capacity (edge tier for fat-trees; cap range top for Waxman).
-  double capacity = 100.0;
-  /// Waxman shape parameters (ignored by the deterministic shapes).
-  double waxman_alpha = 0.7;
-  double waxman_beta = 0.35;
-  /// Seed for the randomized shapes AND for instance endpoint selection.
-  std::uint64_t seed = 1;
-
-  /// Corpus-stable label, e.g. "fat_tree_k4_s1" / "waxman_n12_s7" (the
-  /// seed is always included — it selects instance endpoints everywhere).
-  std::string name() const;
-};
 
 /// Builds the spec's topology (pure function of the spec).
 te::Topology build_topology(const ScenarioSpec& spec);
@@ -70,8 +48,9 @@ lb::LbInstance make_lb_instance(const ScenarioSpec& spec, int num_commodities,
                                 int k_paths, double t_max, double skew_lo = 1.0,
                                 double skew_hi = 1.0);
 
-/// The default scenario corpus the benches sweep: fat-tree(4), a 12-node
-/// Waxman WAN, and the line/star stress shapes.
+/// The default scenario corpus the benches sweep: fat-tree(4), fat-tree(6)
+/// and fat-tree(8) fabrics (k=8 is ~80 switches — the thousands-of-rows
+/// solver regime), a 12-node Waxman WAN, and the line/star stress shapes.
 std::vector<ScenarioSpec> default_corpus();
 
 }  // namespace xplain::scenario

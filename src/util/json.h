@@ -1,0 +1,89 @@
+// A minimal JSON value: build, dump, parse.  Just enough machinery for the
+// repo's machine-readable outputs (the experiment engine's ExperimentResult
+// serialization, BENCH_*.json) to be written AND read back — round-trips
+// are testable, and tools/bench_compare.py's consumers stay in sync with
+// one producer.
+//
+// Deliberately small: ordered object members (deterministic output),
+// doubles printed with max_digits10 so numeric round-trips are exact,
+// UTF-8 strings passed through with standard escapes.  Not a general JSON
+// library — no comments, no NaN/Inf (serialized as null), no \u surrogate
+// pairs on output.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xplain::util {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Json(double v) : kind_(Kind::kNumber), num_(v) {}
+  Json(int v) : kind_(Kind::kNumber), num_(v) {}
+  Json(long v) : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Scalar accessors with defaults (wrong-kind access yields the default —
+  /// consumers validate shape via find()/size() first).
+  bool as_bool(bool dflt = false) const {
+    return kind_ == Kind::kBool ? bool_ : dflt;
+  }
+  double as_num(double dflt = 0.0) const {
+    return kind_ == Kind::kNumber ? num_ : dflt;
+  }
+  const std::string& as_str() const { return str_; }
+
+  /// Array access.
+  void push(Json v) { arr_.push_back(std::move(v)); }
+  std::size_t size() const { return arr_.size(); }
+  const Json& at(std::size_t i) const { return arr_[i]; }
+  const std::vector<Json>& items() const { return arr_; }
+
+  /// Object access (insertion-ordered; set() appends or overwrites).
+  void set(const std::string& key, Json v);
+  const Json* find(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return obj_;
+  }
+
+  /// Serializes; indent > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 2) const;
+
+  /// Parses a JSON document; std::nullopt on any syntax error or trailing
+  /// garbage.
+  static std::optional<Json> parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace xplain::util

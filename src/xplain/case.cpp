@@ -24,18 +24,34 @@ bool CaseRegistry::add(const std::string& name, Factory factory) {
   return factories_.emplace(name, std::move(factory)).second;
 }
 
-std::shared_ptr<const HeuristicCase> CaseRegistry::find(
-    const std::string& name) {
+std::shared_ptr<const HeuristicCase> CaseRegistry::find_keyed(
+    const std::string& name, const scenario::ScenarioSpec* spec) {
+  // The cache key separates the default instance ("" suffix) from every
+  // scenario-built configuration: a grid job can never poison the default
+  // slot, and two specs that generate differently never alias.
+  const std::pair<std::string, std::string> key{
+      name, spec ? spec->cache_key() : std::string()};
   std::unique_lock<std::mutex> lock(mu_);
-  if (auto it = cache_.find(name); it != cache_.end()) return it->second;
+  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
   auto it = factories_.find(name);
   if (it == factories_.end()) return nullptr;
   Factory factory = it->second;
   // Build outside the lock: factories construct networks and may log.
   lock.unlock();
-  std::shared_ptr<const HeuristicCase> built = factory();
+  std::shared_ptr<const HeuristicCase> built = factory(spec);
+  if (!built) return nullptr;  // default-only case asked for a scenario
   lock.lock();
-  return cache_.emplace(name, std::move(built)).first->second;  // first wins
+  return cache_.emplace(key, std::move(built)).first->second;  // first wins
+}
+
+std::shared_ptr<const HeuristicCase> CaseRegistry::find(
+    const std::string& name) {
+  return find_keyed(name, nullptr);
+}
+
+std::shared_ptr<const HeuristicCase> CaseRegistry::find(
+    const std::string& name, const scenario::ScenarioSpec& spec) {
+  return find_keyed(name, &spec);
 }
 
 std::shared_ptr<HeuristicCase> CaseRegistry::create(
@@ -47,7 +63,19 @@ std::shared_ptr<HeuristicCase> CaseRegistry::create(
     if (it == factories_.end()) return nullptr;
     factory = it->second;
   }
-  return factory();
+  return factory(nullptr);
+}
+
+std::shared_ptr<HeuristicCase> CaseRegistry::create(
+    const std::string& name, const scenario::ScenarioSpec& spec) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) return nullptr;
+    factory = it->second;
+  }
+  return factory(&spec);
 }
 
 bool CaseRegistry::contains(const std::string& name) const {

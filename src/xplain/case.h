@@ -22,10 +22,13 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "analyzer/analyzer.h"
 #include "explain/explainer.h"
+#include "scenario/spec.h"  // the dependency-free spec POD only (layering-pinned)
 
 namespace xplain {
 
@@ -64,39 +67,98 @@ class HeuristicCase {
   virtual double gap_scale() const { return 1.0; }
 };
 
-/// Process-wide name -> case factory map.  Thread-safe: run_batch workers
-/// may look cases up concurrently.
+/// Process-wide name -> case factory map.  Thread-safe: Engine workers may
+/// look cases up (and trigger lazy builds) concurrently.
+///
+/// Factories are *scenario-parameterized*: they receive a nullable
+/// scenario::ScenarioSpec pointer.  nullptr asks for the case's default
+/// instance (DP's Fig. 1a, VBP's 4-ball paper configuration, WCMP's
+/// fat-tree(4)); a non-null spec asks the case to construct itself from the
+/// generated topology/instance — the hook the experiment engine's
+/// (case x scenario) grids expand through.  A factory that cannot build
+/// from a spec returns nullptr for non-null specs (zero-argument factories
+/// registered through the template overload behave exactly like that), so
+/// a scenario grid over a default-only case fails loudly instead of
+/// silently running the default instance under a scenario label.
 class CaseRegistry {
  public:
-  using Factory = std::function<std::shared_ptr<HeuristicCase>()>;
+  using Factory = std::function<std::shared_ptr<HeuristicCase>(
+      const scenario::ScenarioSpec* /*nullable: default instance*/)>;
 
-  /// Registers a factory; returns false (keeping the existing entry) when
-  /// the name is already taken.
+  /// Registers a spec-aware factory; returns false (keeping the existing
+  /// entry) when the name is already taken.
   bool add(const std::string& name, Factory factory);
 
+  /// Back-compat registration for default-only cases: a zero-argument
+  /// callable is wrapped so it serves the default path and declines
+  /// (returns nullptr) scenario-parameterized construction.
+  template <class F,
+            std::enable_if_t<std::is_invocable_v<F&>, int> = 0>
+  bool add(const std::string& name, F factory) {
+    return add(name,
+               Factory([f = std::move(factory)](
+                           const scenario::ScenarioSpec* spec)
+                           -> std::shared_ptr<HeuristicCase> {
+                 if (spec) return nullptr;  // default-only case
+                 return f();
+               }));
+  }
+
   /// The default-configured case for `name`, built lazily and cached;
-  /// nullptr when unknown.
+  /// nullptr when unknown.  The cache is keyed by (name, scenario), so
+  /// scenario-built cases can never be handed out as the default (or vice
+  /// versa).
   std::shared_ptr<const HeuristicCase> find(const std::string& name);
 
-  /// A fresh, uncached instance; nullptr when unknown.
+  /// The `spec`-configured case for `name`, built lazily and cached under
+  /// (name, spec.cache_key()); nullptr when the name is unknown or the
+  /// case cannot construct itself from a scenario.  The cache is never
+  /// evicted: each distinct spec retains its built case (topology,
+  /// prebuilt LP structures) for the process lifetime, so this suits a
+  /// small set of specs consulted repeatedly — when sweeping a large
+  /// one-shot grid, use create(name, spec) instead (fresh, unretained;
+  /// Engine::run does exactly that for its scenario cells).
+  std::shared_ptr<const HeuristicCase> find(const std::string& name,
+                                            const scenario::ScenarioSpec& spec);
+
+  /// A fresh, uncached default instance; nullptr when unknown.
   std::shared_ptr<HeuristicCase> create(const std::string& name) const;
+
+  /// A fresh, uncached scenario-built instance; nullptr when the name is
+  /// unknown or the case is default-only.
+  std::shared_ptr<HeuristicCase> create(
+      const std::string& name, const scenario::ScenarioSpec& spec) const;
 
   bool contains(const std::string& name) const;
   std::vector<std::string> names() const;
 
  private:
+  std::shared_ptr<const HeuristicCase> find_keyed(
+      const std::string& name, const scenario::ScenarioSpec* spec);
+
   mutable std::mutex mu_;
   std::map<std::string, Factory> factories_;
-  std::map<std::string, std::shared_ptr<const HeuristicCase>> cache_;
+  /// Keyed by (registry name, spec cache key; "" = the default instance).
+  std::map<std::pair<std::string, std::string>,
+           std::shared_ptr<const HeuristicCase>>
+      cache_;
 };
 
 /// The process-wide registry the built-in cases register into.
 CaseRegistry& registry();
 
-/// Registers at static-initialization time:
-///   static CaseRegistrar reg("my_case", [] { return std::make_shared<...>(); });
+/// Registers at static-initialization time.  Both factory shapes work:
+///   static CaseRegistrar reg("my_case",
+///       [](const scenario::ScenarioSpec* spec) { ... });   // spec-aware
+///   static CaseRegistrar reg("my_case",
+///       [] { return std::make_shared<...>(); });           // default-only
 struct CaseRegistrar {
   CaseRegistrar(const std::string& name, CaseRegistry::Factory factory);
+
+  template <class F, std::enable_if_t<std::is_invocable_v<F&>, int> = 0>
+  CaseRegistrar(const std::string& name, F factory) {
+    registry().add(name, std::move(factory));
+  }
 };
 
 }  // namespace xplain

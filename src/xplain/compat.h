@@ -1,11 +1,14 @@
-// Deprecated pre-CaseRegistry entry points, kept as thin shims over the
-// cases layer so out-of-tree callers of run_dp_pipeline / run_ff_pipeline
-// keep compiling.  This is the ONLY core header allowed to include te/ or
-// vbp/ (tools/check_layering.sh pins that); everything else goes through
-// the HeuristicCase API in xplain/case.h.
+// Deprecated pre-Engine entry points, kept as thin shims so out-of-tree
+// callers of run_dp_pipeline / run_ff_pipeline / run_batch keep compiling.
+// This is the ONLY core header allowed to include te/ or vbp/
+// (tools/check_layering.sh pins that); everything else goes through the
+// HeuristicCase API in xplain/case.h and the experiment engine in
+// engine/engine.h.
 //
-// Definitions live in src/cases/compat.cpp: the core xplain library itself
-// has no dependency on the concrete case studies.
+// The DP/FF runner definitions live in src/cases/compat.cpp (the core
+// xplain library has no dependency on the concrete case studies);
+// run_batch's stays in pipeline.cpp — it predates the engine and remains
+// the engine-independent worker loop its determinism tests pin down.
 #pragma once
 
 #include "te/demand_pinning.h"
@@ -13,6 +16,36 @@
 #include "xplain/pipeline.h"
 
 namespace xplain {
+
+// --- Deprecated batched driver (pre-ExperimentSpec API). ---
+
+struct BatchOptions {
+  /// Worker threads; 1 degenerates to the sequential loop.
+  int workers = 4;
+  /// Decorrelate the per-instance RNG streams by deriving every seed from
+  /// the instance index (deterministically — results are identical for any
+  /// worker count).  Off: every instance uses opts' seeds verbatim.
+  bool reseed_per_instance = true;
+};
+
+struct BatchResult {
+  /// Per-instance results, in input order regardless of worker scheduling.
+  std::vector<PipelineResult> results;
+  /// Merged accounting across instances.
+  subspace::GenerationTrace trace;
+  StageTimes stages;
+  double wall_seconds = 0.0;
+
+  int total_subspaces() const;
+};
+
+/// Deprecated: describe the sweep as an xplain::ExperimentSpec and run it
+/// through xplain::Engine (engine/engine.h) — same determinism contract,
+/// plus scenario grids, streaming callbacks and automatic Type-3.
+/// run_batch remains for callers holding hand-built case lists.
+[[deprecated("use xplain::Engine::run over an ExperimentSpec")]]
+BatchResult run_batch(const CaseList& cases, const PipelineOptions& opts = {},
+                      const BatchOptions& batch = {});
 
 /// Deprecated: use run_pipeline(*registry().find("demand_pinning")) or
 /// construct a cases::DpCase for a custom instance.

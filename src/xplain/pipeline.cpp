@@ -42,15 +42,19 @@ class TimedAnalyzer : public analyzer::HeuristicAnalyzer {
 /// Offsets every RNG stream by the instance index so batched instances are
 /// decorrelated while staying a pure function of (index, base options).
 PipelineOptions reseed(PipelineOptions opts, int index) {
-  const std::uint64_t salt = 0x9E3779B97F4A7C15ull * (index + 1);
+  return apply_seed_salt(std::move(opts),
+                         0x9E3779B97F4A7C15ull * (index + 1));
+}
+
+}  // namespace
+
+PipelineOptions apply_seed_salt(PipelineOptions opts, std::uint64_t salt) {
   opts.seed_salt = salt;  // consumed by HeuristicCase::make_analyzer
   opts.subspace.seed += salt;
   opts.subspace.significance.seed += salt;
   opts.explain.seed += salt;
   return opts;
 }
-
-}  // namespace
 
 StageTimes& StageTimes::operator+=(const StageTimes& o) {
   compile_seconds += o.compile_seconds;

@@ -3,15 +3,20 @@
 //   DSL --compile--> Heuristic Analyzer --example--> Adversarial Subspace
 //   Generator --subspaces--> Significance Checker --Type 1--> Explainer
 //   --Type 2-->  (and, across instances, Instance Generator + Generalizer
-//   --Type 3--, exposed in src/generalize and fed by run_batch).
+//   --Type 3--, exposed in src/generalize and fed by the experiment
+//   engine).
 //
-// Two entry points:
-//   * run_pipeline(case)  — any HeuristicCase, typically obtained from the
-//     CaseRegistry: run_pipeline(*registry().find("demand_pinning"));
-//   * run_batch(cases)    — fans a vector of case instances across a worker
-//     pool and merges the per-instance results deterministically.
+// run_pipeline(case) is the single-job primitive: one HeuristicCase,
+// typically obtained from the CaseRegistry —
+//   run_pipeline(*registry().find("demand_pinning"));
 // The low-level evaluator/analyzer/network/oracle overload remains for
 // callers assembling pieces by hand.
+//
+// Multi-instance sweeps go through xplain::Engine (engine/engine.h): a
+// declarative ExperimentSpec expands into (case, scenario) jobs, runs them
+// deterministically across workers, and feeds Type-3 automatically.  The
+// pre-engine run_batch driver survives as a deprecated shim in
+// xplain/compat.h.
 #pragma once
 
 #include <map>
@@ -80,6 +85,13 @@ struct PipelineResult {
   double max_gap() const;
 };
 
+/// Offsets every RNG stream in `opts` by `salt` — the one place that knows
+/// which PipelineOptions fields carry seeds.  Both the deprecated
+/// run_batch driver and the experiment engine derive their per-job options
+/// through this, so a newly added seeded stage decorrelates in both (a
+/// pure function: same (opts, salt) in, same options out).
+PipelineOptions apply_seed_salt(PipelineOptions opts, std::uint64_t salt);
+
 /// Runs the pipeline on any heuristic case.
 PipelineResult run_pipeline(const HeuristicCase& c,
                             const PipelineOptions& opts = {});
@@ -91,37 +103,13 @@ PipelineResult run_pipeline(const analyzer::GapEvaluator& eval,
                             const explain::FlowOracle& oracle,
                             const PipelineOptions& opts = {});
 
-// --- Batched driver. ---
-
-struct BatchOptions {
-  /// Worker threads; 1 degenerates to the sequential loop.
-  int workers = 4;
-  /// Decorrelate the per-instance RNG streams by deriving every seed from
-  /// the instance index (deterministically — results are identical for any
-  /// worker count).  Off: every instance uses opts' seeds verbatim.
-  bool reseed_per_instance = true;
-};
-
-struct BatchResult {
-  /// Per-instance results, in input order regardless of worker scheduling.
-  std::vector<PipelineResult> results;
-  /// Merged accounting across instances.
-  subspace::GenerationTrace trace;
-  StageTimes stages;
-  double wall_seconds = 0.0;
-
-  int total_subspaces() const;
-};
-
+/// Core vocabulary for multi-case drivers (the engine, the compat shims).
 using CaseList = std::vector<std::shared_ptr<const HeuristicCase>>;
-
-/// Runs `opts`-configured pipelines over every case in `cases` on a worker
-/// pool.  Deterministic: results[i] depends only on (cases[i], opts, i).
-BatchResult run_batch(const CaseList& cases, const PipelineOptions& opts = {},
-                      const BatchOptions& batch = {});
 
 }  // namespace xplain
 
-// Deprecated DP/FF convenience runners (pre-CaseRegistry API), kept so
-// out-of-tree callers compile.  New code: registry().find("demand_pinning").
+// Deprecated pre-Engine entry points (run_dp_pipeline / run_ff_pipeline /
+// run_batch), kept so out-of-tree callers compile.  New code: xplain::Engine
+// over an ExperimentSpec, or run_pipeline(*registry().find(name)) for one
+// case.
 #include "xplain/compat.h"

@@ -8,9 +8,22 @@
 #include "cases/bf_case.h"
 #include "cases/dp_case.h"
 #include "cases/ff_case.h"
+#include "cases/lb_case.h"
+#include "scenario/spec.h"
 #include "xplain/case.h"
 
 using namespace xplain;
+
+namespace {
+
+scenario::ScenarioSpec line_spec(int n) {
+  scenario::ScenarioSpec s;
+  s.kind = scenario::TopologyKind::kLine;
+  s.size = n;
+  return s;
+}
+
+}  // namespace
 
 TEST(CaseRegistry, BuiltInCasesAreRegistered) {
   auto names = registry().names();
@@ -40,7 +53,79 @@ TEST(CaseRegistry, FindReturnsWorkingCachedCase) {
 TEST(CaseRegistry, UnknownNameLookupIsNull) {
   EXPECT_EQ(registry().find("no_such_heuristic"), nullptr);
   EXPECT_EQ(registry().create("no_such_heuristic"), nullptr);
+  EXPECT_EQ(registry().create("no_such_heuristic", line_spec(4)), nullptr);
   EXPECT_FALSE(registry().contains("no_such_heuristic"));
+}
+
+TEST(CaseRegistry, ScenarioBuiltCasesNeverPoisonTheDefaultCache) {
+  // The stale-cache footgun the spec-parameterized redesign must avoid:
+  // find(name, spec) and find(name) are cached under different keys, so a
+  // scenario-built case can never be handed out as the default.
+  const auto default_before = registry().find("demand_pinning");
+  ASSERT_NE(default_before, nullptr);
+  EXPECT_EQ(default_before->make_evaluator()->dim(), 3);  // Fig. 1a
+
+  const auto spec = line_spec(6);
+  const auto scenario_built = registry().find("demand_pinning", spec);
+  ASSERT_NE(scenario_built, nullptr);
+  // DP from a scenario: 6 pairs over the generated line topology.
+  EXPECT_EQ(scenario_built->make_evaluator()->dim(), 6);
+  EXPECT_NE(scenario_built.get(), default_before.get());
+
+  // The default slot is untouched, and the keyed slot is itself cached.
+  EXPECT_EQ(registry().find("demand_pinning").get(), default_before.get());
+  EXPECT_EQ(registry().find("demand_pinning", spec).get(),
+            scenario_built.get());
+
+  // Distinct specs get distinct cache slots — including specs whose
+  // human-readable name() collides (capacity is not part of the label).
+  auto other = line_spec(6);
+  other.capacity = 55.0;
+  ASSERT_EQ(other.name(), spec.name());
+  ASSERT_NE(other.cache_key(), spec.cache_key());
+  const auto other_built = registry().find("demand_pinning", other);
+  ASSERT_NE(other_built, nullptr);
+  EXPECT_NE(other_built.get(), scenario_built.get());
+
+  // create(name, spec) always hands out fresh instances.
+  const auto fresh = registry().create("demand_pinning", spec);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_NE(fresh.get(), scenario_built.get());
+}
+
+TEST(CaseRegistry, AllBuiltInCasesBuildFromScenarios) {
+  const auto spec = line_spec(5);
+  for (const char* name :
+       {"demand_pinning", "demand_pinning_chain", "first_fit", "best_fit",
+        "wcmp"}) {
+    const auto c = registry().create(name, spec);
+    ASSERT_NE(c, nullptr) << name;
+    auto eval = c->make_evaluator();
+    ASSERT_NE(eval, nullptr) << name;
+    EXPECT_GT(eval->dim(), 0) << name;
+    EXPECT_FALSE(c->features().empty()) << name;
+  }
+  // VBP cases scale their ball count with the scenario size.
+  EXPECT_EQ(registry().create("first_fit", spec)->make_evaluator()->dim(), 5);
+  EXPECT_EQ(registry().create("best_fit", line_spec(3))
+                ->make_evaluator()
+                ->dim(),
+            3);
+}
+
+TEST(CaseRegistry, ZeroArgFactoriesDeclineScenarios) {
+  const std::string name = "default_only_test_case";
+  registry().add(name, [] {
+    return std::make_shared<cases::VbpCase>(cases::VbpCase::paper_instance());
+  });
+  EXPECT_NE(registry().find(name), nullptr);
+  EXPECT_NE(registry().create(name), nullptr);
+  // A default-only case refuses scenario-parameterized construction
+  // instead of silently running its default under a scenario label.
+  EXPECT_EQ(registry().create(name, line_spec(4)), nullptr);
+  EXPECT_EQ(registry().find(name, line_spec(4)), nullptr);
+  // ... and the failed keyed lookup did not poison the default slot.
+  EXPECT_NE(registry().find(name), nullptr);
 }
 
 TEST(CaseRegistry, DuplicateRegistrationIsRejected) {

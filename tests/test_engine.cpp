@@ -1,0 +1,318 @@
+// Experiment engine: grid expansion semantics, bitwise determinism across
+// XPLAIN_WORKERS settings (the acceptance criterion: a >= 6-job grid is
+// identical for any worker count), ExperimentResult JSON round-trips, the
+// wcmp-over-corpus Type-3 path, and loud failure for jobs that cannot
+// build.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cases/ff_case.h"
+#include "engine/engine.h"
+#include "scenario/scenario.h"
+#include "util/json.h"
+
+using namespace xplain;
+
+namespace {
+
+scenario::ScenarioSpec line(int n) {
+  scenario::ScenarioSpec s;
+  s.kind = scenario::TopologyKind::kLine;
+  s.size = n;
+  return s;
+}
+
+scenario::ScenarioSpec star(int n) {
+  scenario::ScenarioSpec s;
+  s.kind = scenario::TopologyKind::kStar;
+  s.size = n;
+  return s;
+}
+
+scenario::ScenarioSpec fat_tree(int k, std::uint64_t seed = 1) {
+  scenario::ScenarioSpec s;
+  s.kind = scenario::TopologyKind::kFatTree;
+  s.size = k;
+  s.seed = seed;
+  return s;
+}
+
+/// A cheap >= 6-job grid: two VBP cases and the DP chain family over three
+/// scenario sizes (small instances, analyzer-dominated cost).
+ExperimentSpec small_grid() {
+  ExperimentSpec spec;
+  spec.cases = {"first_fit", "demand_pinning_chain"};
+  spec.scenarios = {line(3), line(4), line(5)};
+  spec.options.min_gap = 1.0;
+  spec.options.subspace.max_subspaces = 1;
+  spec.options.explain.samples = 60;
+  spec.grammar.p_threshold = 0.5;
+  return spec;
+}
+
+void expect_same_results(const ExperimentResult& a, const ExperimentResult& b) {
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    const auto& ra = a.jobs[i];
+    const auto& rb = b.jobs[i];
+    EXPECT_EQ(ra.job.label(), rb.job.label()) << "job " << i;
+    EXPECT_EQ(ra.ok, rb.ok);
+    EXPECT_EQ(ra.error, rb.error);
+    EXPECT_DOUBLE_EQ(ra.pipeline.best_gap_found, rb.pipeline.best_gap_found);
+    ASSERT_EQ(ra.pipeline.subspaces.size(), rb.pipeline.subspaces.size())
+        << "job " << i;
+    for (std::size_t s = 0; s < ra.pipeline.subspaces.size(); ++s) {
+      const auto& sa = ra.pipeline.subspaces[s];
+      const auto& sb = rb.pipeline.subspaces[s];
+      EXPECT_EQ(sa.seed, sb.seed) << "job " << i << " subspace " << s;
+      EXPECT_DOUBLE_EQ(sa.seed_gap, sb.seed_gap);
+      EXPECT_DOUBLE_EQ(sa.p_value, sb.p_value);
+      EXPECT_EQ(sa.region.box.lo, sb.region.box.lo);
+      EXPECT_EQ(sa.region.box.hi, sb.region.box.hi);
+      EXPECT_EQ(sa.significant, sb.significant);
+    }
+    ASSERT_EQ(ra.pipeline.explanations.size(), rb.pipeline.explanations.size());
+    for (std::size_t e = 0; e < ra.pipeline.explanations.size(); ++e) {
+      EXPECT_EQ(ra.pipeline.explanations[e].samples_used,
+                rb.pipeline.explanations[e].samples_used);
+      ASSERT_EQ(ra.pipeline.explanations[e].edges.size(),
+                rb.pipeline.explanations[e].edges.size());
+      for (std::size_t k = 0; k < ra.pipeline.explanations[e].edges.size(); ++k)
+        EXPECT_DOUBLE_EQ(ra.pipeline.explanations[e].edges[k].heat,
+                         rb.pipeline.explanations[e].edges[k].heat);
+    }
+    EXPECT_EQ(ra.pipeline.features, rb.pipeline.features);
+  }
+  EXPECT_EQ(a.trace.analyzer_calls, b.trace.analyzer_calls);
+  EXPECT_EQ(a.trace.gap_evaluations, b.trace.gap_evaluations);
+  ASSERT_EQ(a.trends.predicates.size(), b.trends.predicates.size());
+  for (std::size_t p = 0; p < a.trends.predicates.size(); ++p) {
+    EXPECT_EQ(a.trends.predicates[p].to_string(),
+              b.trends.predicates[p].to_string());
+    EXPECT_DOUBLE_EQ(a.trends.predicates[p].rho, b.trends.predicates[p].rho);
+    EXPECT_DOUBLE_EQ(a.trends.predicates[p].p_value,
+                     b.trends.predicates[p].p_value);
+  }
+}
+
+struct EnvGuard {
+  ~EnvGuard() { unsetenv("XPLAIN_WORKERS"); }
+};
+
+}  // namespace
+
+TEST(Engine, ExpandIsTheCanonicalGridOrder) {
+  ExperimentSpec spec;
+  spec.cases = {"a", "b"};
+  spec.scenarios = {line(3), star(4)};
+  const auto jobs = Engine().expand(spec);
+  ASSERT_EQ(jobs.size(), 4u);
+  EXPECT_EQ(jobs[0].label(), "a@line_n3_s1");
+  EXPECT_EQ(jobs[1].label(), "a@star_n4_s1");
+  EXPECT_EQ(jobs[2].label(), "b@line_n3_s1");
+  EXPECT_EQ(jobs[3].label(), "b@star_n4_s1");
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(jobs[i].index, i);
+
+  // Empty grid: one default-instance job per case.
+  spec.scenarios.clear();
+  const auto defaults = Engine().expand(spec);
+  ASSERT_EQ(defaults.size(), 2u);
+  EXPECT_EQ(defaults[0].label(), "a@default");
+  EXPECT_FALSE(defaults[0].scenario.has_value());
+}
+
+TEST(Engine, GridIsBitwiseDeterministicAcrossWorkerCounts) {
+  const auto spec = small_grid();  // workers = 0: resolves via env
+  ASSERT_GE(Engine().expand(spec).size(), 6u);
+
+  EnvGuard guard;
+  setenv("XPLAIN_WORKERS", "1", 1);
+  const auto sequential = Engine().run(spec);
+  setenv("XPLAIN_WORKERS", "4", 1);
+  const auto parallel4 = Engine().run(spec);
+  expect_same_results(sequential, parallel4);
+
+  // An explicit worker count gives the same results again.
+  unsetenv("XPLAIN_WORKERS");
+  ExperimentSpec explicit_spec = spec;
+  explicit_spec.workers = 3;
+  expect_same_results(sequential, Engine().run(explicit_spec));
+}
+
+TEST(Engine, StreamsEveryJobThroughTheCallback) {
+  const auto spec = small_grid();
+  std::vector<std::string> labels;
+  auto res = Engine().run(spec, [&](const JobResult& j) {
+    labels.push_back(j.job.label());
+  });
+  ASSERT_EQ(labels.size(), res.jobs.size());
+  // Completion order is scheduling-dependent; the set of labels is not.
+  std::sort(labels.begin(), labels.end());
+  std::vector<std::string> expected;
+  for (const auto& j : res.jobs) expected.push_back(j.job.label());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(labels, expected);
+}
+
+TEST(Engine, SeedDecorrelatesReplications) {
+  auto spec = small_grid();
+  spec.cases = {"demand_pinning_chain"};
+  const auto a = Engine().run(spec);
+  auto spec_b = spec;
+  spec_b.seed = 99;
+  const auto b = Engine().run(spec_b);
+  // Same grid, different experiment seed: at least one job's analyzer
+  // trace must differ (the RNG streams are decorrelated).
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i)
+    if (a.jobs[i].pipeline.trace.gap_evaluations !=
+        b.jobs[i].pipeline.trace.gap_evaluations)
+      any_difference = true;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Engine, WcmpOverCorpusFeedsTypeThree) {
+  // The generic factory path: WCMP sweeps scenarios with no bespoke
+  // lb_case_factory adapter — features flow into generalize_batch inside
+  // Engine::run.
+  ExperimentSpec spec;
+  spec.cases = {"wcmp"};
+  spec.scenarios = {fat_tree(4), line(6), star(8)};
+  spec.options.min_gap = 1.0;
+  spec.options.subspace.max_subspaces = 1;
+  spec.options.explain.samples = 0;  // Type-3 only needs the gaps
+  spec.grammar.p_threshold = 1.1;    // keep every mined trend: smoke only
+  auto res = Engine().run(spec);
+
+  ASSERT_EQ(res.jobs.size(), 3u);
+  for (const auto& j : res.jobs) {
+    EXPECT_TRUE(j.ok) << j.job.label() << ": " << j.error;
+    EXPECT_FALSE(j.pipeline.features.empty()) << j.job.label();
+    EXPECT_GT(j.pipeline.features.at("num_commodities"), 0.0);
+  }
+  // Every ok job with features becomes one Type-3 observation.
+  EXPECT_EQ(res.trends.observations.size(), 3u);
+  // The fat-tree job must show a real WCMP-vs-optimal gap.
+  EXPECT_GT(res.jobs[0].pipeline.best_gap_found, 0.0);
+}
+
+TEST(Engine, UnknownAndDefaultOnlyCasesFailLoudly) {
+  const std::string name = "engine_default_only_case";
+  registry().add(name, [] {
+    vbp::VbpInstance inst;
+    inst.num_balls = 3;
+    inst.num_bins = 2;
+    inst.dims = 1;
+    inst.capacity = 1.0;
+    return std::make_shared<cases::VbpCase>(inst);
+  });
+
+  ExperimentSpec spec;
+  spec.cases = {"no_such_case", name};
+  spec.scenarios = {line(4)};
+  spec.options.explain.samples = 0;
+  spec.run_generalizer = false;
+  auto res = Engine().run(spec);
+  ASSERT_EQ(res.jobs.size(), 2u);
+  EXPECT_FALSE(res.jobs[0].ok);
+  EXPECT_EQ(res.jobs[0].error, "unknown case");
+  EXPECT_FALSE(res.jobs[1].ok);
+  EXPECT_NE(res.jobs[1].error.find("default-only"), std::string::npos);
+  // The same case still runs fine on its default instance.
+  ExperimentSpec default_spec;
+  default_spec.cases = {name};
+  default_spec.options.explain.samples = 0;
+  default_spec.run_generalizer = false;
+  auto ok_res = Engine().run(default_spec);
+  ASSERT_EQ(ok_res.jobs.size(), 1u);
+  EXPECT_TRUE(ok_res.jobs[0].ok);
+}
+
+TEST(Engine, ExperimentSummaryJsonRoundTripsExactly) {
+  // Synthetic summary with adversarial content: quotes, newlines,
+  // non-representable-in-decimal doubles, empty and missing fields.
+  ExperimentSummary s;
+  JobSummary j;
+  j.case_name = "wcmp";
+  j.scenario = "fat_tree_k4_s1";
+  j.index = 0;
+  j.ok = true;
+  j.subspaces = 2;
+  j.significant = 1;
+  j.best_gap_found = 1.0 / 3.0;
+  j.max_seed_gap = 66.04357334190792;
+  j.gap_scale = 100.0;
+  j.wall_seconds = 0.123456789123456789;
+  j.lp_solves = 12345;
+  j.lp_iterations = 987654321;
+  j.features = {{"num_commodities", 8.0}, {"skew_span", 0.75}};
+  s.jobs.push_back(j);
+  JobSummary bad;
+  bad.case_name = "odd \"name\"\nwith newline";
+  bad.index = 1;
+  bad.ok = false;
+  bad.error = "case cannot build from a scenario (default-only registration)";
+  s.jobs.push_back(bad);
+  TrendSummary t;
+  t.predicate = "increasing(pinned_sp_hops)";
+  t.feature = "pinned_sp_hops";
+  t.increasing = true;
+  t.rho = 0.9784922871473329;
+  t.p_value = 1.7481490558e-08;
+  t.support = 12;
+  s.trends.push_back(t);
+  s.observations = 12;
+  s.wall_seconds = 7.739930840000001;
+  s.lp_solves = 112202;
+  s.lp_iterations = 713712;
+
+  const std::string json = s.to_json();
+  const auto parsed = ExperimentSummary::from_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(s == *parsed);
+  // And the serialization itself is stable under a round trip.
+  EXPECT_EQ(json, parsed->to_json());
+}
+
+TEST(Engine, RealExperimentJsonRoundTrips) {
+  auto spec = small_grid();
+  spec.cases = {"first_fit"};
+  const auto res = Engine().run(spec);
+  const auto summary = res.summary();
+  const auto parsed = ExperimentSummary::from_json(res.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(summary == *parsed);
+}
+
+TEST(UtilJson, NumbersRoundTripIncludingExtremes) {
+  // 1e19 exceeds long long range (the integer fast path must range-check
+  // before casting); the others stress shortest-form round-tripping.
+  for (double v : {1e19, -1e19, 1.0 / 3.0, 5e-324, 1.7976931348623157e308,
+                   0.1, -0.0, 1e15}) {
+    const util::Json j(v);
+    const auto parsed = util::Json::parse(j.dump());
+    ASSERT_TRUE(parsed.has_value()) << v;
+    EXPECT_EQ(parsed->as_num(), v) << v;
+  }
+  // Non-finite values serialize as null (JSON has no NaN/Inf) and bare
+  // inf/nan tokens are rejected on input.
+  EXPECT_EQ(util::Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_FALSE(util::Json::parse("inf").has_value());
+  EXPECT_FALSE(util::Json::parse("nan").has_value());
+}
+
+TEST(UtilJson, ParseRejectsMalformedDocuments) {
+  using util::Json;
+  EXPECT_FALSE(Json::parse("").has_value());
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("[1, 2,]").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\": 1} trailing").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+  ASSERT_TRUE(Json::parse("  {\"a\": [1, 2.5e3, true, null]} ").has_value());
+}

@@ -15,6 +15,15 @@ Two gates, both exiting non-zero on failure:
   (default 25%).  The LP work counters are bitwise deterministic for a
   given code version, so any drift is a real behavior change, not noise;
   this is the machine-independent regression signal.
+
+Additionally, any embedded experiment document (a JSON object member with a
+"jobs" array — what xplain::ExperimentResult::to_json emits through
+BenchReport::raw) is compared against the baseline's, after dropping
+wall-clock and LP-counter fields and rounding floats to 9 significant
+digits (absorbing last-ULP libm differences across machines): job labels,
+subspace counts and gaps are deterministic engine outputs, so divergence
+beyond that is a behavior change.  A document present on only one side is
+a failure too — renaming the key must not silently disarm the gate.
 """
 
 import argparse
@@ -29,6 +38,55 @@ def load(path):
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+
+
+def scrub(obj):
+    """Normalizes an embedded experiment document for cross-machine
+    comparison: drops wall clocks and LP counters (thread-count dependent),
+    and rounds floats to 9 significant digits — gaps and trend statistics
+    are deterministic for a given build, but libm transcendentals (p-values
+    go through lgamma/ibeta) and FP codegen may differ in the last ULPs
+    across glibc/compiler versions, which is noise, not behavior."""
+    machine_dependent = ("seconds", "lp_solves", "lp_iterations")
+    if isinstance(obj, dict):
+        return {
+            k: scrub(v)
+            for k, v in obj.items()
+            if not any(tag in k for tag in machine_dependent)
+        }
+    if isinstance(obj, list):
+        return [scrub(v) for v in obj]
+    if isinstance(obj, float):
+        return float(f"{obj:.9g}")
+    return obj
+
+
+def diff_experiments(fresh, base):
+    """Yields failure messages for embedded experiment docs that diverge.
+
+    A document present on only one side is itself a failure: otherwise
+    renaming or dropping the BenchReport::raw key would silently disarm
+    this gate while CI stays green."""
+
+    def experiment_keys(doc):
+        return {
+            k for k, v in doc.items() if isinstance(v, dict) and "jobs" in v
+        }
+
+    fresh_keys, base_keys = experiment_keys(fresh), experiment_keys(base)
+    for key in sorted(fresh_keys ^ base_keys):
+        side = "baseline" if key in base_keys else "fresh run"
+        yield (
+            f"embedded experiment {key!r} exists only in the {side} — the "
+            f"exact experiment comparison no longer covers it"
+        )
+    for key in sorted(fresh_keys & base_keys):
+        if scrub(fresh[key]) != scrub(base[key]):
+            yield (
+                f"embedded experiment {key!r} diverged from the baseline "
+                f"(job structure / gaps / trends; timings and LP counters "
+                f"are excluded from this comparison)"
+            )
 
 
 def main():
@@ -70,10 +128,22 @@ def main():
         print(f"  {key:>15}: {f} vs baseline {b}{drift}")
 
     failed = []
+    failed.extend(diff_experiments(fresh, base))
 
     fi, bi = fresh.get("lp_iterations"), base.get("lp_iterations")
     if fi is not None and bi:
-        if fi / bi > 1.0 + args.max_counter_regression:
+        if args.max_counter_regression == 0.0:
+            # Exact gate: the bench is advertised as a bit-exact
+            # reproduction target, so an *improvement* is also drift — it
+            # means the committed baseline no longer describes the code
+            # and must be regenerated.
+            if fi != bi:
+                failed.append(
+                    f"lp_iterations {fi} != baseline {bi} (exact gate: any "
+                    f"drift is a behavior change; regenerate the baseline "
+                    f"if intentional)"
+                )
+        elif fi / bi > 1.0 + args.max_counter_regression:
             failed.append(
                 f"lp_iterations {fi} is {100.0 * (fi / bi - 1.0):.1f}% above "
                 f"baseline {bi} (allowed "

@@ -15,6 +15,7 @@ struct BenchReport::Impl {
   util::Timer timer;
   solver::LpCounters start;
   std::vector<std::pair<std::string, double>> extra;
+  std::vector<std::pair<std::string, std::string>> raw;
   bool written = false;
 };
 
@@ -30,6 +31,10 @@ BenchReport::~BenchReport() {
 
 void BenchReport::metric(const std::string& key, double value) {
   impl_->extra.emplace_back(key, value);
+}
+
+void BenchReport::raw(const std::string& key, std::string json_value) {
+  impl_->raw.emplace_back(key, std::move(json_value));
 }
 
 void BenchReport::write() {
@@ -48,6 +53,7 @@ void BenchReport::write() {
      << "  \"lp_warm_solves\": "
      << end.warm_solves - impl_->start.warm_solves;
   for (const auto& [k, v] : impl_->extra) os << ",\n  \"" << k << "\": " << v;
+  for (const auto& [k, v] : impl_->raw) os << ",\n  \"" << k << "\": " << v;
   os << "\n}\n";
   std::ofstream out("BENCH_" + impl_->name + ".json");
   out << os.str();

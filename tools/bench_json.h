@@ -23,6 +23,11 @@ class BenchReport {
   /// Attaches an extra numeric datum (e.g. a bench-specific count).
   void metric(const std::string& key, double value);
 
+  /// Attaches a pre-serialized JSON value verbatim (e.g. an
+  /// xplain::ExperimentResult::to_json() document), making the experiment's
+  /// structured output part of the bench's machine-readable report.
+  void raw(const std::string& key, std::string json_value);
+
   /// Writes the JSON now (also called by the destructor; idempotent).
   void write();
 

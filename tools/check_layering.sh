@@ -21,25 +21,34 @@ err() {
 }
 
 # --- Rule 1: core layers never include case-study or higher-layer headers.
-# The single sanctioned exception: xplain/compat.h declares the deprecated
-# run_dp_pipeline/run_ff_pipeline shims, whose signatures need te/ and vbp/
-# types (their definitions live in the cases library).
+# Two sanctioned exceptions:
+#   * xplain/compat.h declares the deprecated run_dp_pipeline /
+#     run_ff_pipeline / run_batch shims, whose signatures need te/ and vbp/
+#     types (their definitions live in the cases library);
+#   * src/xplain may include scenario/spec.h — the dependency-free
+#     ScenarioSpec POD the spec-parameterized CaseRegistry factories and
+#     the experiment engine's grids are expressed in.  The scenario
+#     *generators* (scenario/scenario.h, which pulls te/ and lb/) remain
+#     off-limits to the core.
 core_dirs="analyzer subspace explain flowgraph model solver stats util"
 for dir in $core_dirs; do
-  hits=$(grep -n '#include "\(te\|vbp\|lb\|scenario\|cases\|generalize\|xplain\)/' \
+  hits=$(grep -n '#include "\(te\|vbp\|lb\|scenario\|cases\|generalize\|xplain\|engine\)/' \
       src/$dir/*.h src/$dir/*.cpp 2>/dev/null)
   if [ -n "$hits" ]; then
     err "src/$dir must not include te/, vbp/, lb/, scenario/, cases/,
-generalize/ or xplain/:
+generalize/, xplain/ or engine/:
 $hits"
   fi
 done
 
-xplain_hits=$(grep -n '#include "\(te\|vbp\|lb\|scenario\|cases\|generalize\)/' \
-    src/xplain/*.h src/xplain/*.cpp 2>/dev/null | grep -v '^src/xplain/compat.h:')
+xplain_hits=$(grep -n '#include "\(te\|vbp\|lb\|scenario\|cases\|generalize\|engine\)/' \
+    src/xplain/*.h src/xplain/*.cpp 2>/dev/null \
+    | grep -v '^src/xplain/compat.h:' \
+    | grep -v '#include "scenario/spec.h"')
 if [ -n "$xplain_hits" ]; then
-  err "src/xplain must not include te/, vbp/, lb/, scenario/, cases/ or
-generalize/ (only the deprecated compat.h shim header may):
+  err "src/xplain must not include te/, vbp/, lb/, cases/, generalize/,
+engine/ or scenario/ beyond scenario/spec.h (compat.h is the deprecated-shim
+exception):
 $xplain_hits"
 fi
 
@@ -68,7 +77,10 @@ rank_of() {
     explain) echo 10 ;;
     xplain) echo 11 ;;
     generalize) echo 12 ;;
-    cases) echo 13 ;;
+    # engine and cases share the top rank: the experiment engine drives
+    # cases through the registry at runtime, never through an include, and
+    # cases never reach up into the engine — equal ranks reject both.
+    engine|cases) echo 13 ;;
     *) echo 99 ;;
   esac
 }
