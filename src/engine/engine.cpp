@@ -285,8 +285,9 @@ ExperimentResult Engine::run(const ExperimentSpec& spec,
     out.trace += j.pipeline.trace;
     out.stages += j.pipeline.stages;
   }
-  // With concurrent workers the per-job counter deltas overlap (the
-  // counters are process-wide); the experiment-level snapshot is exact.
+  // Thread-inclusive counters (lp.h): per-job deltas are exact, and this
+  // experiment-level snapshot is too — the pool joined above, flushing
+  // every worker's counts.
   const solver::LpCounters lp1 = solver::lp_counters();
   out.stages.lp_solves = lp1.solves - lp0.solves;
   out.stages.lp_iterations = lp1.iterations - lp0.iterations;

@@ -112,8 +112,9 @@ struct JobSummary {
   double max_seed_gap = 0.0;
   double gap_scale = 1.0;
   double wall_seconds = 0.0;
-  /// Approximate under concurrent workers (process-wide counters); the
-  /// experiment-level totals are snapshotted exactly.
+  /// Exact even under concurrent workers: solver::lp_counters is
+  /// thread-inclusive, so each job's delta counts precisely the LP work its
+  /// worker (and any pools it joined) performed.
   long lp_solves = 0;
   long lp_iterations = 0;
   std::map<std::string, double> features;

@@ -133,14 +133,27 @@ struct LpSolution {
   std::vector<double> y;  // dual values, one per row (sign: for the stated
                           // sense; empty for MILP solves)
   long iterations = 0;
+  /// Successful basis refactorizations performed during the solve
+  /// (meaningful on kOptimal; diagnostic for the SimplexOptions refactor
+  /// triggers).
+  long refactorizations = 0;
   /// Optimal basis (populated on kOptimal); feed back into solve_lp as a
   /// warm start after bound tightenings.
   Basis basis;
 };
 
-/// Process-wide LP accounting, incremented by every solve_lp call (atomic,
-/// so the parallel sampling loops count too).  Snapshot before/after a
-/// region of interest and subtract.
+/// LP accounting, incremented by every solve_lp call.  Counters are
+/// *thread-inclusive*: each thread accumulates its own solves without
+/// synchronization and flushes them to a process-wide retired total when it
+/// exits, so on any thread the delta of lp_counters() across a region is
+/// exactly the work performed by that thread plus any worker pools it
+/// joined inside the region (util::parallel_chunks hands each worker's
+/// tallies to the spawning thread at join).  That makes per-job deltas
+/// exact even under concurrent Engine workers, and process-wide totals
+/// exact whenever no pool is mid-flight.  The one limitation: a thread
+/// never sees work still in flight on a thread it did not spawn through
+/// parallel_chunks — e.g. a hand-rolled std::thread's tallies reach the
+/// retired total (and other threads' view) only when that thread exits.
 struct LpCounters {
   long solves = 0;
   long iterations = 0;

@@ -1,0 +1,264 @@
+#include "solver/lu.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xplain::solver {
+
+namespace {
+
+/// Entries below the column max by more than this factor are inadmissible
+/// pivots (threshold partial pivoting): sparser rows may be preferred, but
+/// never at more than 10x growth per elimination step.
+constexpr double kPivotThreshold = 0.1;
+/// Absolute floor below which a column is treated as numerically zero.
+constexpr double kSingularTol = 1e-11;
+
+}  // namespace
+
+// Nonrecursive depth-first search over the partially built L: the reach of
+// `row` gives every row whose solution component the triangular solve can
+// touch.  Rows are pushed onto xi_[top..m_) in topological order.
+int LuFactorization::dfs(int row, int top, const std::vector<int>& lp,
+                         const std::vector<int>& li) {
+  int head = 0;
+  stack_[0] = row;
+  while (head >= 0) {
+    const int r = stack_[head];
+    if (visited_[r] == 0) {
+      visited_[r] = 1;
+      const int step = bpinv_[r];
+      pstack_[head] = (step < 0) ? 0 : lp[step];
+    }
+    const int step = bpinv_[r];
+    const int pend = (step < 0) ? 0 : lp[step + 1];
+    bool descended = false;
+    for (int p = pstack_[head]; p < pend; ++p) {
+      const int child = li[p];
+      if (visited_[child] != 0) continue;
+      pstack_[head] = p + 1;
+      stack_[++head] = child;
+      descended = true;
+      break;
+    }
+    if (!descended) {
+      xi_[--top] = r;
+      --head;
+    }
+  }
+  return top;
+}
+
+bool LuFactorization::factorize(int m, const std::vector<int>& cp,
+                                const std::vector<int>& ci,
+                                const std::vector<double>& cx,
+                                const std::vector<int>& basis_cols) {
+  // Build into the b*-scratch so a singular basis leaves the active
+  // factorization (and its eta file) untouched.
+  // Markowitz-style column preorder: sparsest basis columns pivot first.
+  // Counting sort by column length (stable, O(m + maxlen)): warm solves
+  // factorize on every install, so this runs in the sampling hot loops.
+  border_.resize(m);
+  int maxlen = 0;
+  for (int k = 0; k < m; ++k) {
+    const int j = basis_cols[k];
+    maxlen = std::max(maxlen, cp[j + 1] - cp[j]);
+  }
+  rdeg_.assign(maxlen + 2, 0);  // reused as bucket counters first
+  for (int k = 0; k < m; ++k) {
+    const int j = basis_cols[k];
+    ++rdeg_[cp[j + 1] - cp[j] + 1];
+  }
+  for (int l = 0; l <= maxlen; ++l) rdeg_[l + 1] += rdeg_[l];
+  for (int k = 0; k < m; ++k) {
+    const int j = basis_cols[k];
+    border_[rdeg_[cp[j + 1] - cp[j]]++] = k;
+  }
+  // Static row degrees of the basis matrix, for the sparsity tie-break.
+  rdeg_.assign(m, 0);
+  for (int k = 0; k < m; ++k) {
+    const int j = basis_cols[k];
+    for (int t = cp[j]; t < cp[j + 1]; ++t) ++rdeg_[ci[t]];
+  }
+
+  bpinv_.assign(m, -1);
+  bpivrow_.assign(m, -1);
+  bcolorder_.resize(m);
+  blp_.assign(1, 0);
+  bli_.clear();
+  blx_.clear();
+  bup_.assign(1, 0);
+  bui_.clear();
+  bux_.clear();
+  budiag_.resize(m);
+  xi_.resize(m);
+  stack_.resize(m);
+  pstack_.resize(m);
+  visited_.assign(m, 0);
+  xw_.assign(m, 0.0);
+
+  for (int k = 0; k < m; ++k) {
+    const int slot = border_[k];
+    const int j = basis_cols[slot];
+    bcolorder_[k] = slot;
+
+    // --- Symbolic: reach of column j's rows through the current L. ---
+    int top = m;
+    for (int t = cp[j]; t < cp[j + 1]; ++t)
+      if (visited_[ci[t]] == 0) top = dfs(ci[t], top, blp_, bli_);
+
+    // --- Numeric sparse triangular solve x = L \ B_j. ---
+    for (int p = top; p < m; ++p) xw_[xi_[p]] = 0.0;
+    for (int t = cp[j]; t < cp[j + 1]; ++t) xw_[ci[t]] += cx[t];
+    for (int p = top; p < m; ++p) {
+      const int r = xi_[p];
+      const int step = bpinv_[r];
+      if (step < 0) continue;
+      const double xv = xw_[r];
+      if (xv == 0.0) continue;
+      for (int q = blp_[step]; q < blp_[step + 1]; ++q)
+        xw_[bli_[q]] -= blx_[q] * xv;
+    }
+
+    // --- Pivot: threshold partial pivoting with a static-degree
+    // (Markowitz-style) tie-break among admissible rows. ---
+    double xmax = 0.0;
+    for (int p = top; p < m; ++p) {
+      const int r = xi_[p];
+      if (bpinv_[r] < 0) xmax = std::max(xmax, std::abs(xw_[r]));
+    }
+    if (xmax <= kSingularTol) {
+      for (int p = top; p < m; ++p) visited_[xi_[p]] = 0;
+      return false;  // structurally or numerically singular
+    }
+    int pivot_row = -1;
+    int pivot_deg = m + 1;
+    double pivot_abs = 0.0;
+    for (int p = top; p < m; ++p) {
+      const int r = xi_[p];
+      if (bpinv_[r] >= 0) continue;
+      const double a = std::abs(xw_[r]);
+      if (a < kPivotThreshold * xmax || a <= kSingularTol) continue;
+      if (rdeg_[r] < pivot_deg ||
+          (rdeg_[r] == pivot_deg && a > pivot_abs)) {
+        pivot_deg = rdeg_[r];
+        pivot_abs = a;
+        pivot_row = r;
+      }
+    }
+    const double piv = xw_[pivot_row];
+
+    // --- Emit U column k (pivoted rows) and L column k (multipliers). ---
+    for (int p = top; p < m; ++p) {
+      const int r = xi_[p];
+      visited_[r] = 0;  // reset marks for the next column
+      const double xv = xw_[r];
+      const int step = bpinv_[r];
+      if (step >= 0) {
+        if (xv != 0.0) {
+          bui_.push_back(step);
+          bux_.push_back(xv);
+        }
+      } else if (r != pivot_row) {
+        const double f = xv / piv;
+        if (f != 0.0) {
+          bli_.push_back(r);
+          blx_.push_back(f);
+        }
+      }
+    }
+    budiag_[k] = piv;
+    bpivrow_[k] = pivot_row;
+    bpinv_[pivot_row] = k;
+    blp_.push_back(static_cast<int>(bli_.size()));
+    bup_.push_back(static_cast<int>(bui_.size()));
+  }
+
+  // Success: publish the new factors and clear the eta file.
+  m_ = m;
+  lp_.swap(blp_);
+  li_.swap(bli_);
+  lx_.swap(blx_);
+  up_.swap(bup_);
+  ui_.swap(bui_);
+  ux_.swap(bux_);
+  udiag_.swap(budiag_);
+  pivrow_.swap(bpivrow_);
+  colorder_.swap(bcolorder_);
+  pinv_.swap(bpinv_);
+  eta_start_.assign(1, 0);
+  eta_slot_.clear();
+  eta_piv_.clear();
+  eta_idx_.clear();
+  eta_val_.clear();
+  return true;
+}
+
+void LuFactorization::ftran(std::vector<double>& x) const {
+  // L-pass (forward, unit diagonal): y_k = (L^-1 P b)_k in step space.
+  step_.resize(m_);
+  for (int k = 0; k < m_; ++k) {
+    const double yk = x[pivrow_[k]];
+    step_[k] = yk;
+    if (yk == 0.0) continue;
+    for (int p = lp_[k]; p < lp_[k + 1]; ++p) x[li_[p]] -= lx_[p] * yk;
+  }
+  // U-pass (backward, column-oriented scatter).
+  for (int k = m_ - 1; k >= 0; --k) {
+    const double zk = step_[k] / udiag_[k];
+    step_[k] = zk;
+    if (zk == 0.0) continue;
+    for (int p = up_[k]; p < up_[k + 1]; ++p) step_[ui_[p]] -= ux_[p] * zk;
+  }
+  // Scatter to slot space, then replay the eta file oldest-first.
+  for (int k = 0; k < m_; ++k) x[colorder_[k]] = step_[k];
+  const int etas = eta_count();
+  for (int e = 0; e < etas; ++e) {
+    const int slot = eta_slot_[e];
+    const double t = x[slot] / eta_piv_[e];
+    x[slot] = t;
+    if (t == 0.0) continue;
+    for (int p = eta_start_[e]; p < eta_start_[e + 1]; ++p)
+      x[eta_idx_[p]] -= eta_val_[p] * t;
+  }
+}
+
+void LuFactorization::btran(std::vector<double>& y) const {
+  // Eta transposes, newest-first: u^T E_1..E_k = c^T peels E_k off first.
+  for (int e = eta_count() - 1; e >= 0; --e) {
+    const int slot = eta_slot_[e];
+    double t = y[slot];
+    for (int p = eta_start_[e]; p < eta_start_[e + 1]; ++p)
+      t -= eta_val_[p] * y[eta_idx_[p]];
+    y[slot] = t / eta_piv_[e];
+  }
+  // U^T-pass (forward, gather): column k of U is row k of U^T.
+  step_.resize(m_);
+  for (int k = 0; k < m_; ++k) {
+    double acc = y[colorder_[k]];
+    for (int p = up_[k]; p < up_[k + 1]; ++p) acc -= ux_[p] * step_[ui_[p]];
+    step_[k] = acc / udiag_[k];
+  }
+  // L^T-pass (backward, gather): entries of L column k live in rows pivoted
+  // at later steps, so their solution components are already final.
+  for (int k = m_ - 1; k >= 0; --k) {
+    double acc = step_[k];
+    for (int p = lp_[k]; p < lp_[k + 1]; ++p)
+      acc -= lx_[p] * step_[pinv_[li_[p]]];
+    step_[k] = acc;
+  }
+  for (int k = 0; k < m_; ++k) y[pivrow_[k]] = step_[k];
+}
+
+void LuFactorization::push_eta(int leave_slot, const std::vector<double>& alpha) {
+  eta_slot_.push_back(leave_slot);
+  eta_piv_.push_back(alpha[leave_slot]);
+  for (int i = 0; i < m_; ++i) {
+    if (i == leave_slot || alpha[i] == 0.0) continue;
+    eta_idx_.push_back(i);
+    eta_val_.push_back(alpha[i]);
+  }
+  eta_start_.push_back(static_cast<int>(eta_idx_.size()));
+}
+
+}  // namespace xplain::solver

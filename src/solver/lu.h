@@ -1,0 +1,106 @@
+// Sparse LU factorization of a simplex basis, with eta-file updates.
+//
+// This replaces the dense O(m^2)-per-operation basis inverse the revised
+// simplex carried through PR 3-5: the basis matrix B (one CSC column per
+// basis slot) is factorized as P B Q = L U with Markowitz-style pivot
+// selection — columns enter in increasing-sparsity order and, within a
+// column, the pivot row minimizes static row degree among candidates
+// within a threshold of the column's numerical maximum (threshold partial
+// pivoting) — and each simplex pivot appends one product-form eta column
+// instead of touching the factors.  FTRAN/BTRAN cost O(nnz(L) + nnz(U) +
+// nnz(etas) + m) instead of O(m^2).
+//
+// Index spaces (shared with RevisedSimplex):
+//   * "row"  = constraint row of the LpProblem, 0..m-1;
+//   * "slot" = basis position (basis_[slot] is the variable basic in
+//     constraint row `slot`), so column `slot` of B is the CSC column of
+//     that variable.  FTRAN outputs and BTRAN inputs are slot-indexed;
+//     FTRAN inputs and BTRAN outputs are row-indexed.  Etas live purely in
+//     slot space.
+//
+// The factorization is built left-looking (sparse triangular solve per
+// column with a depth-first reach, CSparse-style), entirely deterministic
+// — no randomization, no parallelism — so solver results stay pure
+// functions of the problem, preserving the repo's bitwise parallel
+// determinism contract.
+#pragma once
+
+#include <vector>
+
+namespace xplain::solver {
+
+class LuFactorization {
+ public:
+  /// Factorizes the m x m basis whose slot-k column is CSC column
+  /// `basis_cols[k]` of (cp, ci, cx).  Returns false on numerical
+  /// singularity; the previous factorization (and its eta file) is left
+  /// untouched so callers can keep operating on the stale representation.
+  /// On success the eta file is cleared.
+  bool factorize(int m, const std::vector<int>& cp, const std::vector<int>& ci,
+                 const std::vector<double>& cx,
+                 const std::vector<int>& basis_cols);
+
+  /// Solves B x = b in place: on entry `x` holds b (row-indexed), on exit
+  /// the solution (slot-indexed).  Applies the eta file.
+  void ftran(std::vector<double>& x) const;
+
+  /// Solves B^T y = c in place: on entry `y` holds c (slot-indexed), on
+  /// exit the solution (row-indexed).  Applies the eta file.
+  void btran(std::vector<double>& y) const;
+
+  /// Appends a product-form eta after a pivot in slot `leave_slot` with
+  /// alpha = B^-1 A_enter (the FTRAN of the entering column, slot-indexed).
+  /// The caller guarantees |alpha[leave_slot]| is an admissible pivot.
+  void push_eta(int leave_slot, const std::vector<double>& alpha);
+
+  /// Number of etas appended since the last successful factorize (== pivots
+  /// applied in product form).
+  int eta_count() const { return static_cast<int>(eta_slot_.size()); }
+  /// Total nonzeros in the eta file — the accumulated-fill measure the
+  /// refactorization triggers in SimplexOptions bound.
+  long eta_nnz() const { return static_cast<long>(eta_idx_.size()); }
+  /// Nonzeros in L + U (diagonal included) of the last factorization.
+  long factor_nnz() const {
+    return static_cast<long>(li_.size() + ui_.size()) + m_;
+  }
+
+ private:
+  int dfs(int row, int top, const std::vector<int>& lp,
+          const std::vector<int>& li);
+
+  int m_ = 0;
+
+  // L: unit lower triangular, stored by pivot step; entries are multipliers
+  // (the implicit 1.0 pivot entry is not stored) with ORIGINAL row indices
+  // (pinv_ maps original row -> pivot step).
+  std::vector<int> lp_, li_;
+  std::vector<double> lx_;
+  // U: upper triangular in step space, stored by column (= pivot step);
+  // entries' indices are earlier pivot steps; the diagonal is udiag_.
+  std::vector<int> up_, ui_;
+  std::vector<double> ux_;
+  std::vector<double> udiag_;
+  std::vector<int> pivrow_;    // step -> original constraint row
+  std::vector<int> colorder_;  // step -> basis slot
+  std::vector<int> pinv_;      // original row -> step (-1 while factoring)
+
+  // Eta file (slot space), flat storage: eta e pivots slot eta_slot_[e]
+  // with pivot value eta_piv_[e] and off-pivot entries
+  // eta_idx_/eta_val_[eta_start_[e] .. eta_start_[e+1]).
+  std::vector<int> eta_start_{0};
+  std::vector<int> eta_slot_;
+  std::vector<double> eta_piv_;
+  std::vector<int> eta_idx_;
+  std::vector<double> eta_val_;
+
+  // Factorization / solve scratch (kept for capacity reuse; the solver is
+  // thread_local in solve_lp, so no sharing).
+  std::vector<int> border_, bpinv_, bpivrow_, bcolorder_;
+  std::vector<int> blp_, bli_, bup_, bui_;
+  std::vector<double> blx_, bux_, budiag_;
+  std::vector<int> xi_, stack_, pstack_, visited_, rdeg_;
+  std::vector<double> xw_;
+  mutable std::vector<double> step_;  // step-space intermediate for solves
+};
+
+}  // namespace xplain::solver

@@ -6,15 +6,55 @@
 #include <cmath>
 #include <vector>
 
+#include "solver/lu.h"
+#include "util/parallel.h"
 #include "util/logging.h"
 
 namespace xplain::solver {
 
 namespace {
 
-std::atomic<long> g_lp_solves{0};
-std::atomic<long> g_lp_iterations{0};
-std::atomic<long> g_lp_warm_solves{0};
+// Thread-inclusive LP accounting (see LpCounters in lp.h): the hot path
+// bumps plain thread_local longs — no atomic traffic per solve.  Tallies
+// flow UP the spawn tree: a util::parallel_chunks worker hands its counts
+// to the spawning thread at join (the pool-accumulator hook below), so a
+// thread's counters include every pool it ran, transitively — that is what
+// makes per-job counter deltas exact even when concurrent Engine/batch
+// workers each run their own inner pools.  Threads not spawned by
+// parallel_chunks flush to the retired atomics when they exit.
+std::atomic<long> g_retired_solves{0};
+std::atomic<long> g_retired_iterations{0};
+std::atomic<long> g_retired_warm_solves{0};
+
+struct ThreadLpCounters {
+  long solves = 0;
+  long iterations = 0;
+  long warm_solves = 0;
+  ~ThreadLpCounters() {
+    g_retired_solves.fetch_add(solves, std::memory_order_relaxed);
+    g_retired_iterations.fetch_add(iterations, std::memory_order_relaxed);
+    g_retired_warm_solves.fetch_add(warm_solves, std::memory_order_relaxed);
+  }
+};
+
+thread_local ThreadLpCounters t_lp;
+
+void capture_thread_lp(std::vector<long>& out) {
+  out.assign({t_lp.solves, t_lp.iterations, t_lp.warm_solves});
+  t_lp.solves = t_lp.iterations = t_lp.warm_solves = 0;  // exit flushes 0
+}
+
+void absorb_thread_lp(const std::vector<long>& in) {
+  t_lp.solves += in[0];
+  t_lp.iterations += in[1];
+  t_lp.warm_solves += in[2];
+}
+
+// simplex.cpp's object file always links (solve_lp is referenced), so this
+// initializer reliably wires the hook before any pool runs.
+const bool g_lp_hook_registered =
+    (util::register_pool_accumulator(capture_thread_lp, absorb_thread_lp),
+     true);
 
 // Variable status.  Nonbasic variables rest at a bound (or at 0 when free);
 // fixed variables (lo == hi) are nonbasic-at-lower and never priced.
@@ -23,8 +63,9 @@ enum class VStat : std::uint8_t { kBasic, kAtLower, kAtUpper, kFree };
 /// Bounded-variable revised simplex over the standardized system
 ///   A x + I s = b,   lo <= (x, s) <= hi,   minimize c'x,
 /// with one slack per row (Le: s in [0, inf), Ge: s in (-inf, 0],
-/// Eq: s fixed at 0).  Columns are stored sparsely (CSC); the basis inverse
-/// is dense and updated in product form with periodic refactorization.
+/// Eq: s fixed at 0).  Columns are stored sparsely (CSC); the basis is a
+/// sparse LU factorization (solver/lu.h) updated in product form (one eta
+/// per pivot) with periodic refactorization.
 class RevisedSimplex {
  public:
   /// Rebinds the solver to a problem.  Instances are reused (thread_local in
@@ -38,6 +79,8 @@ class RevisedSimplex {
     factorize_failed_ = false;
     degen_run_ = 0;
     pivots_since_refactor_ = 0;
+    refactor_calls_ = 0;
+    refactorizations_ = 0;
     build();
   }
 
@@ -49,15 +92,17 @@ class RevisedSimplex {
   void build();
   void add_artificial(int row, double sign);
   bool factorize();
+  bool should_refactor() const;
   void set_nonbasic_value(int j);
   void compute_basic_values();
   void ftran(int j, std::vector<double>& out) const;  // out = B^-1 A_j
   void btran_costs(const std::vector<double>& cost,
                    std::vector<double>& y) const;     // y = c_B' B^-1
+  void btran_unit(int row, std::vector<double>& out) const;  // e_row' B^-1
   double reduced_cost(int j, const std::vector<double>& y,
                       const std::vector<double>& cost) const;
   void pivot(int enter, int leave_row, const std::vector<double>& alpha);
-  void refactor_and_recompute();
+  void refactorize();
 
   Step primal(const std::vector<double>& cost, long budget);
   Step dual_repair(long budget);
@@ -90,15 +135,17 @@ class RevisedSimplex {
   std::vector<int> basis_;     // size m_: variable basic in row i
   std::vector<VStat> stat_;    // size ntotal_
   std::vector<double> x_;      // size ntotal_
-  std::vector<double> binv_;   // m_ * m_ row-major
+  LuFactorization lu_;         // sparse basis factorization + eta file
   long iters_ = 0;
   bool bland_ = false;
   bool factorize_failed_ = false;
   long degen_run_ = 0;
   int pivots_since_refactor_ = 0;
+  int refactor_calls_ = 0;     // attempts (drives the fail_refactor_at hook)
+  long refactorizations_ = 0;  // successes (reported in LpSolution)
 
   // Scratch.
-  std::vector<double> y_, alpha_, work_, inv_buf_, resid_;
+  std::vector<double> y_, alpha_, work_, rho_, resid_;
   std::vector<int> fill_;
 };
 
@@ -171,60 +218,26 @@ void RevisedSimplex::add_artificial(int row, double sign) {
 }
 
 bool RevisedSimplex::factorize() {
-  // Gauss-Jordan inversion of the basis matrix with partial pivoting, into
-  // a scratch buffer so a singular basis leaves binv_ untouched.
-  const int m = m_;
-  work_.assign(static_cast<std::size_t>(m) * m, 0.0);  // basis matrix
-  for (int k = 0; k < m; ++k) {
-    const int j = basis_[k];
-    for (int t = cp_[j]; t < cp_[j + 1]; ++t)
-      work_[static_cast<std::size_t>(ci_[t]) * m + k] = cx_[t];
-  }
-  std::vector<double>& inv_buf = inv_buf_;
-  inv_buf.assign(static_cast<std::size_t>(m) * m, 0.0);
-  for (int i = 0; i < m; ++i) inv_buf[static_cast<std::size_t>(i) * m + i] = 1.0;
-
-  for (int col = 0; col < m; ++col) {
-    int piv = -1;
-    double best = 1e-11;
-    for (int i = col; i < m; ++i) {
-      const double a = std::abs(work_[static_cast<std::size_t>(i) * m + col]);
-      if (a > best) {
-        best = a;
-        piv = i;
-      }
-    }
-    if (piv < 0) return false;  // singular basis
-    if (piv != col) {
-      for (int t = 0; t < m; ++t) {
-        std::swap(work_[static_cast<std::size_t>(piv) * m + t],
-                  work_[static_cast<std::size_t>(col) * m + t]);
-        std::swap(inv_buf[static_cast<std::size_t>(piv) * m + t],
-                  inv_buf[static_cast<std::size_t>(col) * m + t]);
-      }
-    }
-    double* wrow = &work_[static_cast<std::size_t>(col) * m];
-    double* brow = &inv_buf[static_cast<std::size_t>(col) * m];
-    const double inv = 1.0 / wrow[col];
-    for (int t = 0; t < m; ++t) {
-      wrow[t] *= inv;
-      brow[t] *= inv;
-    }
-    for (int i = 0; i < m; ++i) {
-      if (i == col) continue;
-      const double f = work_[static_cast<std::size_t>(i) * m + col];
-      if (f == 0.0) continue;
-      double* wi = &work_[static_cast<std::size_t>(i) * m];
-      double* bi = &inv_buf[static_cast<std::size_t>(i) * m];
-      for (int t = 0; t < m; ++t) {
-        wi[t] -= f * wrow[t];
-        bi[t] -= f * brow[t];
-      }
-    }
-  }
-  std::swap(binv_, inv_buf);  // old binv_ storage becomes next call's scratch
+  ++refactor_calls_;
+  if (opts_->fail_refactor_at > 0 && refactor_calls_ == opts_->fail_refactor_at)
+    return false;  // test-only injected failure (see SimplexOptions)
+  // lu_.factorize builds into scratch and publishes on success only, so a
+  // singular basis leaves the previous factorization (+ etas) untouched.
+  if (!lu_.factorize(m_, cp_, ci_, cx_, basis_)) return false;
+  ++refactorizations_;
   pivots_since_refactor_ = 0;
   return true;
+}
+
+bool RevisedSimplex::should_refactor() const {
+  if (pivots_since_refactor_ >= opts_->refactor_every) return true;
+  const long enz = lu_.eta_nnz();
+  if (opts_->refactor_eta_nnz > 0 && enz >= opts_->refactor_eta_nnz)
+    return true;
+  return opts_->refactor_fill_ratio > 0.0 &&
+         static_cast<double>(enz) >=
+             opts_->refactor_fill_ratio *
+                 static_cast<double>(lu_.factor_nnz());
 }
 
 void RevisedSimplex::set_nonbasic_value(int j) {
@@ -245,33 +258,29 @@ void RevisedSimplex::compute_basic_values() {
     const double v = x_[j];
     for (int t = cp_[j]; t < cp_[j + 1]; ++t) work_[ci_[t]] -= cx_[t] * v;
   }
-  for (int i = 0; i < m_; ++i) {
-    const double* row = &binv_[static_cast<std::size_t>(i) * m_];
-    double acc = 0.0;
-    for (int k = 0; k < m_; ++k) acc += row[k] * work_[k];
-    x_[basis_[i]] = acc;
-  }
+  lu_.ftran(work_);
+  for (int i = 0; i < m_; ++i) x_[basis_[i]] = work_[i];
 }
 
 void RevisedSimplex::ftran(int j, std::vector<double>& out) const {
   out.assign(m_, 0.0);
-  for (int t = cp_[j]; t < cp_[j + 1]; ++t) {
-    const double v = cx_[t];
-    const int r = ci_[t];
-    for (int i = 0; i < m_; ++i)
-      out[i] += binv_[static_cast<std::size_t>(i) * m_ + r] * v;
-  }
+  for (int t = cp_[j]; t < cp_[j + 1]; ++t) out[ci_[t]] += cx_[t];
+  lu_.ftran(out);
 }
 
 void RevisedSimplex::btran_costs(const std::vector<double>& cost,
                                  std::vector<double>& y) const {
   y.assign(m_, 0.0);
-  for (int k = 0; k < m_; ++k) {
-    const double cb = cost[basis_[k]];
-    if (cb == 0.0) continue;
-    const double* row = &binv_[static_cast<std::size_t>(k) * m_];
-    for (int i = 0; i < m_; ++i) y[i] += cb * row[i];
-  }
+  for (int k = 0; k < m_; ++k) y[k] = cost[basis_[k]];
+  lu_.btran(y);
+}
+
+void RevisedSimplex::btran_unit(int row, std::vector<double>& out) const {
+  // rho = e_row' B^-1, the leaving row of the inverse (dual ratio tests and
+  // the phase-1 artificial sweep): a unit BTRAN.
+  out.assign(m_, 0.0);
+  out[row] = 1.0;
+  lu_.btran(out);
 }
 
 double RevisedSimplex::reduced_cost(int j, const std::vector<double>& y,
@@ -283,27 +292,19 @@ double RevisedSimplex::reduced_cost(int j, const std::vector<double>& y,
 
 void RevisedSimplex::pivot(int enter, int leave_row,
                            const std::vector<double>& alpha) {
-  // binv <- E binv with the eta column derived from alpha = B^-1 A_enter.
-  const double inv = 1.0 / alpha[leave_row];
-  double* prow = &binv_[static_cast<std::size_t>(leave_row) * m_];
-  for (int t = 0; t < m_; ++t) prow[t] *= inv;
-  for (int i = 0; i < m_; ++i) {
-    if (i == leave_row) continue;
-    const double f = alpha[i];
-    if (f == 0.0) continue;
-    double* row = &binv_[static_cast<std::size_t>(i) * m_];
-    for (int t = 0; t < m_; ++t) row[t] -= f * prow[t];
-  }
+  // One product-form eta per pivot: B_new = B_old E, so every later
+  // FTRAN/BTRAN replays the eta instead of the factors being touched.
+  lu_.push_eta(leave_row, alpha);
   basis_[leave_row] = enter;
   stat_[enter] = VStat::kBasic;
   ++pivots_since_refactor_;
 }
 
-void RevisedSimplex::refactor_and_recompute() {
+void RevisedSimplex::refactorize() {
   if (!factorize()) {
-    // A numerically singular update chain; keep going with the stale
-    // (eta-updated) inverse but remember it, so extract() re-verifies the
-    // final point and reports kError instead of a bogus optimum.
+    // A numerically singular basis; keep going with the stale (eta-updated)
+    // factorization but remember it, so extract() reports kError instead of
+    // a bogus optimum.
     factorize_failed_ = true;
     pivots_since_refactor_ = 0;
     return;
@@ -421,8 +422,7 @@ RevisedSimplex::Step RevisedSimplex::primal(const std::vector<double>& cost,
         (dir * alpha_[leave] > 0) ? VStat::kAtLower : VStat::kAtUpper;
     pivot(enter, leave, alpha_);
     set_nonbasic_value(out_var);
-    if (pivots_since_refactor_ >= opts_->refactor_every)
-      refactor_and_recompute();
+    if (should_refactor()) refactorize();
   }
   return Step::kLimit;
 }
@@ -463,8 +463,7 @@ RevisedSimplex::Step RevisedSimplex::dual_repair(long budget) {
     if (leave < 0) return Step::kOptimal;  // primal feasible again
 
     btran_costs(cost_, y_);
-    // rho = e_leave' B^-1.
-    const double* rho = &binv_[static_cast<std::size_t>(leave) * m_];
+    btran_unit(leave, rho_);
 
     // --- Entering: bounded-variable dual ratio test. ---
     int enter = -1;
@@ -472,7 +471,7 @@ RevisedSimplex::Step RevisedSimplex::dual_repair(long budget) {
     for (int j = 0; j < ntotal_; ++j) {
       if (stat_[j] == VStat::kBasic || fixed(j)) continue;
       double arj = 0.0;
-      for (int t = cp_[j]; t < cp_[j + 1]; ++t) arj += rho[ci_[t]] * cx_[t];
+      for (int t = cp_[j]; t < cp_[j + 1]; ++t) arj += rho_[ci_[t]] * cx_[t];
       if (std::abs(arj) <= opts_->pivot_tol) continue;
       // Admissibility: entering must move the leaving variable toward its
       // violated bound while respecting its own allowed direction.
@@ -511,8 +510,7 @@ RevisedSimplex::Step RevisedSimplex::dual_repair(long budget) {
     pivot(enter, leave, alpha_);
     set_nonbasic_value(out_var);
     ++iters_;
-    if (pivots_since_refactor_ >= opts_->refactor_every)
-      refactor_and_recompute();
+    if (should_refactor()) refactorize();
   }
   return Step::kLimit;
 }
@@ -560,6 +558,7 @@ bool RevisedSimplex::warm_install(const Basis& warm) {
 LpSolution RevisedSimplex::extract() {
   LpSolution sol;
   sol.iterations = iters_;
+  sol.refactorizations = refactorizations_;
   sol.x.assign(nstruct_, 0.0);
   for (int j = 0; j < nstruct_; ++j) sol.x[j] = x_[j];
   // A failed mid-run refactorization means every later pivot, the final
@@ -596,7 +595,7 @@ void RevisedSimplex::export_basis(LpSolution& sol) const {
 }
 
 LpSolution RevisedSimplex::run(const Basis* warm) {
-  g_lp_solves.fetch_add(1, std::memory_order_relaxed);
+  ++t_lp.solves;
   LpSolution sol;
 
   // Empty variable boxes decide infeasibility before any pivoting.
@@ -615,12 +614,12 @@ LpSolution RevisedSimplex::run(const Basis* warm) {
   // through to the cold start. ---
   if (warm != nullptr && m_ > 0 && !warm->empty()) {
     if (warm_install(*warm)) {
-      g_lp_warm_solves.fetch_add(1, std::memory_order_relaxed);
+      ++t_lp.warm_solves;
       const Step ds = dual_repair(budget);
       if (ds == Step::kUnbounded && !factorize_failed_) {
         sol.status = Status::kInfeasible;  // dual unbounded = primal empty
         sol.iterations = iters_;
-        g_lp_iterations.fetch_add(iters_, std::memory_order_relaxed);
+        t_lp.iterations += iters_;
         return sol;
       }
       if (ds == Step::kOptimal) {
@@ -630,13 +629,13 @@ LpSolution RevisedSimplex::run(const Basis* warm) {
           if (sol.status == Status::kOptimal) {
             // Count only on return: a fallback to cold reports the
             // cumulative iters_ once at its own exit.
-            g_lp_iterations.fetch_add(iters_, std::memory_order_relaxed);
+            t_lp.iterations += iters_;
             return sol;
           }
         } else if (ps == Step::kUnbounded && !factorize_failed_) {
           sol.status = Status::kUnbounded;
           sol.iterations = iters_;
-          g_lp_iterations.fetch_add(iters_, std::memory_order_relaxed);
+          t_lp.iterations += iters_;
           return sol;
         }
       }
@@ -702,15 +701,16 @@ LpSolution RevisedSimplex::run(const Basis* warm) {
     any_art = true;
   }
   // The initial basis is all unit columns (slacks at +1, artificials at
-  // +-1), so its inverse is the diagonal of column signs — skip the O(m^3)
-  // factorization that would otherwise dominate small hot-loop solves.
-  binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
-  for (int i = 0; i < m_; ++i) {
-    const int j = basis_[i];
-    const double sign = (j >= nreal_) ? cx_[cp_[j]] : 1.0;
-    binv_[static_cast<std::size_t>(i) * m_ + i] = sign;
+  // +-1): factorizing it is O(m) singleton pivots.  It can only fail via
+  // the fail_refactor_at test hook — and then the factorization may still
+  // describe a previous basis (or problem), so the only safe verdict is an
+  // immediate kError.
+  if (!factorize()) {
+    sol.status = Status::kError;
+    sol.iterations = iters_;
+    t_lp.iterations += iters_;
+    return sol;
   }
-  pivots_since_refactor_ = 0;
 
   // --- Phase 1: drive the artificials to zero. ---
   if (any_art) {
@@ -720,7 +720,7 @@ LpSolution RevisedSimplex::run(const Basis* warm) {
     if (r1 == Step::kLimit) {
       sol.status = Status::kLimit;
       sol.iterations = iters_;
-      g_lp_iterations.fetch_add(iters_, std::memory_order_relaxed);
+      t_lp.iterations += iters_;
       return sol;
     }
     double infeas = 0.0;
@@ -730,7 +730,7 @@ LpSolution RevisedSimplex::run(const Basis* warm) {
       // A stale basis inverse cannot be trusted to prove infeasibility.
       sol.status = factorize_failed_ ? Status::kError : Status::kInfeasible;
       sol.iterations = iters_;
-      g_lp_iterations.fetch_add(iters_, std::memory_order_relaxed);
+      t_lp.iterations += iters_;
       return sol;
     }
     // Freeze the artificials; pivot residual basic ones out when possible.
@@ -743,11 +743,11 @@ LpSolution RevisedSimplex::run(const Basis* warm) {
     }
     for (int i = 0; i < m_; ++i) {
       if (basis_[i] < nreal_) continue;
-      const double* rho = &binv_[static_cast<std::size_t>(i) * m_];
+      btran_unit(i, rho_);
       for (int j = 0; j < nreal_; ++j) {
         if (stat_[j] == VStat::kBasic || fixed(j)) continue;
         double arj = 0.0;
-        for (int t = cp_[j]; t < cp_[j + 1]; ++t) arj += rho[ci_[t]] * cx_[t];
+        for (int t = cp_[j]; t < cp_[j + 1]; ++t) arj += rho_[ci_[t]] * cx_[t];
         if (std::abs(arj) > 1e3 * opts_->pivot_tol) {
           ftran(j, alpha_);
           const int out_var = basis_[i];
@@ -758,13 +758,13 @@ LpSolution RevisedSimplex::run(const Basis* warm) {
         }
       }
     }
-    refactor_and_recompute();
+    refactorize();
   }
 
   // --- Phase 2. ---
   const Step r2 = primal(cost_, budget - iters_);
   sol.iterations = iters_;
-  g_lp_iterations.fetch_add(iters_, std::memory_order_relaxed);
+  t_lp.iterations += iters_;
   if (r2 == Step::kUnbounded) {
     // Same caveat: unboundedness derived from a stale inverse is not proof.
     sol.status = factorize_failed_ ? Status::kError : Status::kUnbounded;
@@ -782,10 +782,14 @@ LpSolution RevisedSimplex::run(const Basis* warm) {
 }  // namespace
 
 LpCounters lp_counters() {
+  // Retired totals from exited threads plus this thread's live counters:
+  // thread-inclusive accounting (see LpCounters in lp.h).
   LpCounters c;
-  c.solves = g_lp_solves.load(std::memory_order_relaxed);
-  c.iterations = g_lp_iterations.load(std::memory_order_relaxed);
-  c.warm_solves = g_lp_warm_solves.load(std::memory_order_relaxed);
+  c.solves = g_retired_solves.load(std::memory_order_relaxed) + t_lp.solves;
+  c.iterations =
+      g_retired_iterations.load(std::memory_order_relaxed) + t_lp.iterations;
+  c.warm_solves =
+      g_retired_warm_solves.load(std::memory_order_relaxed) + t_lp.warm_solves;
   return c;
 }
 

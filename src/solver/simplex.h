@@ -10,12 +10,14 @@
 // typically needs a handful of pivots instead of a from-scratch solve.
 //
 // Anti-cycling is Dantzig pricing with a Bland's-rule fallback after a run
-// of degenerate pivots; the basis inverse is refactorized periodically for
-// numerical hygiene.
+// of degenerate pivots; the basis representation is refactorized
+// periodically for numerical hygiene.
 //
 // Scope note: this is the Gurobi stand-in for the XPlain reproduction.  It
-// is exact; the basis inverse is kept dense, which is the right trade for
-// the tens-to-hundreds-of-rows models the paper's analyses generate.
+// is exact; the basis is kept as a sparse LU factorization with eta-file
+// (product-form) updates (solver/lu.h), so FTRAN/BTRAN and pivots cost
+// O(nnz) instead of the dense O(m^2) the pre-PR-6 inverse paid — the trade
+// that matters once scenario instances reach thousands of rows.
 #pragma once
 
 #include "solver/lp.h"
@@ -27,8 +29,22 @@ struct SimplexOptions {
   double feas_tol = 1e-7;   // primal feasibility / phase-1 residual
   double pivot_tol = 1e-9;  // minimum admissible pivot magnitude
   double cost_tol = 1e-9;   // reduced-cost optimality threshold
-  /// Refactorize the basis inverse every this many pivots.
+  /// Refactorize the basis every this many pivots (the blind trigger; the
+  /// two bounds below fire earlier when the eta file grows fat).
   int refactor_every = 96;
+  /// Refactorize when the eta file holds at least this many nonzeros
+  /// (absolute backstop on accumulated fill; <= 0 disables).
+  long refactor_eta_nnz = 65'536;
+  /// Refactorize when the eta file's nonzeros exceed this multiple of the
+  /// factorization's own size (nnz(L) + nnz(U), diagonal included):
+  /// dense-ish spike columns then trigger an early refactorization instead
+  /// of taxing every subsequent FTRAN/BTRAN (<= 0 disables).
+  double refactor_fill_ratio = 8.0;
+  /// Test-only failure injection: the Nth refactorization attempt of a
+  /// solve_lp call reports failure (1-based; 0 disables).  Exercises the
+  /// stale-representation fallbacks — warm solves restart cold, cold solves
+  /// report kError instead of an unverified optimum.
+  int fail_refactor_at = 0;
   /// Skip computing row duals / exporting the optimal basis on kOptimal.
   /// Sampling-loop callers that use neither shave the extraction work from
   /// every one of their millions of tiny solves.

@@ -10,6 +10,16 @@
 
 namespace xplain::util {
 
+namespace {
+PoolCapture g_pool_capture = nullptr;
+PoolAbsorb g_pool_absorb = nullptr;
+}  // namespace
+
+void register_pool_accumulator(PoolCapture capture, PoolAbsorb absorb) {
+  g_pool_capture = capture;
+  g_pool_absorb = absorb;
+}
+
 int resolve_workers(int workers) {
   if (workers > 0) return workers;
   // XPLAIN_WORKERS caps the "auto" pool size process-wide (containers and
@@ -57,9 +67,20 @@ void parallel_chunks(
   };
   std::vector<std::thread> pool;
   pool.reserve(workers - 1);
-  for (int w = 1; w < workers; ++w) pool.emplace_back(body, w);
+  // One payload slot per spawned worker: its thread-local tallies, captured
+  // on the worker right before it finishes, absorbed into the spawning
+  // thread after the join (see register_pool_accumulator).
+  std::vector<std::vector<long>> tallies(workers);
+  for (int w = 1; w < workers; ++w) {
+    pool.emplace_back([&body, &tallies, w] {
+      body(w);
+      if (g_pool_capture) g_pool_capture(tallies[w]);
+    });
+  }
   body(0);
   for (auto& t : pool) t.join();
+  if (g_pool_absorb)
+    for (int w = 1; w < workers; ++w) g_pool_absorb(tallies[w]);
   if (error) std::rethrow_exception(error);
 }
 

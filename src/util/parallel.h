@@ -11,8 +11,23 @@
 
 #include <cstddef>
 #include <functional>
+#include <vector>
 
 namespace xplain::util {
+
+/// Thread-inclusive accumulator hook.  A layer that keeps thread-local
+/// tallies (solver's LP counters) registers a pair of functions at
+/// static-init time: when a pool worker finishes its share of a
+/// parallel_chunks call, `capture` runs ON that worker (read and RESET its
+/// thread-local tallies into the payload); after the join, `absorb` runs on
+/// the spawning thread once per worker payload.  Tallies thereby flow up
+/// the spawn tree instead of into a process-wide bucket, which is what
+/// makes per-region counter deltas exact even when sibling regions run
+/// concurrently.  util cannot depend on the registering layer, hence the
+/// inversion; one registrant (re-registration replaces it).
+using PoolCapture = void (*)(std::vector<long>&);
+using PoolAbsorb = void (*)(const std::vector<long>&);
+void register_pool_accumulator(PoolCapture capture, PoolAbsorb absorb);
 
 /// Resolves a worker-count option: n <= 0 means "one per hardware thread",
 /// unless the XPLAIN_WORKERS environment variable holds a positive integer,

@@ -168,8 +168,9 @@ BatchResult run_batch(const CaseList& cases, const PipelineOptions& opts,
     out.trace += r.trace;
     out.stages += r.stages;
   }
-  // With concurrent workers the per-instance counter deltas overlap (the
-  // counters are process-wide); the batch-level snapshot is exact.
+  // Thread-inclusive counters (lp.h): per-instance deltas are exact, and
+  // this batch-level snapshot is too — the pool joined above, flushing
+  // every worker's counts.
   const solver::LpCounters lp1 = solver::lp_counters();
   out.stages.lp_solves = lp1.solves - lp0.solves;
   out.stages.lp_iterations = lp1.iterations - lp0.iterations;

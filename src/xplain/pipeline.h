@@ -41,10 +41,9 @@ struct PipelineOptions {
 };
 
 /// Per-stage wall-clock breakdown of one pipeline run, plus the LP solver
-/// work the run triggered (from solver::lp_counters deltas; in run_batch
-/// with several workers the per-instance attribution is approximate because
-/// the counters are process-wide, and the batch total is snapshotted
-/// globally instead).
+/// work the run triggered (from solver::lp_counters deltas; the counters
+/// are thread-inclusive, so per-instance attribution is exact even with
+/// several batch/engine workers — see LpCounters in solver/lp.h).
 struct StageTimes {
   double compile_seconds = 0.0;   // case -> evaluator/analyzer/oracle
   double analyze_seconds = 0.0;   // inside HeuristicAnalyzer::find_adversarial

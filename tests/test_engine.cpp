@@ -144,6 +144,38 @@ TEST(Engine, GridIsBitwiseDeterministicAcrossWorkerCounts) {
   expect_same_results(sequential, Engine().run(explicit_spec));
 }
 
+TEST(Engine, PerJobLpCountersAreExactUnderConcurrentWorkers) {
+  // Per-job lp_solves / lp_iterations come from thread-inclusive counter
+  // deltas (solver::lp_counters): with one worker per job slot they must be
+  // identical to the sequential run — no bleed between concurrent jobs —
+  // and nonzero for any job that actually solved LPs.
+  const auto spec = small_grid();
+
+  EnvGuard guard;
+  setenv("XPLAIN_WORKERS", "1", 1);
+  const auto sequential = Engine().run(spec).summary();
+  setenv("XPLAIN_WORKERS", "4", 1);
+  const auto parallel4 = Engine().run(spec).summary();
+
+  ASSERT_EQ(sequential.jobs.size(), parallel4.jobs.size());
+  long total_solves = 0;
+  for (std::size_t i = 0; i < sequential.jobs.size(); ++i) {
+    EXPECT_EQ(sequential.jobs[i].lp_solves, parallel4.jobs[i].lp_solves)
+        << "job " << i;
+    EXPECT_EQ(sequential.jobs[i].lp_iterations,
+              parallel4.jobs[i].lp_iterations)
+        << "job " << i;
+    total_solves += sequential.jobs[i].lp_solves;
+  }
+  EXPECT_GT(total_solves, 0);
+  // The experiment-level snapshot equals the per-job sum: nothing leaked
+  // into (or out of) the job windows.
+  EXPECT_EQ(sequential.lp_solves, total_solves);
+  long parallel_total = 0;
+  for (const auto& j : parallel4.jobs) parallel_total += j.lp_solves;
+  EXPECT_EQ(parallel4.lp_solves, parallel_total);
+}
+
 TEST(Engine, StreamsEveryJobThroughTheCallback) {
   const auto spec = small_grid();
   std::vector<std::string> labels;

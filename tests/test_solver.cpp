@@ -358,6 +358,79 @@ TEST(SimplexWarmStart, WarmEqualsColdUnderBoundTightenings) {
 }
 
 // ---------------------------------------------------------------------------
+// Refactorization triggers: besides the blind pivot-count trigger
+// (refactor_every), the eta-file nonzero bound and the fill-ratio bound
+// must both fire and be exposed with sane defaults.
+// ---------------------------------------------------------------------------
+
+TEST(SimplexRefactor, KnobDefaultsAreSane) {
+  const xs::SimplexOptions opts;
+  EXPECT_GT(opts.refactor_every, 0);
+  EXPECT_GT(opts.refactor_eta_nnz, 0);
+  EXPECT_GT(opts.refactor_fill_ratio, 0.0);
+  EXPECT_EQ(opts.fail_refactor_at, 0);  // failure injection off by default
+}
+
+namespace {
+
+// Enough pivots (and eta fill) that the tight triggers below actually fire.
+LpProblem refactor_mill() {
+  xplain::util::Rng rng(99);
+  LpProblem p;
+  p.sense = Sense::kMaximize;
+  const int n = 10;
+  for (int j = 0; j < n; ++j) p.add_col(0, 3.0, rng.uniform(0.5, 2.0));
+  for (int i = 0; i < 6; ++i) {
+    std::vector<std::pair<int, double>> coef;
+    for (int j = 0; j < n; ++j)
+      if (rng.bernoulli(0.6)) coef.emplace_back(j, rng.uniform(0.2, 1.5));
+    if (coef.empty()) coef.emplace_back(0, 1.0);
+    p.add_row(std::move(coef), RowSense::kLe, rng.uniform(2.0, 6.0));
+  }
+  return p;
+}
+
+}  // namespace
+
+TEST(SimplexRefactor, EtaNnzBoundTriggersEarlyRefactorization) {
+  const LpProblem p = refactor_mill();
+  const auto lazy = xs::solve_lp(p);  // defaults: pivot trigger only
+  ASSERT_EQ(lazy.status, Status::kOptimal);
+  ASSERT_GE(lazy.iterations, 3);
+
+  xs::SimplexOptions eager;
+  eager.refactor_eta_nnz = 1;  // any eta fill at all forces a refactor
+  const auto tight = xs::solve_lp(p, eager);
+  ASSERT_EQ(tight.status, Status::kOptimal);
+  EXPECT_NEAR(tight.obj, lazy.obj, 1e-8 * (1.0 + std::abs(lazy.obj)));
+  EXPECT_GT(tight.refactorizations, lazy.refactorizations);
+}
+
+TEST(SimplexRefactor, FillRatioBoundTriggersEarlyRefactorization) {
+  const LpProblem p = refactor_mill();
+  const auto lazy = xs::solve_lp(p);
+  ASSERT_EQ(lazy.status, Status::kOptimal);
+
+  xs::SimplexOptions eager;
+  eager.refactor_eta_nnz = 0;       // isolate the ratio trigger
+  eager.refactor_fill_ratio = 1e-9; // any fill exceeds the ratio
+  const auto tight = xs::solve_lp(p, eager);
+  ASSERT_EQ(tight.status, Status::kOptimal);
+  EXPECT_NEAR(tight.obj, lazy.obj, 1e-8 * (1.0 + std::abs(lazy.obj)));
+  EXPECT_GT(tight.refactorizations, lazy.refactorizations);
+}
+
+TEST(SimplexRefactor, DisabledBoundsFallBackToPivotTrigger) {
+  const LpProblem p = refactor_mill();
+  xs::SimplexOptions opts;
+  opts.refactor_eta_nnz = 0;
+  opts.refactor_fill_ratio = 0.0;
+  const auto s = xs::solve_lp(p, opts);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.obj, xs::solve_lp(p).obj, 1e-8);
+}
+
+// ---------------------------------------------------------------------------
 // MILP tests.
 // ---------------------------------------------------------------------------
 
