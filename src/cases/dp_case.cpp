@@ -30,7 +30,8 @@ namespace {
 /// count and sample order never change results (test_parallel_determinism).
 std::uint64_t next_evaluator_id() {
   static std::atomic<std::uint64_t> counter{0};
-  return ++counter;
+  // Relaxed: ids only need uniqueness, not ordering against other memory.
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 te::MaxFlowSolver& thread_max_flow_solver(std::uint64_t id,

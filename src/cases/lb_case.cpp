@@ -21,7 +21,8 @@ namespace {
 /// pure function of the input (parallel determinism holds).
 std::uint64_t next_lb_evaluator_id() {
   static std::atomic<std::uint64_t> counter{0};
-  return ++counter;
+  // Relaxed: ids only need uniqueness, not ordering against other memory.
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 lb::LbOptimalSolver& thread_lb_solver(std::uint64_t id,

@@ -1,7 +1,6 @@
 #include "engine/engine.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "generalize/grammar.h"
 #include "solver/lp.h"
@@ -9,6 +8,7 @@
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace xplain {
@@ -23,6 +23,32 @@ PipelineOptions job_options(const ExperimentSpec& spec, int index) {
   return apply_seed_salt(spec.options,
                          util::Rng::derive_seed(spec.seed, index + 1));
 }
+
+/// Serializes the user's JobCallback across pool workers.  A named class
+/// (not a lambda-captured local mutex) so clang's thread-safety analysis
+/// sees the callback/mutex pairing: user callbacks are not required to be
+/// re-entrant, and the annotation machine-checks that every invocation
+/// goes through emit().  Completion ORDER still depends on scheduling;
+/// job CONTENT does not (slot determinism).
+class CallbackStream {
+ public:
+  explicit CallbackStream(const Engine::JobCallback& cb)
+      : has_cb_(static_cast<bool>(cb)), cb_(cb) {}
+
+  void emit(const JobResult& jr) XPLAIN_EXCLUDES(mu_) {
+    util::MutexLock lock(&mu_);
+    cb_(jr);
+  }
+
+  explicit operator bool() const { return has_cb_; }
+
+ private:
+  const bool has_cb_;  // immutable after construction: safe to read unlocked
+  util::Mutex mu_;
+  /// The callback itself is immutable; mu_ guards its *invocation* — what
+  /// GUARDED_BY expresses here is "calls are mutually excluded".
+  const Engine::JobCallback& cb_ XPLAIN_GUARDED_BY(mu_);
+};
 
 int count_significant(const PipelineResult& r) {
   int n = 0;
@@ -239,11 +265,15 @@ ExperimentResult Engine::run(const ExperimentSpec& spec,
   const int workers =
       std::max(1, std::min<int>(util::resolve_workers(spec.workers),
                                 static_cast<int>(jobs.size())));
-  std::mutex stream_mu;
+  CallbackStream stream(on_job);
 
   // Slot-determinism (util/parallel.h): each job's result lands in its grid
   // slot and depends only on (registry content, spec, index) — scheduling
-  // changes wall clock and callback order, never content.
+  // changes wall clock and callback order, never content.  out.jobs is the
+  // slot store: resized before the pool starts, each slot written by exactly
+  // one worker, read by others only after the parallel_chunks join — no
+  // mutex, by design (annotating it GUARDED_BY would claim a lock that
+  // deliberately does not exist; TSan checks this handoff instead).
   util::parallel_chunks(
       jobs.size(), workers, [&](std::size_t begin, std::size_t end, int) {
         for (std::size_t i = begin; i < end; ++i) {
@@ -274,10 +304,7 @@ ExperimentResult Engine::run(const ExperimentSpec& spec,
             jr.ok = true;
           }
           out.jobs[i] = std::move(jr);
-          if (on_job) {
-            std::lock_guard<std::mutex> lock(stream_mu);
-            on_job(out.jobs[i]);
-          }
+          if (stream) stream.emit(out.jobs[i]);
         }
       });
 

@@ -28,7 +28,7 @@
 //
 // The engine lives above generalize/ and drives cases through the
 // CaseRegistry only — never through a concrete case include — so it stays
-// as heuristic-agnostic as the core pipeline (tools/check_layering.sh).
+// as heuristic-agnostic as the core pipeline (tools/lint/xplain_lint.py).
 #pragma once
 
 #include <cstdint>

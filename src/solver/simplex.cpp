@@ -22,6 +22,14 @@ namespace {
 // makes per-job counter deltas exact even when concurrent Engine/batch
 // workers each run their own inner pools.  Threads not spawned by
 // parallel_chunks flush to the retired atomics when they exit.
+//
+// Concurrency note for the static-analysis layer: the retired totals are
+// monotone relaxed atomics on purpose — there is no mutex and nothing to
+// annotate GUARDED_BY.  lp_counters() sums them with the CALLING thread's
+// own tallies, so a concurrent exiting thread can only make a snapshot
+// conservatively stale, never torn; per-region deltas on one thread are
+// exact (lp.h).  TSan checks the exit-flush handoff; clang thread-safety
+// has no obligations here.
 std::atomic<long> g_retired_solves{0};
 std::atomic<long> g_retired_iterations{0};
 std::atomic<long> g_retired_warm_solves{0};

@@ -7,6 +7,11 @@
 namespace xplain::util {
 
 namespace {
+// Intentionally racy config flag, NOT a synchronization point: a thread
+// observing a stale level for a few messages is harmless, so every access
+// is memory_order_relaxed — the atomic exists to keep the race defined
+// (TSan-clean), not to order anything.
+// xplain-lint: allow(no-raw-mutex) — no mutex here at all, by design.
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* tag(LogLevel level) {
@@ -26,11 +31,13 @@ double elapsed_seconds() {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& msg) {
-  if (level < g_level.load()) return;
+  if (level < g_level.load(std::memory_order_relaxed)) return;
   std::fprintf(stderr, "[%8.3f] %s %s\n", elapsed_seconds(), tag(level),
                msg.c_str());
 }

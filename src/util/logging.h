@@ -1,5 +1,9 @@
-// Minimal leveled logger. Thread-safe enough for our single-threaded use;
-// kept deliberately tiny (no dependencies) per the project's substrate rule.
+// Minimal leveled logger; kept deliberately tiny (no dependencies) per the
+// project's substrate rule.  Thread-safety: the level is a relaxed atomic
+// (a config flag — racing readers may see a stale level for a few
+// messages, which is harmless and TSan-clean by construction); each
+// log_line is a single fprintf, which POSIX makes atomic per call, so
+// concurrent lines interleave but never tear.
 #pragma once
 
 #include <sstream>

@@ -4,20 +4,57 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace xplain::util {
 
 namespace {
-PoolCapture g_pool_capture = nullptr;
-PoolAbsorb g_pool_absorb = nullptr;
+
+// The accumulator registry.  Registration happens from static initializers
+// (single-threaded, before main) but the pointers are read by every pool
+// worker; relaxed atomics make that pattern TSan-clean by construction
+// instead of by the "no registration after threads exist" convention —
+// there is no ordering to enforce, a worker either sees the hook or the
+// pre-registration nullptr.
+std::atomic<PoolCapture> g_pool_capture{nullptr};
+std::atomic<PoolAbsorb> g_pool_absorb{nullptr};
+
+/// First-exception-wins slot shared by the pool workers of one
+/// parallel_chunks call.  A named struct (rather than locals captured by
+/// the worker lambda) so the mutex/payload relationship is visible to
+/// clang's thread-safety analysis.
+class ErrorSlot {
+ public:
+  void record(std::exception_ptr e) XPLAIN_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    if (!error_) error_ = std::move(e);
+  }
+
+  /// Callers only use this after the pool joined, but taking the lock
+  /// anyway keeps the accessor correct by construction (and satisfies the
+  /// analysis without an escape hatch).
+  void rethrow_if_set() XPLAIN_EXCLUDES(mu_) {
+    std::exception_ptr e;
+    {
+      MutexLock lock(&mu_);
+      e = error_;
+    }
+    if (e) std::rethrow_exception(e);
+  }
+
+ private:
+  Mutex mu_;
+  std::exception_ptr error_ XPLAIN_GUARDED_BY(mu_);
+};
+
 }  // namespace
 
 void register_pool_accumulator(PoolCapture capture, PoolAbsorb absorb) {
-  g_pool_capture = capture;
-  g_pool_absorb = absorb;
+  g_pool_capture.store(capture, std::memory_order_relaxed);
+  g_pool_absorb.store(absorb, std::memory_order_relaxed);
 }
 
 int resolve_workers(int workers) {
@@ -51,37 +88,39 @@ void parallel_chunks(
   const std::size_t chunk =
       std::max<std::size_t>(1, n / (static_cast<std::size_t>(workers) * 8));
   std::atomic<std::size_t> next{0};
-  std::exception_ptr error;
-  std::mutex error_mu;
+  ErrorSlot error;
   auto body = [&](int worker) {
     for (std::size_t begin = next.fetch_add(chunk); begin < n;
          begin = next.fetch_add(chunk)) {
       try {
         fn(begin, std::min(begin + chunk, n), worker);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!error) error = std::current_exception();
+        error.record(std::current_exception());
         next.store(n);
       }
     }
   };
+  const PoolCapture capture = g_pool_capture.load(std::memory_order_relaxed);
+  const PoolAbsorb absorb = g_pool_absorb.load(std::memory_order_relaxed);
   std::vector<std::thread> pool;
   pool.reserve(workers - 1);
   // One payload slot per spawned worker: its thread-local tallies, captured
   // on the worker right before it finishes, absorbed into the spawning
-  // thread after the join (see register_pool_accumulator).
+  // thread after the join (see register_pool_accumulator).  The join is the
+  // synchronization point — each tallies[w] is written by exactly one
+  // worker, then read by the spawning thread strictly after t.join().
   std::vector<std::vector<long>> tallies(workers);
   for (int w = 1; w < workers; ++w) {
-    pool.emplace_back([&body, &tallies, w] {
+    pool.emplace_back([&body, &tallies, capture, w] {
       body(w);
-      if (g_pool_capture) g_pool_capture(tallies[w]);
+      if (capture) capture(tallies[w]);
     });
   }
   body(0);
   for (auto& t : pool) t.join();
-  if (g_pool_absorb)
-    for (int w = 1; w < workers; ++w) g_pool_absorb(tallies[w]);
-  if (error) std::rethrow_exception(error);
+  if (absorb)
+    for (int w = 1; w < workers; ++w) absorb(tallies[w]);
+  error.rethrow_if_set();
 }
 
 }  // namespace xplain::util

@@ -1,0 +1,105 @@
+// Clang thread-safety analysis surface for XPlain's concurrent state.
+//
+// The determinism contract (util/parallel.h) and every mutex in the tree
+// were, until this header, defended by convention and review only.  These
+// macros let clang's -Wthread-safety prove the lock discipline at compile
+// time: every shared member is declared XPLAIN_GUARDED_BY(its mutex), every
+// function that needs a lock held declares XPLAIN_REQUIRES(it), and the CI
+// clang job turns violations into build errors.  Under gcc (the default
+// local toolchain) everything expands to nothing, so the annotations cost
+// zero and the tree stays buildable everywhere.
+//
+// libstdc++'s std::mutex carries no capability attributes, so the analysis
+// cannot see through it: locking a raw std::mutex never discharges a
+// guarded_by obligation.  util::Mutex / util::MutexLock below are the
+// thinnest possible annotated wrappers (the Abseil/Chromium idiom) — they
+// ARE a std::mutex / lock_guard at runtime, but the capability attributes
+// make them visible to the analysis.  xplain_lint's `no-raw-mutex` rule
+// bans std::mutex members in src/ so new shared state cannot silently opt
+// out of checking.
+#pragma once
+
+#include <mutex>
+
+// Attribute plumbing.  The capability attributes exist only on clang; the
+// __has_attribute probe (rather than a bare __clang__ test) keeps the
+// header honest on any future compiler that grows or drops them.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define XPLAIN_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef XPLAIN_THREAD_ANNOTATION
+#define XPLAIN_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define XPLAIN_CAPABILITY(x) XPLAIN_THREAD_ANNOTATION(capability(x))
+/// Declares an RAII type that acquires in its ctor / releases in its dtor.
+#define XPLAIN_SCOPED_CAPABILITY XPLAIN_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member is protected by the given mutex: every read/write must hold
+/// it (reads: shared; writes: exclusive).
+#define XPLAIN_GUARDED_BY(x) XPLAIN_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member whose *pointee* is protected by the given mutex.
+#define XPLAIN_PT_GUARDED_BY(x) XPLAIN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the caller to already hold the mutex(es).
+#define XPLAIN_REQUIRES(...) \
+  XPLAIN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the mutex(es) and returns with them held.
+#define XPLAIN_ACQUIRE(...) \
+  XPLAIN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the mutex(es) the caller held on entry.
+#define XPLAIN_RELEASE(...) \
+  XPLAIN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires on success (first argument is the success value).
+#define XPLAIN_TRY_ACQUIRE(...) \
+  XPLAIN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Caller must NOT hold the mutex(es) — documents non-reentrancy and lets
+/// the analysis reject self-deadlock.
+#define XPLAIN_EXCLUDES(...) \
+  XPLAIN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the given mutex (accessor pattern).
+#define XPLAIN_RETURN_CAPABILITY(x) XPLAIN_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch: function body is not analyzed.  Use only with a comment
+/// explaining why the analysis cannot model the pattern.
+#define XPLAIN_NO_THREAD_SAFETY_ANALYSIS \
+  XPLAIN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace xplain::util {
+
+/// std::mutex with capability attributes: same size, same semantics, but
+/// clang's analysis can pair lock()/unlock() with XPLAIN_GUARDED_BY
+/// obligations.  All mutex members in src/ use this type (enforced by
+/// xplain_lint's no-raw-mutex rule).
+class XPLAIN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() XPLAIN_ACQUIRE() { mu_.lock(); }
+  void unlock() XPLAIN_RELEASE() { mu_.unlock(); }
+  bool try_lock() XPLAIN_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for util::Mutex (std::lock_guard is as invisible to the
+/// analysis as std::mutex is).  Takes a pointer so the call site reads
+/// MutexLock lock(&mu_) — harder to accidentally copy a mutex.
+class XPLAIN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) XPLAIN_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() XPLAIN_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+}  // namespace xplain::util

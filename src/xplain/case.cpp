@@ -20,7 +20,7 @@ std::vector<std::string> HeuristicCase::dim_names() const {
 }
 
 bool CaseRegistry::add(const std::string& name, Factory factory) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return factories_.emplace(name, std::move(factory)).second;
 }
 
@@ -31,16 +31,21 @@ std::shared_ptr<const HeuristicCase> CaseRegistry::find_keyed(
   // slot, and two specs that generate differently never alias.
   const std::pair<std::string, std::string> key{
       name, spec ? spec->cache_key() : std::string()};
-  std::unique_lock<std::mutex> lock(mu_);
-  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
-  auto it = factories_.find(name);
-  if (it == factories_.end()) return nullptr;
-  Factory factory = it->second;
-  // Build outside the lock: factories construct networks and may log.
-  lock.unlock();
+  Factory factory;
+  {
+    util::MutexLock lock(&mu_);
+    if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+    auto it = factories_.find(name);
+    if (it == factories_.end()) return nullptr;
+    factory = it->second;
+  }
+  // Build outside the lock: factories construct networks and may log.  Two
+  // threads racing on an uncached key both build; the emplace below keeps
+  // the first insert and hands the loser the winner's instance, so callers
+  // always share one cached case per key.
   std::shared_ptr<const HeuristicCase> built = factory(spec);
   if (!built) return nullptr;  // default-only case asked for a scenario
-  lock.lock();
+  util::MutexLock lock(&mu_);
   return cache_.emplace(key, std::move(built)).first->second;  // first wins
 }
 
@@ -54,37 +59,31 @@ std::shared_ptr<const HeuristicCase> CaseRegistry::find(
   return find_keyed(name, &spec);
 }
 
+CaseRegistry::Factory CaseRegistry::factory_for(const std::string& name) const {
+  util::MutexLock lock(&mu_);
+  auto it = factories_.find(name);
+  return it == factories_.end() ? Factory() : it->second;
+}
+
 std::shared_ptr<HeuristicCase> CaseRegistry::create(
     const std::string& name) const {
-  Factory factory;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = factories_.find(name);
-    if (it == factories_.end()) return nullptr;
-    factory = it->second;
-  }
-  return factory(nullptr);
+  Factory factory = factory_for(name);
+  return factory ? factory(nullptr) : nullptr;  // build outside the lock
 }
 
 std::shared_ptr<HeuristicCase> CaseRegistry::create(
     const std::string& name, const scenario::ScenarioSpec& spec) const {
-  Factory factory;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = factories_.find(name);
-    if (it == factories_.end()) return nullptr;
-    factory = it->second;
-  }
-  return factory(&spec);
+  Factory factory = factory_for(name);
+  return factory ? factory(&spec) : nullptr;  // build outside the lock
 }
 
 bool CaseRegistry::contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return factories_.count(name) > 0;
 }
 
 std::vector<std::string> CaseRegistry::names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   std::vector<std::string> out;
   out.reserve(factories_.size());
   for (const auto& [name, factory] : factories_) out.push_back(name);

@@ -20,7 +20,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -29,6 +28,7 @@
 #include "analyzer/analyzer.h"
 #include "explain/explainer.h"
 #include "scenario/spec.h"  // the dependency-free spec POD only (layering-pinned)
+#include "util/thread_annotations.h"
 
 namespace xplain {
 
@@ -87,7 +87,7 @@ class CaseRegistry {
 
   /// Registers a spec-aware factory; returns false (keeping the existing
   /// entry) when the name is already taken.
-  bool add(const std::string& name, Factory factory);
+  bool add(const std::string& name, Factory factory) XPLAIN_EXCLUDES(mu_);
 
   /// Back-compat registration for default-only cases: a zero-argument
   /// callable is wrapped so it serves the default path and declines
@@ -108,7 +108,8 @@ class CaseRegistry {
   /// nullptr when unknown.  The cache is keyed by (name, scenario), so
   /// scenario-built cases can never be handed out as the default (or vice
   /// versa).
-  std::shared_ptr<const HeuristicCase> find(const std::string& name);
+  std::shared_ptr<const HeuristicCase> find(const std::string& name)
+      XPLAIN_EXCLUDES(mu_);
 
   /// The `spec`-configured case for `name`, built lazily and cached under
   /// (name, spec.cache_key()); nullptr when the name is unknown or the
@@ -119,29 +120,35 @@ class CaseRegistry {
   /// one-shot grid, use create(name, spec) instead (fresh, unretained;
   /// Engine::run does exactly that for its scenario cells).
   std::shared_ptr<const HeuristicCase> find(const std::string& name,
-                                            const scenario::ScenarioSpec& spec);
+                                            const scenario::ScenarioSpec& spec)
+      XPLAIN_EXCLUDES(mu_);
 
   /// A fresh, uncached default instance; nullptr when unknown.
-  std::shared_ptr<HeuristicCase> create(const std::string& name) const;
+  std::shared_ptr<HeuristicCase> create(const std::string& name) const
+      XPLAIN_EXCLUDES(mu_);
 
   /// A fresh, uncached scenario-built instance; nullptr when the name is
   /// unknown or the case is default-only.
   std::shared_ptr<HeuristicCase> create(
-      const std::string& name, const scenario::ScenarioSpec& spec) const;
+      const std::string& name, const scenario::ScenarioSpec& spec) const
+      XPLAIN_EXCLUDES(mu_);
 
-  bool contains(const std::string& name) const;
-  std::vector<std::string> names() const;
+  bool contains(const std::string& name) const XPLAIN_EXCLUDES(mu_);
+  std::vector<std::string> names() const XPLAIN_EXCLUDES(mu_);
 
  private:
   std::shared_ptr<const HeuristicCase> find_keyed(
-      const std::string& name, const scenario::ScenarioSpec* spec);
+      const std::string& name, const scenario::ScenarioSpec* spec)
+      XPLAIN_EXCLUDES(mu_);
+  /// Factory lookup shared by the create() overloads; empty when unknown.
+  Factory factory_for(const std::string& name) const XPLAIN_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Factory> factories_;
+  mutable util::Mutex mu_;
+  std::map<std::string, Factory> factories_ XPLAIN_GUARDED_BY(mu_);
   /// Keyed by (registry name, spec cache key; "" = the default instance).
   std::map<std::pair<std::string, std::string>,
            std::shared_ptr<const HeuristicCase>>
-      cache_;
+      cache_ XPLAIN_GUARDED_BY(mu_);
 };
 
 /// The process-wide registry the built-in cases register into.

@@ -1,7 +1,7 @@
 // Deprecated pre-Engine entry points, kept as thin shims so out-of-tree
 // callers of run_dp_pipeline / run_ff_pipeline / run_batch keep compiling.
 // This is the ONLY core header allowed to include te/ or vbp/
-// (tools/check_layering.sh pins that); everything else goes through the
+// (tools/lint/xplain_lint.py pins that); everything else goes through the
 // HeuristicCase API in xplain/case.h and the experiment engine in
 // engine/engine.h.
 //

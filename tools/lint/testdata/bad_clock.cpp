@@ -1,0 +1,20 @@
+// lint-as: src/generalize/bad_clock.cpp
+// Known-bad corpus: wall-clock and scheduling-dependent values feeding
+// logic — both vary run to run, so any result touching them is unreplayable.
+#include <chrono>
+#include <ctime>
+#include <thread>
+
+namespace xplain::generalize {
+
+std::uint64_t nondeterministic_seed() {
+  std::uint64_t seed = std::time(nullptr);            // expect-lint: no-wall-clock
+  auto now = std::chrono::system_clock::now();        // expect-lint: no-wall-clock
+  seed ^= static_cast<std::uint64_t>(
+      now.time_since_epoch().count());
+  seed ^= std::hash<std::thread::id>{}(
+      std::this_thread::get_id());                    // expect-lint: no-thread-id
+  return seed;
+}
+
+}  // namespace xplain::generalize

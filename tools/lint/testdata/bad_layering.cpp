@@ -1,0 +1,14 @@
+// lint-as: src/solver/bad_layering.cpp
+// Known-bad corpus: include-direction violations.  solver (rank 1) reaching
+// up into model (rank 2) is a cycle-in-waiting; a core layer including a
+// case-study domain header breaks the cases-adapt-to-core inversion.
+#include "model/model.h"      // expect-lint: layering
+#include "te/topology.h"      // expect-lint: layering
+#include "xplain/case.h"      // expect-lint: layering
+#include "util/logging.h"     // downward: OK
+
+namespace xplain::solver_bad {
+
+int uses_upper_layers() { return 0; }
+
+}  // namespace xplain::solver_bad

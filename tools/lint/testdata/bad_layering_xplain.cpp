@@ -1,0 +1,15 @@
+// lint-as: src/xplain/bad_layering_xplain.cpp
+// Known-bad corpus: src/xplain case-agnosticism.  The core pipeline may see
+// the dependency-free ScenarioSpec POD (scenario/spec.h) but never the
+// scenario *generators* or any concrete domain — those arrive through the
+// CaseRegistry at runtime.
+#include "scenario/spec.h"        // sanctioned exception: OK
+#include "scenario/scenario.h"    // expect-lint: layering
+#include "vbp/instance.h"         // expect-lint: layering
+#include "generalize/features.h"  // expect-lint: layering
+
+namespace xplain {
+
+int core_peeking_at_cases() { return 0; }
+
+}  // namespace xplain

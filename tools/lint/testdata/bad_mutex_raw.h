@@ -1,0 +1,23 @@
+// lint-as: src/explain/bad_mutex_raw.h
+// Known-bad corpus: a raw std::mutex member.  libstdc++'s std::mutex has no
+// capability attributes, so clang -Wthread-safety cannot pair its
+// lock()/unlock() with GUARDED_BY obligations — the cache below is
+// effectively unchecked shared state.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace xplain::explain_bad {
+
+class ScoreCache {
+ public:
+  double lookup(const std::string& key);
+
+ private:
+  mutable std::mutex mu_;  // expect-lint: no-raw-mutex
+  std::map<std::string, double> cache_;
+};
+
+}  // namespace xplain::explain_bad

@@ -1,0 +1,23 @@
+// lint-as: src/explain/bad_mutex_unannotated.h
+// Known-bad corpus: the right mutex type but no XPLAIN_GUARDED_BY anywhere
+// in the file — the analysis has nothing to check, so the lock discipline
+// is still convention-only.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "util/thread_annotations.h"
+
+namespace xplain::explain_bad {
+
+class UnannotatedCache {
+ public:
+  double lookup(const std::string& key);
+
+ private:
+  mutable util::Mutex mu_;  // expect-lint: mutex-annotation
+  std::map<std::string, double> cache_;  // which state does mu_ guard?
+};
+
+}  // namespace xplain::explain_bad

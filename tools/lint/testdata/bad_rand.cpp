@@ -1,0 +1,18 @@
+// lint-as: src/subspace/bad_rand.cpp
+// Known-bad corpus: unseeded / unreplayable entropy sources in a sampling
+// layer.  Every line marked expect-lint MUST fire in --self-test.
+#include <cstdlib>
+#include <random>
+
+namespace xplain::subspace {
+
+double draw_sample() {
+  std::srand(42);                         // expect-lint: no-std-rand
+  int a = std::rand();                    // expect-lint: no-std-rand
+  int b = (rand() % 7);                   // expect-lint: no-std-rand
+  std::random_device rd;                  // expect-lint: no-random-device
+  std::mt19937_64 engine(rd());
+  return static_cast<double>(a + b) + static_cast<double>(engine());
+}
+
+}  // namespace xplain::subspace

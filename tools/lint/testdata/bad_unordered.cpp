@@ -1,0 +1,23 @@
+// lint-as: src/engine/bad_unordered.cpp
+// Known-bad corpus: hash containers in a result/serialization layer.  The
+// iteration order of std::unordered_* is unspecified (and differs across
+// libstdc++ versions), so serializing or accumulating over one makes the
+// output depend on the standard library build.
+#include <string>
+#include <unordered_map>                  // expect-lint: no-unordered-in-results
+
+namespace xplain::engine_bad {
+
+struct Summary {
+  std::unordered_map<std::string, double> features;  // expect-lint: no-unordered-in-results
+
+  std::string serialize() const {
+    std::string out;
+    for (const auto& [k, v] : features) {  // expect-lint: no-unordered-in-results
+      out += k + "=" + std::to_string(v) + ",";
+    }
+    return out;
+  }
+};
+
+}  // namespace xplain::engine_bad

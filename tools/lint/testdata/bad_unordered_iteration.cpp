@@ -1,0 +1,27 @@
+// lint-as: src/te/bad_unordered_iteration.cpp
+// Known-bad corpus: outside the result layers an unordered container is
+// fine as a lookup index (te::Topology::link_index_ is the sanctioned
+// example), but ITERATING one still feeds unspecified order downstream.
+#include <cstdint>
+#include <unordered_map>
+
+namespace xplain::te_bad {
+
+struct Index {
+  std::unordered_map<std::uint64_t, int> link_index_;  // lookup only: OK
+
+  int find(std::uint64_t key) const {
+    auto it = link_index_.find(key);  // point lookup: order-independent, OK
+    return it == link_index_.end() ? -1 : it->second;
+  }
+
+  long sum_in_hash_order() const {
+    long total = 0;
+    for (const auto& [k, v] : link_index_) {  // expect-lint: no-unordered-in-results
+      total = total * 31 + v + static_cast<long>(k);
+    }
+    return total;
+  }
+};
+
+}  // namespace xplain::te_bad

@@ -1,0 +1,24 @@
+// lint-as: src/engine/suppressed_ok.cpp
+// Known-bad corpus, suppression leg: every violation here carries an
+// `xplain-lint: allow(...)` marker, so --self-test asserts that NOTHING
+// fires — proving the suppression syntax works on the same line, on the
+// line above, and with multiple rules in one marker.
+#include <cstdlib>
+#include <ctime>
+// xplain-lint: allow(no-unordered-in-results)
+#include <unordered_map>
+
+namespace xplain::engine_suppressed {
+
+// xplain-lint: allow(no-unordered-in-results)
+using FastIndex = std::unordered_map<long, int>;
+
+std::uint64_t sanctioned_wall_seed() {
+  // A deliberate, documented exception reads as: reviewed and intended.
+  std::uint64_t s = std::time(nullptr);  // xplain-lint: allow(no-wall-clock)
+  // xplain-lint: allow(no-std-rand, no-wall-clock)
+  s ^= static_cast<std::uint64_t>(std::rand()) ^ std::time(nullptr);
+  return s;
+}
+
+}  // namespace xplain::engine_suppressed
