@@ -65,7 +65,10 @@ bool JobSummary::operator==(const JobSummary& o) const {
          best_gap_found == o.best_gap_found &&
          max_seed_gap == o.max_seed_gap && gap_scale == o.gap_scale &&
          wall_seconds == o.wall_seconds && lp_solves == o.lp_solves &&
-         lp_iterations == o.lp_iterations && features == o.features;
+         lp_iterations == o.lp_iterations &&
+         lp_columns_priced == o.lp_columns_priced &&
+         lp_candidate_refills == o.lp_candidate_refills &&
+         features == o.features;
 }
 
 bool TrendSummary::operator==(const TrendSummary& o) const {
@@ -77,7 +80,9 @@ bool TrendSummary::operator==(const TrendSummary& o) const {
 bool ExperimentSummary::operator==(const ExperimentSummary& o) const {
   return jobs == o.jobs && trends == o.trends &&
          observations == o.observations && wall_seconds == o.wall_seconds &&
-         lp_solves == o.lp_solves && lp_iterations == o.lp_iterations;
+         lp_solves == o.lp_solves && lp_iterations == o.lp_iterations &&
+         lp_columns_priced == o.lp_columns_priced &&
+         lp_candidate_refills == o.lp_candidate_refills;
 }
 
 std::string ExperimentSummary::to_json(int indent) const {
@@ -98,6 +103,8 @@ std::string ExperimentSummary::to_json(int indent) const {
     jj.set("wall_seconds", j.wall_seconds);
     jj.set("lp_solves", j.lp_solves);
     jj.set("lp_iterations", j.lp_iterations);
+    jj.set("lp_columns_priced", j.lp_columns_priced);
+    jj.set("lp_candidate_refills", j.lp_candidate_refills);
     util::Json feats = util::Json::object();
     for (const auto& [k, v] : j.features) feats.set(k, v);
     jj.set("features", std::move(feats));
@@ -121,6 +128,8 @@ std::string ExperimentSummary::to_json(int indent) const {
   root.set("wall_seconds", wall_seconds);
   root.set("lp_solves", lp_solves);
   root.set("lp_iterations", lp_iterations);
+  root.set("lp_columns_priced", lp_columns_priced);
+  root.set("lp_candidate_refills", lp_candidate_refills);
   return root.dump(indent);
 }
 
@@ -162,6 +171,9 @@ std::optional<ExperimentSummary> ExperimentSummary::from_json(
     j.wall_seconds = num(jj, "wall_seconds");
     j.lp_solves = static_cast<long>(num(jj, "lp_solves"));
     j.lp_iterations = static_cast<long>(num(jj, "lp_iterations"));
+    j.lp_columns_priced = static_cast<long>(num(jj, "lp_columns_priced"));
+    j.lp_candidate_refills =
+        static_cast<long>(num(jj, "lp_candidate_refills"));
     if (const util::Json* feats = jj.find("features"))
       for (const auto& [k, v] : feats->members()) j.features[k] = v.as_num();
     out.jobs.push_back(std::move(j));
@@ -181,6 +193,10 @@ std::optional<ExperimentSummary> ExperimentSummary::from_json(
   out.wall_seconds = num(*parsed, "wall_seconds");
   out.lp_solves = static_cast<long>(num(*parsed, "lp_solves"));
   out.lp_iterations = static_cast<long>(num(*parsed, "lp_iterations"));
+  out.lp_columns_priced =
+      static_cast<long>(num(*parsed, "lp_columns_priced"));
+  out.lp_candidate_refills =
+      static_cast<long>(num(*parsed, "lp_candidate_refills"));
   return out;
 }
 
@@ -209,6 +225,8 @@ ExperimentSummary ExperimentResult::summary() const {
     s.wall_seconds = j.pipeline.wall_seconds;
     s.lp_solves = j.pipeline.stages.lp_solves;
     s.lp_iterations = j.pipeline.stages.lp_iterations;
+    s.lp_columns_priced = j.pipeline.stages.lp_columns_priced;
+    s.lp_candidate_refills = j.pipeline.stages.lp_candidate_refills;
     s.features = j.pipeline.features;
     out.jobs.push_back(std::move(s));
   }
@@ -227,6 +245,8 @@ ExperimentSummary ExperimentResult::summary() const {
   out.wall_seconds = wall_seconds;
   out.lp_solves = stages.lp_solves;
   out.lp_iterations = stages.lp_iterations;
+  out.lp_columns_priced = stages.lp_columns_priced;
+  out.lp_candidate_refills = stages.lp_candidate_refills;
   return out;
 }
 
@@ -318,6 +338,9 @@ ExperimentResult Engine::run(const ExperimentSpec& spec,
   const solver::LpCounters lp1 = solver::lp_counters();
   out.stages.lp_solves = lp1.solves - lp0.solves;
   out.stages.lp_iterations = lp1.iterations - lp0.iterations;
+  out.stages.lp_columns_priced = lp1.columns_priced - lp0.columns_priced;
+  out.stages.lp_candidate_refills =
+      lp1.candidate_refills - lp0.candidate_refills;
 
   if (spec.run_generalizer) {
     // generalize_batch only reads (features, best gap, gap_scale); strip

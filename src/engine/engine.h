@@ -117,6 +117,8 @@ struct JobSummary {
   /// worker (and any pools it joined) performed.
   long lp_solves = 0;
   long lp_iterations = 0;
+  long lp_columns_priced = 0;
+  long lp_candidate_refills = 0;
   std::map<std::string, double> features;
 
   bool operator==(const JobSummary& o) const;
@@ -142,6 +144,8 @@ struct ExperimentSummary {
   double wall_seconds = 0.0;
   long lp_solves = 0;
   long lp_iterations = 0;
+  long lp_columns_priced = 0;
+  long lp_candidate_refills = 0;
 
   bool operator==(const ExperimentSummary& o) const;
 

@@ -158,6 +158,13 @@ struct LpCounters {
   long solves = 0;
   long iterations = 0;
   long warm_solves = 0;  // solves that started from a caller basis
+  /// Reduced costs evaluated by primal pricing (both Dantzig full scans
+  /// and partial-pricing bucket passes + refill scans) — the per-pivot
+  /// cost partial pricing exists to shrink.
+  long columns_priced = 0;
+  /// Partial-pricing candidate-bucket refills (each one is a full scan;
+  /// zero under pricing=dantzig).
+  long candidate_refills = 0;
 };
 LpCounters lp_counters();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 namespace xplain::solver {
 
@@ -13,6 +14,28 @@ namespace {
 constexpr double kPivotThreshold = 0.1;
 /// Absolute floor below which a column is treated as numerically zero.
 constexpr double kSingularTol = 1e-11;
+/// A Forrest-Tomlin update is rejected when the new diagonal disagrees
+/// with its independently computed value (old diagonal x the FTRAN pivot)
+/// by more than this relative drift — catastrophic cancellation in the row
+/// elimination shows up exactly there, and a rejected update only costs a
+/// refactorization.
+constexpr double kFtDriftTol = 1e-6;
+/// Forrest-Tomlin growth guards.  The updated diagonal is exactly
+/// mu = udiag_t * alpha_slot, so every small-pivot update shrinks a
+/// diagonal multiplicatively and the next update's row-elimination
+/// multipliers (u_tj / u_jj) grow in step — left unguarded, a ~100-update
+/// chain on a degenerate LP drifts the representation by many orders of
+/// magnitude (the product-form eta file never compounds like this: its
+/// divisor is the fresh FTRAN pivot each time).  An update is therefore
+/// rejected — costing one refactorization — when the FTRAN pivot is below
+/// kFtMinPivot or any elimination multiplier exceeds kFtMaxMultiplier.
+constexpr double kFtMinPivot = 1e-4;
+constexpr double kFtMaxMultiplier = 1e5;
+/// The BTRAN U^T pass walks the reach of the rhs pattern instead of
+/// gathering all of U when the pattern is at least this factor smaller
+/// than the dimension.  A pure function of deterministic nonzero counts,
+/// so the path choice never breaks bitwise determinism.
+constexpr int kHyperSparseFactor = 8;
 
 }  // namespace
 
@@ -53,8 +76,10 @@ bool LuFactorization::factorize(int m, const std::vector<int>& cp,
                                 const std::vector<int>& ci,
                                 const std::vector<double>& cx,
                                 const std::vector<int>& basis_cols) {
+  if (cfg_dense_) return factorize_dense(m, cp, ci, cx, basis_cols);
+
   // Build into the b*-scratch so a singular basis leaves the active
-  // factorization (and its eta file) untouched.
+  // factorization (and its update file) untouched.
   // Markowitz-style column preorder: sparsest basis columns pivot first.
   // Counting sort by column length (stable, O(m + maxlen)): warm solves
   // factorize on every install, so this runs in the sampling hot loops.
@@ -174,45 +199,119 @@ bool LuFactorization::factorize(int m, const std::vector<int>& cp,
     bup_.push_back(static_cast<int>(bui_.size()));
   }
 
-  // Success: publish the new factors and clear the eta file.
+  // Success: publish the new factors, rebuild the dynamic U structures
+  // (identity triangular order, row adjacency), clear the update file.
   m_ = m;
   lp_.swap(blp_);
   li_.swap(bli_);
   lx_.swap(blx_);
-  up_.swap(bup_);
   ui_.swap(bui_);
   ux_.swap(bux_);
   udiag_.swap(budiag_);
   pivrow_.swap(bpivrow_);
   colorder_.swap(bcolorder_);
   pinv_.swap(bpinv_);
+  ucolp_.resize(m);
+  ulen_.resize(m);
+  uorder_.resize(m);
+  upos_.resize(m);
+  sinv_.resize(m);
+  if (static_cast<int>(urows_.size()) < m) urows_.resize(m);
+  for (int k = 0; k < m; ++k) {
+    ucolp_[k] = bup_[k];
+    ulen_[k] = bup_[k + 1] - bup_[k];
+    uorder_[k] = k;
+    upos_[k] = k;
+    sinv_[colorder_[k]] = k;
+    urows_[k].clear();
+  }
+  for (int k = 0; k < m; ++k)
+    for (int q = ucolp_[k]; q < ucolp_[k] + ulen_[k]; ++q)
+      urows_[ui_[q]].push_back(k);
+  re_start_.assign(1, 0);
+  re_t_.clear();
+  re_idx_.clear();
+  re_val_.clear();
+  ftw_valid_ = false;
+  ftwork_.assign(m, 0.0);
+  hvis_.assign(m, 0);
+  hstack_.resize(m);
+  hpos_.resize(m);
   eta_start_.assign(1, 0);
   eta_slot_.clear();
   eta_piv_.clear();
   eta_idx_.clear();
   eta_val_.clear();
+  update_count_ = 0;
+  update_nnz_ = 0;
+  fnnz_ = static_cast<long>(li_.size() + ui_.size()) + m;
+  dense_active_ = false;
+  ft_active_ = cfg_ft_;
   return true;
 }
 
-void LuFactorization::ftran(std::vector<double>& x) const {
-  // L-pass (forward, unit diagonal): y_k = (L^-1 P b)_k in step space.
-  step_.resize(m_);
-  for (int k = 0; k < m_; ++k) {
-    const double yk = x[pivrow_[k]];
-    step_[k] = yk;
-    if (yk == 0.0) continue;
-    for (int p = lp_[k]; p < lp_[k + 1]; ++p) x[li_[p]] -= lx_[p] * yk;
+bool LuFactorization::factorize_dense(int m, const std::vector<int>& cp,
+                                      const std::vector<int>& ci,
+                                      const std::vector<double>& cx,
+                                      const std::vector<int>& basis_cols) {
+  // Column-major dense build; columns stay in natural slot order (no
+  // sparsity ordering at these sizes), so slot == step throughout.
+  bdmat_.assign(static_cast<std::size_t>(m) * m, 0.0);
+  for (int k = 0; k < m; ++k) {
+    const int j = basis_cols[k];
+    for (int t = cp[j]; t < cp[j + 1]; ++t)
+      bdmat_[static_cast<std::size_t>(k) * m + ci[t]] += cx[t];
   }
-  // U-pass (backward, column-oriented scatter).
-  for (int k = m_ - 1; k >= 0; --k) {
-    const double zk = step_[k] / udiag_[k];
-    step_[k] = zk;
-    if (zk == 0.0) continue;
-    for (int p = up_[k]; p < up_[k + 1]; ++p) step_[ui_[p]] -= ux_[p] * zk;
+  // LAPACK-style in-place LU with partial pivoting (row swaps recorded as
+  // an ipiv sequence); L's unit diagonal is implicit.
+  bdipiv_.resize(m);
+  for (int k = 0; k < m; ++k) {
+    double* kcol = bdmat_.data() + static_cast<std::size_t>(k) * m;
+    int piv = k;
+    double best = std::abs(kcol[k]);
+    for (int r = k + 1; r < m; ++r) {
+      const double a = std::abs(kcol[r]);
+      if (a > best) {
+        best = a;
+        piv = r;
+      }
+    }
+    if (best <= kSingularTol) return false;  // previous factors untouched
+    bdipiv_[k] = piv;
+    if (piv != k)
+      for (int c = 0; c < m; ++c)
+        std::swap(bdmat_[static_cast<std::size_t>(c) * m + k],
+                  bdmat_[static_cast<std::size_t>(c) * m + piv]);
+    const double d = kcol[k];
+    for (int r = k + 1; r < m; ++r) kcol[r] /= d;
+    for (int c = k + 1; c < m; ++c) {
+      double* ccol = bdmat_.data() + static_cast<std::size_t>(c) * m;
+      const double u = ccol[k];
+      if (u == 0.0) continue;
+      for (int r = k + 1; r < m; ++r) ccol[r] -= kcol[r] * u;
+    }
   }
-  // Scatter to slot space, then replay the eta file oldest-first.
-  for (int k = 0; k < m_; ++k) x[colorder_[k]] = step_[k];
-  const int etas = eta_count();
+  m_ = m;
+  dmat_.swap(bdmat_);
+  dipiv_.swap(bdipiv_);
+  eta_start_.assign(1, 0);
+  eta_slot_.clear();
+  eta_piv_.clear();
+  eta_idx_.clear();
+  eta_val_.clear();
+  update_count_ = 0;
+  update_nnz_ = 0;
+  fnnz_ = static_cast<long>(m) * m;
+  dense_active_ = true;
+  ft_active_ = false;
+  ftw_valid_ = false;
+  return true;
+}
+
+long LuFactorization::factor_nnz() const { return fnnz_; }
+
+void LuFactorization::apply_etas_ftran(std::vector<double>& x) const {
+  const int etas = static_cast<int>(eta_slot_.size());
   for (int e = 0; e < etas; ++e) {
     const int slot = eta_slot_[e];
     const double t = x[slot] / eta_piv_[e];
@@ -223,21 +322,140 @@ void LuFactorization::ftran(std::vector<double>& x) const {
   }
 }
 
-void LuFactorization::btran(std::vector<double>& y) const {
+void LuFactorization::apply_etas_btran(std::vector<double>& y) const {
   // Eta transposes, newest-first: u^T E_1..E_k = c^T peels E_k off first.
-  for (int e = eta_count() - 1; e >= 0; --e) {
+  for (int e = static_cast<int>(eta_slot_.size()) - 1; e >= 0; --e) {
     const int slot = eta_slot_[e];
     double t = y[slot];
     for (int p = eta_start_[e]; p < eta_start_[e + 1]; ++p)
       t -= eta_val_[p] * y[eta_idx_[p]];
     y[slot] = t / eta_piv_[e];
   }
-  // U^T-pass (forward, gather): column k of U is row k of U^T.
+}
+
+void LuFactorization::ftran(std::vector<double>& x) const {
+  if (dense_active_) {
+    ftran_dense(x);
+    return;
+  }
+  // L-pass (forward, unit diagonal): y_k = (L^-1 P b)_k in step space.
   step_.resize(m_);
   for (int k = 0; k < m_; ++k) {
-    double acc = y[colorder_[k]];
-    for (int p = up_[k]; p < up_[k + 1]; ++p) acc -= ux_[p] * step_[ui_[p]];
+    const double yk = x[pivrow_[k]];
+    step_[k] = yk;
+    if (yk == 0.0) continue;
+    for (int p = lp_[k]; p < lp_[k + 1]; ++p) x[li_[p]] -= lx_[p] * yk;
+  }
+  // Forrest-Tomlin row etas, oldest-first: each update's row operations
+  // sit between L and the current U in the factor chain.
+  const int nre = static_cast<int>(re_t_.size());
+  for (int e = 0; e < nre; ++e) {
+    double acc = step_[re_t_[e]];
+    for (int q = re_start_[e]; q < re_start_[e + 1]; ++q)
+      acc -= re_val_[q] * step_[re_idx_[q]];
+    step_[re_t_[e]] = acc;
+  }
+  // This intermediate IS the respiked column of a Forrest-Tomlin update,
+  // should the caller pivot on this column next (see update()).
+  if (ft_active_) {
+    ftw_.assign(step_.begin(), step_.end());
+    ftw_valid_ = true;
+  }
+  // U-pass (backward in the dynamic triangular order, column scatter).
+  for (int p = m_ - 1; p >= 0; --p) {
+    const int k = uorder_[p];
+    const double zk = step_[k] / udiag_[k];
+    step_[k] = zk;
+    if (zk == 0.0) continue;
+    const int h = ucolp_[k], e = h + ulen_[k];
+    for (int q = h; q < e; ++q) step_[ui_[q]] -= ux_[q] * zk;
+  }
+  // Scatter to slot space, then replay product-form etas oldest-first
+  // (empty in Forrest-Tomlin mode).
+  for (int k = 0; k < m_; ++k) x[colorder_[k]] = step_[k];
+  apply_etas_ftran(x);
+}
+
+// U^T pass over step_ (in place): either a full gather in the dynamic
+// triangular order, or — when the rhs pattern is hyper-sparse — a
+// depth-first reach over the row adjacency visiting only the columns the
+// solution can touch.  Reached nodes gather their column entries in the
+// exact storage order the full pass uses, so both paths produce bitwise
+// identical nonzeros (unreached components are exact zeros).
+void LuFactorization::solve_ut(int nseeds) const {
+  if (static_cast<long>(nseeds) * kHyperSparseFactor >= m_) {
+    for (int p = 0; p < m_; ++p) {
+      const int k = uorder_[p];
+      double acc = step_[k];
+      const int h = ucolp_[k], e = h + ulen_[k];
+      for (int q = h; q < e; ++q) acc -= ux_[q] * step_[ui_[q]];
+      step_[k] = acc / udiag_[k];
+    }
+    return;
+  }
+  // Reach: node r feeds every column in urows_[r]; reverse DFS postorder
+  // is a topological order (dependencies first).  hvis_ marks are restored
+  // to all-zero on the way out.
+  hord_.clear();
+  for (int s = 0; s < m_; ++s) {
+    if (step_[s] == 0.0 || hvis_[s] != 0) continue;
+    int head = 0;
+    hstack_[0] = s;
+    hpos_[0] = 0;
+    hvis_[s] = 1;
+    while (head >= 0) {
+      const int r = hstack_[head];
+      const std::vector<int>& adj = urows_[r];
+      const int deg = static_cast<int>(adj.size());
+      bool descended = false;
+      for (int q = hpos_[head]; q < deg; ++q) {
+        const int c = adj[q];
+        if (hvis_[c] != 0) continue;
+        hpos_[head] = q + 1;
+        hvis_[c] = 1;
+        ++head;
+        hstack_[head] = c;
+        hpos_[head] = 0;
+        descended = true;
+        break;
+      }
+      if (!descended) {
+        hord_.push_back(r);
+        --head;
+      }
+    }
+  }
+  for (int i = static_cast<int>(hord_.size()) - 1; i >= 0; --i) {
+    const int k = hord_[i];
+    double acc = step_[k];
+    const int h = ucolp_[k], e = h + ulen_[k];
+    for (int q = h; q < e; ++q) acc -= ux_[q] * step_[ui_[q]];
     step_[k] = acc / udiag_[k];
+    hvis_[k] = 0;
+  }
+}
+
+void LuFactorization::btran(std::vector<double>& y) const {
+  if (dense_active_) {
+    btran_dense(y);
+    return;
+  }
+  apply_etas_btran(y);  // no-op in Forrest-Tomlin mode
+  // Gather to step space, counting the rhs pattern for the U^T path choice.
+  step_.resize(m_);
+  int nseeds = 0;
+  for (int k = 0; k < m_; ++k) {
+    const double v = y[colorder_[k]];
+    step_[k] = v;
+    if (v != 0.0) ++nseeds;
+  }
+  solve_ut(nseeds);
+  // Forrest-Tomlin row etas, transposed, newest-first.
+  for (int e = static_cast<int>(re_t_.size()) - 1; e >= 0; --e) {
+    const double v = step_[re_t_[e]];
+    if (v == 0.0) continue;
+    for (int q = re_start_[e]; q < re_start_[e + 1]; ++q)
+      step_[re_idx_[q]] -= re_val_[q] * v;
   }
   // L^T-pass (backward, gather): entries of L column k live in rows pivoted
   // at later steps, so their solution components are already final.
@@ -250,7 +468,189 @@ void LuFactorization::btran(std::vector<double>& y) const {
   for (int k = 0; k < m_; ++k) y[pivrow_[k]] = step_[k];
 }
 
-void LuFactorization::push_eta(int leave_slot, const std::vector<double>& alpha) {
+void LuFactorization::ftran_dense(std::vector<double>& x) const {
+  step_.resize(m_);
+  for (int k = 0; k < m_; ++k) step_[k] = x[k];
+  for (int k = 0; k < m_; ++k) std::swap(step_[k], step_[dipiv_[k]]);
+  // L forward (unit diagonal, multipliers below the diagonal).
+  for (int k = 0; k < m_; ++k) {
+    const double v = step_[k];
+    if (v == 0.0) continue;
+    const double* col = dmat_.data() + static_cast<std::size_t>(k) * m_;
+    for (int r = k + 1; r < m_; ++r) step_[r] -= col[r] * v;
+  }
+  // U backward.
+  for (int k = m_ - 1; k >= 0; --k) {
+    const double* col = dmat_.data() + static_cast<std::size_t>(k) * m_;
+    const double v = step_[k] / col[k];
+    step_[k] = v;
+    if (v == 0.0) continue;
+    for (int r = 0; r < k; ++r) step_[r] -= col[r] * v;
+  }
+  // Dense columns are in natural slot order: step == slot.
+  for (int k = 0; k < m_; ++k) x[k] = step_[k];
+  apply_etas_ftran(x);
+}
+
+void LuFactorization::btran_dense(std::vector<double>& y) const {
+  apply_etas_btran(y);
+  step_.resize(m_);
+  for (int k = 0; k < m_; ++k) step_[k] = y[k];
+  // U^T forward: row k of U^T is column k of the packed factor above the
+  // diagonal — a contiguous column-major gather.
+  for (int k = 0; k < m_; ++k) {
+    const double* col = dmat_.data() + static_cast<std::size_t>(k) * m_;
+    double acc = step_[k];
+    for (int r = 0; r < k; ++r) acc -= col[r] * step_[r];
+    step_[k] = acc / col[k];
+  }
+  // L^T backward.
+  for (int k = m_ - 1; k >= 0; --k) {
+    const double* col = dmat_.data() + static_cast<std::size_t>(k) * m_;
+    double acc = step_[k];
+    for (int r = k + 1; r < m_; ++r) acc -= col[r] * step_[r];
+    step_[k] = acc;
+  }
+  // Undo the pivoting row swaps in reverse order: y = P^T w.
+  for (int k = m_ - 1; k >= 0; --k) std::swap(step_[k], step_[dipiv_[k]]);
+  for (int k = 0; k < m_; ++k) y[k] = step_[k];
+}
+
+bool LuFactorization::update(int leave_slot, const std::vector<double>& alpha) {
+  if (dense_active_ || !ft_active_) {
+    push_eta(leave_slot, alpha);
+    return true;
+  }
+  return ft_update(leave_slot, alpha);
+}
+
+bool LuFactorization::ft_update(int leave_slot,
+                                const std::vector<double>& alpha) {
+  // The spike w = L^-1 (row etas) P A_enter was stashed by the ftran() of
+  // the entering column; without it (defensive — the simplex always pivots
+  // straight after that ftran) the only safe move is a refactorization.
+  if (!ftw_valid_) return false;
+  ftw_valid_ = false;
+  // Growth guard #1: mu = udiag_t * alpha_slot, so a small FTRAN pivot
+  // shrinks the diagonal multiplicatively — refactorizing is cheaper than
+  // the drift a chain of such updates accumulates.
+  if (std::abs(alpha[leave_slot]) < kFtMinPivot) return false;
+  const int t = sinv_[leave_slot];
+  const int pt = upos_[t];
+
+  // --- Eliminate row t against every later row, read-only: multipliers
+  // land in the row-eta arrays (rolled back on rejection), fill stays in
+  // ftwork_ (self-cleaning: every touched index is at a later position and
+  // gets zeroed when its turn comes).  The new diagonal is
+  // mu = w_t - sum m_j w_j, because column t of the respiked U holds w. ---
+  for (const int c : urows_[t]) {
+    const int h = ucolp_[c], e = h + ulen_[c];
+    for (int q = h; q < e; ++q) {
+      if (ui_[q] == t) {
+        ftwork_[c] = ux_[q];
+        break;
+      }
+    }
+  }
+  const std::size_t re0 = re_idx_.size();
+  double mu = ftw_[t];
+  double mmax = 0.0;
+  for (int p = pt + 1; p < m_; ++p) {
+    const int j = uorder_[p];
+    const double v = ftwork_[j];
+    if (v == 0.0) continue;
+    ftwork_[j] = 0.0;
+    const double mj = v / udiag_[j];
+    mmax = std::max(mmax, std::abs(mj));
+    for (const int c : urows_[j]) {
+      const int h = ucolp_[c], e = h + ulen_[c];
+      for (int q = h; q < e; ++q) {
+        if (ui_[q] == j) {
+          ftwork_[c] -= mj * ux_[q];
+          break;
+        }
+      }
+    }
+    mu -= mj * ftw_[j];
+    re_idx_.push_back(j);
+    re_val_.push_back(mj);
+  }
+
+  // --- Stability: mu must match udiag_t * alpha_leave (Cramer's rule gives
+  // the identity exactly; FP drift beyond kFtDriftTol means the elimination
+  // cancelled catastrophically) and clear the singularity floor. ---
+  double wmax = 1.0;
+  for (int k = 0; k < m_; ++k) wmax = std::max(wmax, std::abs(ftw_[k]));
+  const double expected = udiag_[t] * alpha[leave_slot];
+  if (mmax > kFtMaxMultiplier ||  // growth guard #2: elimination blow-up
+      !(std::abs(mu) > kSingularTol * wmax) ||
+      std::abs(mu - expected) >
+          kFtDriftTol * (std::abs(mu) + std::abs(expected) + 1.0)) {
+    re_idx_.resize(re0);
+    re_val_.resize(re0);
+    return false;
+  }
+
+  // --- Commit: drop row t from U, abandon the old column t, splice in the
+  // spike as the new column t, and move step t to the last position. ---
+  for (const int c : urows_[t]) {
+    const int h = ucolp_[c];
+    int e = h + ulen_[c];
+    for (int q = h; q < e; ++q) {
+      if (ui_[q] == t) {
+        --e;
+        ui_[q] = ui_[e];  // order-agnostic removal, still deterministic
+        ux_[q] = ux_[e];
+        --ulen_[c];
+        break;
+      }
+    }
+  }
+  urows_[t].clear();
+  {
+    const int h = ucolp_[t], e = h + ulen_[t];
+    for (int q = h; q < e; ++q) {
+      std::vector<int>& adj = urows_[ui_[q]];
+      for (std::size_t z = 0; z < adj.size(); ++z) {
+        if (adj[z] == t) {
+          adj[z] = adj.back();
+          adj.pop_back();
+          break;
+        }
+      }
+    }
+  }
+  // The stale slice of the old column t is abandoned in place; the next
+  // refactorization rebuilds the arrays, so leakage is bounded by the
+  // refactorization triggers (exactly like eta-file growth was).
+  ucolp_[t] = static_cast<int>(ui_.size());
+  int len = 0;
+  for (int r = 0; r < m_; ++r) {
+    if (r == t) continue;
+    const double v = ftw_[r];
+    if (v == 0.0) continue;
+    ui_.push_back(r);
+    ux_.push_back(v);
+    urows_[r].push_back(t);
+    ++len;
+  }
+  ulen_[t] = len;
+  udiag_[t] = mu;
+  re_t_.push_back(t);
+  re_start_.push_back(static_cast<int>(re_idx_.size()));
+  for (int p = pt; p + 1 < m_; ++p) {
+    uorder_[p] = uorder_[p + 1];
+    upos_[uorder_[p]] = p;
+  }
+  uorder_[m_ - 1] = t;
+  upos_[t] = m_ - 1;
+  ++update_count_;
+  update_nnz_ += static_cast<long>(re_idx_.size() - re0) + len;
+  return true;
+}
+
+void LuFactorization::push_eta(int leave_slot,
+                               const std::vector<double>& alpha) {
   eta_slot_.push_back(leave_slot);
   eta_piv_.push_back(alpha[leave_slot]);
   for (int i = 0; i < m_; ++i) {
@@ -259,6 +659,8 @@ void LuFactorization::push_eta(int leave_slot, const std::vector<double>& alpha)
     eta_val_.push_back(alpha[i]);
   }
   eta_start_.push_back(static_cast<int>(eta_idx_.size()));
+  ++update_count_;
+  update_nnz_ = static_cast<long>(eta_idx_.size());
 }
 
 }  // namespace xplain::solver

@@ -33,29 +33,41 @@ namespace {
 std::atomic<long> g_retired_solves{0};
 std::atomic<long> g_retired_iterations{0};
 std::atomic<long> g_retired_warm_solves{0};
+std::atomic<long> g_retired_columns_priced{0};
+std::atomic<long> g_retired_candidate_refills{0};
 
 struct ThreadLpCounters {
   long solves = 0;
   long iterations = 0;
   long warm_solves = 0;
+  long columns_priced = 0;
+  long candidate_refills = 0;
   ~ThreadLpCounters() {
     g_retired_solves.fetch_add(solves, std::memory_order_relaxed);
     g_retired_iterations.fetch_add(iterations, std::memory_order_relaxed);
     g_retired_warm_solves.fetch_add(warm_solves, std::memory_order_relaxed);
+    g_retired_columns_priced.fetch_add(columns_priced,
+                                       std::memory_order_relaxed);
+    g_retired_candidate_refills.fetch_add(candidate_refills,
+                                          std::memory_order_relaxed);
   }
 };
 
 thread_local ThreadLpCounters t_lp;
 
 void capture_thread_lp(std::vector<long>& out) {
-  out.assign({t_lp.solves, t_lp.iterations, t_lp.warm_solves});
+  out.assign({t_lp.solves, t_lp.iterations, t_lp.warm_solves,
+              t_lp.columns_priced, t_lp.candidate_refills});
   t_lp.solves = t_lp.iterations = t_lp.warm_solves = 0;  // exit flushes 0
+  t_lp.columns_priced = t_lp.candidate_refills = 0;
 }
 
 void absorb_thread_lp(const std::vector<long>& in) {
   t_lp.solves += in[0];
   t_lp.iterations += in[1];
   t_lp.warm_solves += in[2];
+  t_lp.columns_priced += in[3];
+  t_lp.candidate_refills += in[4];
 }
 
 // simplex.cpp's object file always links (solve_lp is referenced), so this
@@ -71,9 +83,11 @@ enum class VStat : std::uint8_t { kBasic, kAtLower, kAtUpper, kFree };
 /// Bounded-variable revised simplex over the standardized system
 ///   A x + I s = b,   lo <= (x, s) <= hi,   minimize c'x,
 /// with one slack per row (Le: s in [0, inf), Ge: s in (-inf, 0],
-/// Eq: s fixed at 0).  Columns are stored sparsely (CSC); the basis is a
-/// sparse LU factorization (solver/lu.h) updated in product form (one eta
-/// per pivot) with periodic refactorization.
+/// Eq: s fixed at 0).  Columns are stored sparsely (CSC); the basis is an
+/// LU factorization (solver/lu.h: sparse with Forrest-Tomlin updates, or
+/// dense for tiny bases) refreshed per pivot by update() with periodic
+/// refactorization — and an immediate refactorization whenever an update
+/// is numerically rejected.
 class RevisedSimplex {
  public:
   /// Rebinds the solver to a problem.  Instances are reused (thread_local in
@@ -86,8 +100,10 @@ class RevisedSimplex {
     bland_ = false;
     factorize_failed_ = false;
     degen_run_ = 0;
+    scan_start_ = 0;
     pivots_since_refactor_ = 0;
     refactor_calls_ = 0;
+    update_calls_ = 0;
     refactorizations_ = 0;
     build();
   }
@@ -111,6 +127,11 @@ class RevisedSimplex {
                       const std::vector<double>& cost) const;
   void pivot(int enter, int leave_row, const std::vector<double>& alpha);
   void refactorize();
+
+  double violation(int j, const std::vector<double>& cost) const;
+  int price_full(const std::vector<double>& cost) const;
+  int price_partial(const std::vector<double>& cost);
+  int refill_candidates(const std::vector<double>& cost);
 
   Step primal(const std::vector<double>& cost, long budget);
   Step dual_repair(long budget);
@@ -150,7 +171,14 @@ class RevisedSimplex {
   long degen_run_ = 0;
   int pivots_since_refactor_ = 0;
   int refactor_calls_ = 0;     // attempts (drives the fail_refactor_at hook)
+  int update_calls_ = 0;       // attempts (drives the fail_update_at hook)
   long refactorizations_ = 0;  // successes (reported in LpSolution)
+
+  // Partial-pricing candidate bucket (column indices; cleared whenever the
+  // pricing cost vector changes, i.e. at every primal() entry) and the
+  // rotating refill cursor (persists across refills within a solve).
+  std::vector<int> cand_;
+  int scan_start_ = 0;
 
   // Scratch.
   std::vector<double> y_, alpha_, work_, rho_, resid_;
@@ -229,8 +257,14 @@ bool RevisedSimplex::factorize() {
   ++refactor_calls_;
   if (opts_->fail_refactor_at > 0 && refactor_calls_ == opts_->fail_refactor_at)
     return false;  // test-only injected failure (see SimplexOptions)
+  // Representation choice: dense for tiny bases, Forrest-Tomlin vs
+  // product-form updates for sparse ones (see SimplexOptions).
+  lu_.configure(
+      opts_->dense_basis_dim > 0 && m_ <= opts_->dense_basis_dim,
+      opts_->ft_updates);
   // lu_.factorize builds into scratch and publishes on success only, so a
-  // singular basis leaves the previous factorization (+ etas) untouched.
+  // singular basis leaves the previous factorization (+ update file)
+  // untouched.
   if (!lu_.factorize(m_, cp_, ci_, cx_, basis_)) return false;
   ++refactorizations_;
   pivots_since_refactor_ = 0;
@@ -239,7 +273,7 @@ bool RevisedSimplex::factorize() {
 
 bool RevisedSimplex::should_refactor() const {
   if (pivots_since_refactor_ >= opts_->refactor_every) return true;
-  const long enz = lu_.eta_nnz();
+  const long enz = lu_.update_nnz();
   if (opts_->refactor_eta_nnz > 0 && enz >= opts_->refactor_eta_nnz)
     return true;
   return opts_->refactor_fill_ratio > 0.0 &&
@@ -300,12 +334,22 @@ double RevisedSimplex::reduced_cost(int j, const std::vector<double>& y,
 
 void RevisedSimplex::pivot(int enter, int leave_row,
                            const std::vector<double>& alpha) {
-  // One product-form eta per pivot: B_new = B_old E, so every later
-  // FTRAN/BTRAN replays the eta instead of the factors being touched.
-  lu_.push_eta(leave_row, alpha);
+  // Apply the basis change to the factorization: a Forrest-Tomlin update
+  // (or one product-form eta, mode-dependent) instead of the factors
+  // being rebuilt.  The basis bookkeeping is committed FIRST so that a
+  // rejected update can refactorize the *new* basis directly.
   basis_[leave_row] = enter;
   stat_[enter] = VStat::kBasic;
   ++pivots_since_refactor_;
+  ++update_calls_;
+  const bool injected =
+      opts_->fail_update_at > 0 && update_calls_ == opts_->fail_update_at;
+  if (injected || !lu_.update(leave_row, alpha)) {
+    // Numerically rejected update (degenerate new diagonal) or the
+    // injected test failure: rebuild from scratch.  refactorize() already
+    // handles ITS failure via the stale-representation protocol.
+    refactorize();
+  }
 }
 
 void RevisedSimplex::refactorize() {
@@ -322,34 +366,111 @@ void RevisedSimplex::refactorize() {
   compute_basic_values();
 }
 
+double RevisedSimplex::violation(int j, const std::vector<double>& cost) const {
+  const double d = reduced_cost(j, y_, cost);
+  if (stat_[j] == VStat::kAtLower) return -d;
+  if (stat_[j] == VStat::kAtUpper) return d;
+  return std::abs(d);  // free
+}
+
+// Full Dantzig scan (also the Bland's-rule scan: under bland_ the FIRST
+// violating column wins, which partial pricing must not short-circuit).
+int RevisedSimplex::price_full(const std::vector<double>& cost) const {
+  int enter = -1;
+  double best = opts_->cost_tol;
+  long priced = 0;
+  for (int j = 0; j < ntotal_; ++j) {
+    if (stat_[j] == VStat::kBasic || fixed(j)) continue;
+    ++priced;
+    const double viol = violation(j, cost);
+    if (viol > best) {
+      if (bland_) {
+        enter = j;
+        break;
+      }
+      best = viol;
+      enter = j;
+    }
+  }
+  t_lp.columns_priced += priced;
+  return enter;
+}
+
+// Rotating refill: scan cyclically from where the previous refill left
+// off, collecting the first `bucket` violating columns, and return the
+// most violating of them (-1 only after a FULL fruitless wrap — the exact
+// optimality proof partial pricing hands back to primal()).  The rotation
+// matters on degenerate LPs: a "top-K by violation" bucket degenerates
+// into Bland's rule when thousands of columns tie at the same reduced
+// cost (network LPs do exactly that), hammering one low-index cluster
+// through entire degenerate plateaus.  Starting each refill where the
+// last stopped spreads entering candidates across the whole column range
+// — and lets most refills terminate after a fraction of a full scan.
+int RevisedSimplex::refill_candidates(const std::vector<double>& cost) {
+  ++t_lp.candidate_refills;
+  cand_.clear();
+  const int bucket = std::clamp(ntotal_ / 8, 32, 1024);
+  long priced = 0;
+  int enter = -1;
+  double best = opts_->cost_tol;
+  int j = scan_start_;
+  for (int scanned = 0; scanned < ntotal_; ++scanned, ++j) {
+    if (j >= ntotal_) j = 0;
+    if (stat_[j] == VStat::kBasic || fixed(j)) continue;
+    ++priced;
+    const double viol = violation(j, cost);
+    if (viol > opts_->cost_tol) {
+      cand_.push_back(j);
+      if (viol > best) {
+        best = viol;
+        enter = j;
+      }
+      if (static_cast<int>(cand_.size()) >= bucket) {
+        ++j;
+        break;
+      }
+    }
+  }
+  scan_start_ = (j >= ntotal_) ? 0 : j;
+  t_lp.columns_priced += priced;
+  return enter;
+}
+
+// Partial pricing: re-price only the bucket; on a dry bucket fall back to
+// a refill (a full scan), so optimality verdicts are always full-scan
+// exact.  Columns that went basic or fixed are compacted out in place.
+int RevisedSimplex::price_partial(const std::vector<double>& cost) {
+  int enter = -1;
+  double best = opts_->cost_tol;
+  std::size_t keep = 0;
+  long priced = 0;
+  for (const int j : cand_) {
+    if (stat_[j] == VStat::kBasic || fixed(j)) continue;
+    cand_[keep++] = j;
+    ++priced;
+    const double viol = violation(j, cost);
+    if (viol > best || (viol == best && enter >= 0 && j < enter)) {
+      best = viol;
+      enter = j;
+    }
+  }
+  cand_.resize(keep);
+  t_lp.columns_priced += priced;
+  if (enter >= 0) return enter;
+  return refill_candidates(cost);
+}
+
 RevisedSimplex::Step RevisedSimplex::primal(const std::vector<double>& cost,
                                             long budget) {
+  cand_.clear();  // the bucket is per-cost-vector (phase 1 vs phase 2)
   for (long it = 0; it < budget; ++it) {
     btran_costs(cost, y_);
 
     // --- Pricing. ---
-    int enter = -1;
-    double best = opts_->cost_tol;
-    for (int j = 0; j < ntotal_; ++j) {
-      if (stat_[j] == VStat::kBasic || fixed(j)) continue;
-      const double d = reduced_cost(j, y_, cost);
-      double viol = 0.0;
-      if (stat_[j] == VStat::kAtLower) {
-        viol = -d;
-      } else if (stat_[j] == VStat::kAtUpper) {
-        viol = d;
-      } else {  // free
-        viol = std::abs(d);
-      }
-      if (viol > best) {
-        if (bland_) {
-          enter = j;
-          break;
-        }
-        best = viol;
-        enter = j;
-      }
-    }
+    const bool partial = opts_->pricing == PricingRule::kPartial &&
+                         ntotal_ > opts_->partial_pricing_min_cols;
+    const int enter =
+        (bland_ || !partial) ? price_full(cost) : price_partial(cost);
     if (enter < 0) return Step::kOptimal;
 
     const double d_enter = reduced_cost(enter, y_, cost);
@@ -759,9 +880,11 @@ LpSolution RevisedSimplex::run(const Basis* warm) {
         if (std::abs(arj) > 1e3 * opts_->pivot_tol) {
           ftran(j, alpha_);
           const int out_var = basis_[i];
-          pivot(j, i, alpha_);  // degenerate pivot: t = 0, values unchanged
+          // Status first: a rejected update inside pivot() refactorizes,
+          // and the recompute needs out_var already marked nonbasic.
           stat_[out_var] = VStat::kAtLower;
           x_[out_var] = 0.0;
+          pivot(j, i, alpha_);  // degenerate pivot: t = 0, values unchanged
           break;
         }
       }
@@ -798,6 +921,11 @@ LpCounters lp_counters() {
       g_retired_iterations.load(std::memory_order_relaxed) + t_lp.iterations;
   c.warm_solves =
       g_retired_warm_solves.load(std::memory_order_relaxed) + t_lp.warm_solves;
+  c.columns_priced = g_retired_columns_priced.load(std::memory_order_relaxed) +
+                     t_lp.columns_priced;
+  c.candidate_refills =
+      g_retired_candidate_refills.load(std::memory_order_relaxed) +
+      t_lp.candidate_refills;
   return c;
 }
 

@@ -9,20 +9,46 @@
 // with a dual-simplex phase — the classic branch-and-bound re-solve, which
 // typically needs a handful of pivots instead of a from-scratch solve.
 //
-// Anti-cycling is Dantzig pricing with a Bland's-rule fallback after a run
-// of degenerate pivots; the basis representation is refactorized
-// periodically for numerical hygiene.
+// Pricing is partial (candidate-list) by default with a full-scan
+// optimality proof — see PricingRule; small LPs (below
+// partial_pricing_min_cols columns) keep the plain Dantzig scan, where a
+// full scan costs no more than a refill.  Anti-cycling is a Bland's-rule
+// fallback after a run of degenerate pivots, which always full-scans.  The
+// basis representation is refactorized periodically for numerical hygiene.
 //
 // Scope note: this is the Gurobi stand-in for the XPlain reproduction.  It
-// is exact; the basis is kept as a sparse LU factorization with eta-file
-// (product-form) updates (solver/lu.h), so FTRAN/BTRAN and pivots cost
-// O(nnz) instead of the dense O(m^2) the pre-PR-6 inverse paid — the trade
-// that matters once scenario instances reach thousands of rows.
+// is exact; the basis is kept as a sparse LU factorization with
+// Forrest-Tomlin updates and hyper-sparse BTRAN (solver/lu.h; a dense LU
+// handles tiny bases, and a product-form eta mode remains as a baseline),
+// so FTRAN/BTRAN and pivots cost O(nnz) instead of the dense O(m^2) the
+// pre-PR-6 inverse paid — the trade that matters once scenario instances
+// reach fat-tree(16) scale (~8k rows).
 #pragma once
+
+#include <cstdint>
 
 #include "solver/lp.h"
 
 namespace xplain::solver {
+
+/// Primal pricing rule (see SimplexOptions::pricing).
+enum class PricingRule : std::uint8_t {
+  /// Full Dantzig scan: every nonbasic column priced every pivot.  Exact
+  /// and simple, but O(n) reduced costs per pivot dominates once
+  /// instances reach fat-tree(16) scale (~20k columns).
+  kDantzig,
+  /// Partial (candidate-list) pricing: a bucket of violating columns is
+  /// re-priced each pivot; when it runs dry, a rotating cyclic scan
+  /// (resuming where the previous refill stopped) collects the next
+  /// bucketful.  The rotation spreads entering candidates across the
+  /// whole column range — a top-K-by-violation bucket collapses into
+  /// Bland's rule on degenerate LPs where thousands of columns tie at the
+  /// same reduced cost — and lets most refills stop early.  Optimality is
+  /// only ever declared after a refill wraps the full column range and
+  /// finds no violation, so results are exactly as optimal as Dantzig —
+  /// only the pivot path differs.
+  kPartial,
+};
 
 struct SimplexOptions {
   long max_iterations = 200'000;
@@ -40,11 +66,37 @@ struct SimplexOptions {
   /// dense-ish spike columns then trigger an early refactorization instead
   /// of taxing every subsequent FTRAN/BTRAN (<= 0 disables).
   double refactor_fill_ratio = 8.0;
+  /// Primal pricing rule.  Partial pricing is the default: it changes the
+  /// pivot path, never the answer (Bland's anti-cycling rule bypasses the
+  /// bucket entirely and full-scans, exactly as under kDantzig).
+  PricingRule pricing = PricingRule::kPartial;
+  /// kPartial prices with a plain full Dantzig scan while the column count
+  /// (structurals + logicals) is at most this.  Scanning a thousand
+  /// reduced costs is microseconds — the candidate list only pays once
+  /// scans dominate pivots (thousands of columns) — while the rotation's
+  /// path perturbation, its whole point at scale, just lengthens the pivot
+  /// path on small LPs (the DP MILP sampling loops pivot ~40% more under
+  /// unconditional partial pricing).  <= 0 engages the list everywhere.
+  int partial_pricing_min_cols = 1024;
+  /// Bases with at most this many rows use a dense LU with partial
+  /// pivoting (plus product-form etas) instead of the sparse machinery —
+  /// the sampling loops solve millions of LPs with a handful of rows,
+  /// where sparse index juggling costs more than contiguous O(m^2) flops.
+  /// <= 0 forces the sparse path everywhere.
+  int dense_basis_dim = 50;
+  /// Keep the sparse factorization fresh with Forrest-Tomlin updates
+  /// (default); false falls back to the plain product-form eta file —
+  /// retained as a differential baseline and for A/B benches.
+  bool ft_updates = true;
   /// Test-only failure injection: the Nth refactorization attempt of a
   /// solve_lp call reports failure (1-based; 0 disables).  Exercises the
   /// stale-representation fallbacks — warm solves restart cold, cold solves
   /// report kError instead of an unverified optimum.
   int fail_refactor_at = 0;
+  /// Test-only failure injection: the Nth basis-update attempt of a
+  /// solve_lp call is treated as rejected (1-based; 0 disables), forcing
+  /// the Forrest-Tomlin rejection -> refactorize path.
+  int fail_update_at = 0;
   /// Skip computing row duals / exporting the optimal basis on kOptimal.
   /// Sampling-loop callers that use neither shave the extraction work from
   /// every one of their millions of tiny solves.

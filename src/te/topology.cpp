@@ -13,6 +13,9 @@ LinkId Topology::add_link(int from, int to, double capacity) {
   LinkId id{num_links()};
   links_.push_back({from, to, capacity});
   link_index_.emplace(link_key(from, to), id.v);
+  if (static_cast<int>(out_links_.size()) <= from)
+    out_links_.resize(from + 1);
+  out_links_[from].push_back(id);
   return id;
 }
 
@@ -24,13 +27,6 @@ void Topology::add_bidi(int a, int b, double capacity) {
 LinkId Topology::find_link(int from, int to) const {
   auto it = link_index_.find(link_key(from, to));
   return it == link_index_.end() ? LinkId{} : LinkId{it->second};
-}
-
-std::vector<LinkId> Topology::out_links(int node) const {
-  std::vector<LinkId> out;
-  for (int i = 0; i < num_links(); ++i)
-    if (links_[i].from == node) out.push_back(LinkId{i});
-  return out;
 }
 
 std::string Topology::link_name(LinkId l) const {

@@ -27,7 +27,8 @@ struct LinkId {
 /// two directed links (the convention MetaOpt's TE models use).
 class Topology {
  public:
-  explicit Topology(int num_nodes = 0) : num_nodes_(num_nodes) {}
+  explicit Topology(int num_nodes = 0)
+      : num_nodes_(num_nodes), out_links_(num_nodes > 0 ? num_nodes : 0) {}
 
   int num_nodes() const { return num_nodes_; }
   int num_links() const { return static_cast<int>(links_.size()); }
@@ -39,7 +40,11 @@ class Topology {
   void add_bidi(int a, int b, double capacity);
 
   LinkId find_link(int from, int to) const;
-  std::vector<LinkId> out_links(int node) const;
+  /// Links leaving `node`, in increasing link-id order (the BFS tie-break
+  /// contract path search depends on).
+  const std::vector<LinkId>& out_links(int node) const {
+    return out_links_[node];
+  }
 
   /// Human-readable name like "1-2" (nodes printed 1-based to match the
   /// paper's figures).
@@ -66,6 +71,11 @@ class Topology {
   // (from, to) -> link index, so find_link is O(1) — it sits inside every
   // path-to-links translation on the sampling hot path.
   std::unordered_map<std::uint64_t, int> link_index_;
+  // Per-node adjacency, maintained by add_link.  out_links sits inside the
+  // BFS inner loop of every Yen path search: a scan over links_ here turns
+  // instance construction quadratic in the link count, which is ~30s of
+  // the fat-tree(16) 4096-commodity probe before this cache.
+  std::vector<std::vector<LinkId>> out_links_;
 };
 
 }  // namespace xplain::te

@@ -63,6 +63,8 @@ StageTimes& StageTimes::operator+=(const StageTimes& o) {
   explain_seconds += o.explain_seconds;
   lp_solves += o.lp_solves;
   lp_iterations += o.lp_iterations;
+  lp_columns_priced += o.lp_columns_priced;
+  lp_candidate_refills += o.lp_candidate_refills;
   return *this;
 }
 
@@ -108,6 +110,9 @@ PipelineResult run_pipeline(const analyzer::GapEvaluator& eval,
   const solver::LpCounters lp1 = solver::lp_counters();
   out.stages.lp_solves = lp1.solves - lp0.solves;
   out.stages.lp_iterations = lp1.iterations - lp0.iterations;
+  out.stages.lp_columns_priced = lp1.columns_priced - lp0.columns_priced;
+  out.stages.lp_candidate_refills =
+      lp1.candidate_refills - lp0.candidate_refills;
   out.wall_seconds = timer.seconds();
   XPLAIN_INFO << "pipeline: " << out.subspaces.size() << " subspaces in "
               << out.wall_seconds << "s (" << out.stages.lp_solves
@@ -174,6 +179,9 @@ BatchResult run_batch(const CaseList& cases, const PipelineOptions& opts,
   const solver::LpCounters lp1 = solver::lp_counters();
   out.stages.lp_solves = lp1.solves - lp0.solves;
   out.stages.lp_iterations = lp1.iterations - lp0.iterations;
+  out.stages.lp_columns_priced = lp1.columns_priced - lp0.columns_priced;
+  out.stages.lp_candidate_refills =
+      lp1.candidate_refills - lp0.candidate_refills;
   out.wall_seconds = timer.seconds();
   XPLAIN_INFO << "batch: " << cases.size() << " instances, "
               << out.total_subspaces() << " subspaces, " << workers

@@ -51,6 +51,8 @@ struct StageTimes {
   double explain_seconds = 0.0;   // Type-2 sampling
   long lp_solves = 0;             // LP relaxations solved during the run
   long lp_iterations = 0;         // simplex pivots across those solves
+  long lp_columns_priced = 0;     // reduced costs evaluated by pricing
+  long lp_candidate_refills = 0;  // partial-pricing bucket refills
 
   double total() const {
     return compile_seconds + analyze_seconds + subspace_seconds +

@@ -159,21 +159,37 @@ TEST(Engine, PerJobLpCountersAreExactUnderConcurrentWorkers) {
 
   ASSERT_EQ(sequential.jobs.size(), parallel4.jobs.size());
   long total_solves = 0;
+  long total_priced = 0;
   for (std::size_t i = 0; i < sequential.jobs.size(); ++i) {
     EXPECT_EQ(sequential.jobs[i].lp_solves, parallel4.jobs[i].lp_solves)
         << "job " << i;
     EXPECT_EQ(sequential.jobs[i].lp_iterations,
               parallel4.jobs[i].lp_iterations)
         << "job " << i;
+    EXPECT_EQ(sequential.jobs[i].lp_columns_priced,
+              parallel4.jobs[i].lp_columns_priced)
+        << "job " << i;
+    EXPECT_EQ(sequential.jobs[i].lp_candidate_refills,
+              parallel4.jobs[i].lp_candidate_refills)
+        << "job " << i;
     total_solves += sequential.jobs[i].lp_solves;
+    total_priced += sequential.jobs[i].lp_columns_priced;
   }
   EXPECT_GT(total_solves, 0);
+  // Any pivot prices at least one column, so the pricing tally is live.
+  EXPECT_GT(total_priced, 0);
   // The experiment-level snapshot equals the per-job sum: nothing leaked
   // into (or out of) the job windows.
   EXPECT_EQ(sequential.lp_solves, total_solves);
+  EXPECT_EQ(sequential.lp_columns_priced, total_priced);
   long parallel_total = 0;
-  for (const auto& j : parallel4.jobs) parallel_total += j.lp_solves;
+  long parallel_priced = 0;
+  for (const auto& j : parallel4.jobs) {
+    parallel_total += j.lp_solves;
+    parallel_priced += j.lp_columns_priced;
+  }
   EXPECT_EQ(parallel4.lp_solves, parallel_total);
+  EXPECT_EQ(parallel4.lp_columns_priced, parallel_priced);
 }
 
 TEST(Engine, StreamsEveryJobThroughTheCallback) {
@@ -282,6 +298,8 @@ TEST(Engine, ExperimentSummaryJsonRoundTripsExactly) {
   j.wall_seconds = 0.123456789123456789;
   j.lp_solves = 12345;
   j.lp_iterations = 987654321;
+  j.lp_columns_priced = 31415926535;
+  j.lp_candidate_refills = 271828;
   j.features = {{"num_commodities", 8.0}, {"skew_span", 0.75}};
   s.jobs.push_back(j);
   JobSummary bad;
@@ -302,6 +320,8 @@ TEST(Engine, ExperimentSummaryJsonRoundTripsExactly) {
   s.wall_seconds = 7.739930840000001;
   s.lp_solves = 112202;
   s.lp_iterations = 713712;
+  s.lp_columns_priced = 8675309;
+  s.lp_candidate_refills = 424242;
 
   const std::string json = s.to_json();
   const auto parsed = ExperimentSummary::from_json(json);

@@ -8,11 +8,21 @@
 // failure must fall back to a cold restart instead of reporting an
 // unverified optimum.
 //
+// The pricing axis (ISSUE 8): every solve here honors XPLAIN_TEST_PRICING
+// so CI runs the whole suite under both pricing rules, the partial-vs-
+// Dantzig differential is asserted directly on the corpus and random
+// families, and the Forrest-Tomlin machinery gets its own metamorphic
+// coverage (warm == cold with the dense fallback disabled, plus an
+// injected update rejection that must cost a refactorization, never the
+// answer).
+//
 // Every LP here derives from a fixed seed set: a failure reproduces
 // identically on any machine and worker count.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "lb/optimal.h"
@@ -38,9 +48,27 @@ constexpr int kRankDeficientLps = 25;
 constexpr int kUnboundedLps = 20;
 constexpr int kInfeasibleLps = 20;
 
+/// Baseline options for every solve in this suite.  XPLAIN_TEST_PRICING
+/// re-runs the whole file under a chosen pricing rule — CI's sanitizer job
+/// invokes it once per mode — so both pivot paths get the full torture
+/// treatment: "dantzig" forces the full scan, "partial" engages the
+/// candidate list even below the partial_pricing_min_cols size gate (most
+/// LPs here are tiny), anything else (including unset) keeps the defaults.
+xs::SimplexOptions fuzz_opts() {
+  xs::SimplexOptions opts;
+  const char* mode = std::getenv("XPLAIN_TEST_PRICING");
+  if (mode != nullptr && std::strcmp(mode, "dantzig") == 0)
+    opts.pricing = xs::PricingRule::kDantzig;
+  if (mode != nullptr && std::strcmp(mode, "partial") == 0) {
+    opts.pricing = xs::PricingRule::kPartial;
+    opts.partial_pricing_min_cols = 0;
+  }
+  return opts;
+}
+
 void expect_oracle_agreement(const LpProblem& p, const char* what,
                              long tag) {
-  const auto lu = xs::solve_lp(p);
+  const auto lu = xs::solve_lp(p, fuzz_opts());
   const auto oracle = xs::solve_lp_tableau(p);
   ASSERT_EQ(lu.status, oracle.status)
       << what << " #" << tag << "\n"
@@ -93,7 +121,11 @@ LpProblem random_lp(Rng& rng, int max_cols = 9, int max_rows = 7) {
 /// scenario, rhs-randomized per seed the way LbOptimalSolver moves them.
 /// Bigger scenarios get fewer seeds (the dense oracle is O(m^2) per
 /// pivot); the seed budget keeps the whole suite in ctest territory.
-std::vector<std::pair<LpProblem, long>> corpus_lps() {
+/// `max_rows` drops scenarios above it: the default excludes only the
+/// fat-tree(16) entry (~4k rows — far past dense-oracle territory); the
+/// pricing differential, which runs the sparse solver on both sides,
+/// passes a higher cap to cover it too.
+std::vector<std::pair<LpProblem, long>> corpus_lps(int max_rows = 600) {
   std::vector<std::pair<LpProblem, long>> out;
   long tag = 0;
   for (const auto& spec : xplain::scenario::default_corpus()) {
@@ -102,6 +134,7 @@ std::vector<std::pair<LpProblem, long>> corpus_lps() {
         /*skew_lo=*/0.5, /*skew_hi=*/1.0);
     xplain::lb::LbOptimalSolver solver(inst);
     const LpProblem& base = solver.problem();
+    if (base.num_rows() > max_rows) continue;
     const int seeds = base.num_rows() > 400 ? 2 : base.num_rows() > 150 ? 4 : 20;
     Rng rng(0xC0FFEE ^ spec.seed ^ static_cast<std::uint64_t>(base.num_rows()));
     for (int s = 0; s < seeds; ++s) {
@@ -225,6 +258,66 @@ TEST(SolverFuzz, InfeasibleLpsMatchOracle) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Pricing-mode differential: partial pricing changes the pivot path, never
+// the verdict.  Both sides run the production sparse solver, so — unlike
+// the oracle tests above — the fat-tree(16) corpus entry is affordable and
+// gets direct coverage here.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void expect_pricing_agreement(const LpProblem& p, const char* what,
+                              long tag) {
+  xs::SimplexOptions dantzig, partial;
+  dantzig.pricing = xs::PricingRule::kDantzig;
+  partial.pricing = xs::PricingRule::kPartial;
+  partial.partial_pricing_min_cols = 0;  // candidate list even on tiny LPs
+  const auto a = xs::solve_lp(p, dantzig);
+  const auto b = xs::solve_lp(p, partial);
+  ASSERT_EQ(a.status, b.status) << what << " #" << tag;
+  if (a.status != Status::kOptimal) return;
+  EXPECT_NEAR(a.obj, b.obj, 1e-6 * (1.0 + std::abs(a.obj)))
+      << what << " #" << tag;
+  EXPECT_TRUE(p.feasible(b.x, 1e-6)) << what << " #" << tag;
+}
+
+}  // namespace
+
+TEST(SolverPricing, ModesAgreeOnCorpus) {
+  for (const auto& [p, tag] : corpus_lps(/*max_rows=*/1 << 20))
+    expect_pricing_agreement(p, "corpus", tag);
+}
+
+TEST(SolverPricing, ModesAgreeOnRandomLps) {
+  // A distinct seed from RandomLpsMatchOracle: fresh LPs, not a re-check.
+  Rng rng(20260807);
+  for (int t = 0; t < kRandomLps; ++t)
+    expect_pricing_agreement(random_lp(rng), "random", t);
+}
+
+TEST(SolverPricing, ModesAgreeUnderForcedSparsePath) {
+  // dense_basis_dim=0 pushes even tiny LPs through the sparse FT machinery,
+  // so the partial-pricing/FT interaction is exercised where the default
+  // dense fallback would otherwise hide it.
+  Rng rng(20260808);
+  for (int t = 0; t < 30; ++t) {
+    const LpProblem p = random_lp(rng);
+    xs::SimplexOptions dantzig, partial;
+    dantzig.pricing = xs::PricingRule::kDantzig;
+    dantzig.dense_basis_dim = 0;
+    partial.pricing = xs::PricingRule::kPartial;
+    partial.partial_pricing_min_cols = 0;
+    partial.dense_basis_dim = 0;
+    const auto a = xs::solve_lp(p, dantzig);
+    const auto b = xs::solve_lp(p, partial);
+    ASSERT_EQ(a.status, b.status) << "sparse #" << t;
+    if (a.status != Status::kOptimal) continue;
+    EXPECT_NEAR(a.obj, b.obj, 1e-6 * (1.0 + std::abs(a.obj))) << "sparse #" << t;
+    EXPECT_TRUE(p.feasible(b.x, 1e-6)) << "sparse #" << t;
+  }
+}
+
 // The acceptance criterion's floor: the suite covers >= 200 distinct
 // seeded LPs.  Computed from the family sizes (corpus_lps() regenerates
 // deterministically), not from a global execution tally, so the check is
@@ -244,9 +337,10 @@ TEST(SolverFuzz, CoversAtLeast200Lps) {
 namespace {
 
 void expect_warm_equals_cold(const LpProblem& q, const xs::Basis& warm_basis,
-                             const char* what, long tag) {
-  const auto warm = xs::solve_lp(q, {}, &warm_basis);
-  const auto cold = xs::solve_lp(q);
+                             const char* what, long tag,
+                             const xs::SimplexOptions& opts = fuzz_opts()) {
+  const auto warm = xs::solve_lp(q, opts, &warm_basis);
+  const auto cold = xs::solve_lp(q, opts);
   ASSERT_EQ(warm.status, cold.status) << what << " #" << tag;
   if (warm.status != Status::kOptimal) return;
   EXPECT_NEAR(warm.obj, cold.obj, 1e-7 * (1.0 + std::abs(cold.obj)))
@@ -307,6 +401,30 @@ TEST(SolverWarmMetamorphic, BoundMovesLikeSolveMilp) {
     ++solved;
   }
   EXPECT_GE(solved, 100);
+}
+
+TEST(SolverWarmMetamorphic, WarmEqualsColdUnderForcedSparseFt) {
+  // dense_basis_dim=0 disables the tiny-LP dense fallback, so every warm
+  // install, dual repair, and pivot below runs on the sparse
+  // Forrest-Tomlin representation the fat-tree(16) instances use — the
+  // dense path must not be the only one honoring warm == cold.
+  xs::SimplexOptions opts = fuzz_opts();
+  opts.dense_basis_dim = 0;
+  ASSERT_TRUE(opts.ft_updates);  // the default: FT, not the eta baseline
+  Rng rng(66666);
+  int checked = 0;
+  for (int trial = 0; trial < 400 && checked < 80; ++trial) {
+    const LpProblem p = random_lp(rng);
+    const auto parent = xs::solve_lp(p, opts);
+    if (parent.status != Status::kOptimal) continue;
+    LpProblem q = p;
+    for (int i = 0; i < q.num_rows(); ++i)
+      q.set_row_rhs(i, rng.uniform(0.0, 1.1) *
+                           std::max(1.0, std::abs(q.row(i).rhs)));
+    expect_warm_equals_cold(q, parent.basis, "sparse_ft", trial, opts);
+    ++checked;
+  }
+  EXPECT_GE(checked, 80);
 }
 
 // ---------------------------------------------------------------------------
@@ -401,4 +519,39 @@ TEST(SolverRefactorFailure, WarmSolveFallsBackToColdRestart) {
     ++injected;
   }
   EXPECT_GE(injected, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Injected Forrest-Tomlin rejection (SimplexOptions::fail_update_at): a
+// rejected update is the designed fallback — it costs one refactorization
+// and must never change the answer.  (The real rejections fire on small
+// FTRAN pivots or elimination blow-up; the hook makes the path
+// deterministic instead of waiting for a numerically nasty basis.)
+// ---------------------------------------------------------------------------
+
+TEST(SolverFtRejection, RejectedUpdateRefactorizesAndMatchesCleanSolve) {
+  Rng rng(9090);
+  int injected = 0;
+  for (int t = 0; t < 30; ++t) {
+    const LpProblem p = pivot_mill(rng);
+    xs::SimplexOptions opts = fuzz_opts();
+    opts.dense_basis_dim = 0;  // force the sparse FT path
+    const auto clean = xs::solve_lp(p, opts);
+    ASSERT_EQ(clean.status, Status::kOptimal) << "trial " << t;
+    // fail_update_at=2 needs a second basis-update attempt to exist.
+    if (clean.iterations < 3) continue;
+    xs::SimplexOptions inj = opts;
+    inj.fail_update_at = 2;
+    const auto hurt = xs::solve_lp(p, inj);
+    // Unlike a refactorization failure (which poisons the representation),
+    // a rejected update recovers in-solve: same verdict, same optimum, one
+    // extra refactorization on the books.
+    ASSERT_EQ(hurt.status, Status::kOptimal) << "trial " << t;
+    EXPECT_NEAR(hurt.obj, clean.obj, 1e-7 * (1.0 + std::abs(clean.obj)))
+        << "trial " << t;
+    EXPECT_TRUE(p.feasible(hurt.x, 1e-6)) << "trial " << t;
+    EXPECT_GE(hurt.refactorizations, clean.refactorizations) << "trial " << t;
+    ++injected;
+  }
+  EXPECT_GE(injected, 10);
 }

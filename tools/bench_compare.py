@@ -47,7 +47,13 @@ def scrub(obj):
     are deterministic for a given build, but libm transcendentals (p-values
     go through lgamma/ibeta) and FP codegen may differ in the last ULPs
     across glibc/compiler versions, which is noise, not behavior."""
-    machine_dependent = ("seconds", "lp_solves", "lp_iterations")
+    machine_dependent = (
+        "seconds",
+        "lp_solves",
+        "lp_iterations",
+        "priced",
+        "refills",
+    )
     if isinstance(obj, dict):
         return {
             k: scrub(v)
@@ -120,7 +126,13 @@ def main():
 
     name = fresh.get("bench", "?")
     print(f"bench_compare: {name}")
-    for key in ("lp_solves", "lp_iterations", "lp_warm_solves"):
+    for key in (
+        "lp_solves",
+        "lp_iterations",
+        "lp_warm_solves",
+        "lp_columns_priced",
+        "lp_candidate_refills",
+    ):
         f, b = fresh.get(key), base.get(key)
         if f is None or b is None:
             continue

@@ -51,7 +51,11 @@ void BenchReport::write() {
      << "  \"lp_iterations\": " << end.iterations - impl_->start.iterations
      << ",\n"
      << "  \"lp_warm_solves\": "
-     << end.warm_solves - impl_->start.warm_solves;
+     << end.warm_solves - impl_->start.warm_solves << ",\n"
+     << "  \"lp_columns_priced\": "
+     << end.columns_priced - impl_->start.columns_priced << ",\n"
+     << "  \"lp_candidate_refills\": "
+     << end.candidate_refills - impl_->start.candidate_refills;
   for (const auto& [k, v] : impl_->extra) os << ",\n  \"" << k << "\": " << v;
   for (const auto& [k, v] : impl_->raw) os << ",\n  \"" << k << "\": " << v;
   os << "\n}\n";
