@@ -1,0 +1,183 @@
+// Resident-service acceptance bench: the same replication grid is answered
+// by (a) cold per-grid Engine runs — one fresh Engine::run per submission,
+// the paper's one-study-per-process workflow — and (b) one resident
+// xplain::server::Service that keeps its worker pool, case instances, and
+// content-addressed result cache across submissions.  The gate is the
+// ISSUE acceptance criterion: the resident service answers the repeated
+// grid at >= 2x the cold path's jobs/sec, with the cached rounds bitwise
+// identical to the first.
+//
+// Two counter families make the run machine-independently checkable
+// (tools/bench_compare.py gates them exactly in CI):
+//
+//   * cache_hits / cache_misses / cache_entries — (rounds-1) x jobs hits,
+//     jobs misses: the cache serves every repeat from memory;
+//   * case_builds — the service and the hoisted Engine::run both construct
+//     each unique (case, scenario.cache_key()) instance ONCE, not once per
+//     job: a replication grid with R replicas per scenario builds
+//     jobs/R instances (engine_case_builds measures the Engine-side
+//     hoisting this PR added).
+//
+// Everything runs single-threaded (pool of 1, explain.workers = 1) so the
+// committed BENCH_bench_service.json baseline's lp_iterations is an exact
+// reproduction target; throughput and speedup are wall-clock and are
+// scrubbed from the comparison.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "engine/engine.h"
+#include "scenario/spec.h"
+#include "server/service.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace xplain;
+
+namespace {
+
+scenario::ScenarioSpec line(int n) {
+  scenario::ScenarioSpec s;
+  s.kind = scenario::TopologyKind::kLine;
+  s.size = n;
+  return s;
+}
+
+/// A replication grid: each scenario appears kReplicas times, and
+/// reseed_jobs derives a distinct seed per grid index — decorrelated
+/// replications of the same instances (the shape ROADMAP's query streams
+/// have: same topology, fresh seeds).
+constexpr int kReplicas = 2;
+constexpr int kRounds = 3;  // identical submissions against the service
+
+ExperimentSpec replication_grid() {
+  ExperimentSpec spec;
+  spec.cases = {"first_fit", "demand_pinning_chain"};
+  for (int r = 0; r < kReplicas; ++r)
+    for (int n : {3, 4, 5}) spec.scenarios.push_back(line(n));
+  spec.options.min_gap = 1.0;
+  spec.options.subspace.max_subspaces = 1;
+  spec.options.subspace.tree_samples = 120;
+  spec.options.subspace.significance.pairs = 40;
+  spec.options.subspace.significance.p_threshold = 0.5;
+  spec.options.explain.samples = 80;
+  spec.options.explain.workers = 1;  // single-threaded: exact baseline
+  spec.workers = 1;
+  spec.grammar.p_threshold = 0.5;
+  return spec;
+}
+
+std::string job_json(const JobSummary& s) { return s.to_json_value().dump(0); }
+
+}  // namespace
+
+int main() {
+  tools::BenchReport bench_report("bench_service");
+  std::cout << "Resident explanation service vs cold per-grid Engine runs\n\n";
+
+  const ExperimentSpec spec = replication_grid();
+  const int jobs_per_round = static_cast<int>(Engine().expand(spec).size());
+  const int unique_instances =
+      static_cast<int>(spec.cases.size()) * 3;  // 3 distinct line sizes
+
+  // --- 1. Cold path: one fresh Engine::run per submission, kRounds
+  // times.  Within each run the hoisting added for replication grids
+  // still builds each unique instance once (engine_case_builds). ---
+  util::Timer cold_timer;
+  int engine_case_builds = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    const ExperimentResult r = Engine().run(spec);
+    engine_case_builds = r.case_builds;
+    if (static_cast<int>(r.jobs.size()) != jobs_per_round) {
+      std::cout << "[MISMATCH] cold round produced " << r.jobs.size()
+                << " jobs, expected " << jobs_per_round << "\n";
+      return 1;
+    }
+  }
+  const double cold_seconds = cold_timer.seconds();
+  const double cold_jps = kRounds * jobs_per_round / cold_seconds;
+  std::cout << "cold: " << kRounds << " x Engine::run, "
+            << kRounds * jobs_per_round << " jobs in " << cold_seconds
+            << "s (" << cold_jps << " jobs/s); " << engine_case_builds
+            << " case builds per round for " << jobs_per_round
+            << " jobs (replication hoisting)\n";
+
+  // --- 2. Resident path: one Service, the identical spec submitted
+  // kRounds times.  Round 1 computes and fills the cache; rounds 2..k are
+  // served from memory, bitwise identical. ---
+  server::ServiceOptions so;
+  so.workers = 1;
+  server::Service svc(so);
+  std::vector<std::string> first_round;
+  std::string first_round_doc;
+  bool replay_identical = true;
+  util::Timer service_timer;
+  for (int round = 0; round < kRounds; ++round) {
+    const ExperimentSummary s = svc.run(spec);
+    if (round == 0) {
+      for (const JobSummary& j : s.jobs) first_round.push_back(job_json(j));
+      first_round_doc = s.to_json();
+      continue;
+    }
+    for (std::size_t i = 0; i < s.jobs.size(); ++i)
+      replay_identical &= job_json(s.jobs[i]) == first_round[i];
+  }
+  const double service_seconds = service_timer.seconds();
+  const double service_jps = kRounds * jobs_per_round / service_seconds;
+  const server::ServiceStats stats = svc.stats();
+  svc.shutdown();
+
+  const double speedup = cold_jps > 0.0 ? service_jps / cold_jps : 0.0;
+  util::Table t({"path", "jobs", "seconds", "jobs/s"});
+  t.add_row({"cold engine", std::to_string(kRounds * jobs_per_round),
+             util::format_double(cold_seconds), util::format_double(cold_jps)});
+  t.add_row({"resident service", std::to_string(kRounds * jobs_per_round),
+             util::format_double(service_seconds),
+             util::format_double(service_jps)});
+  t.print(std::cout);
+  std::cout << "\nspeedup " << speedup << "x; cache "
+            << stats.cache_hits << " hits / " << stats.cache_misses
+            << " misses / " << stats.cache_entries << " entries; "
+            << stats.case_builds << " case builds across all rounds; replay "
+            << (replay_identical ? "bitwise identical" : "DIVERGED") << "\n";
+
+  bench_report.metric("rounds", kRounds);
+  bench_report.metric("jobs_per_round", jobs_per_round);
+  bench_report.metric("cold_seconds", cold_seconds);
+  bench_report.metric("cold_jobs_per_sec", cold_jps);
+  bench_report.metric("service_seconds", service_seconds);
+  bench_report.metric("service_jobs_per_sec", service_jps);
+  bench_report.metric("service_speedup", speedup);
+  bench_report.metric("cache_hits", static_cast<double>(stats.cache_hits));
+  bench_report.metric("cache_misses", static_cast<double>(stats.cache_misses));
+  bench_report.metric("cache_entries",
+                      static_cast<double>(stats.cache_entries));
+  bench_report.metric("service_case_builds",
+                      static_cast<double>(stats.case_builds));
+  bench_report.metric("engine_case_builds", engine_case_builds);
+  bench_report.metric("replay_identical", replay_identical ? 1.0 : 0.0);
+  // The round-1 summary document: bench_compare diffs it structurally
+  // (gaps, features, trends) against the baseline after scrubbing clocks
+  // and LP counters — the service's output is a deterministic engine
+  // artifact, so cross-machine divergence is a behavior change.
+  bench_report.raw("service_experiment", first_round_doc);
+
+  // The counters the resident design promises, stated as exact equalities
+  // (bench_compare gates the committed values at 0% drift).
+  const bool counters_ok =
+      stats.cache_misses == jobs_per_round &&
+      stats.cache_hits == static_cast<long>(kRounds - 1) * jobs_per_round &&
+      stats.cache_entries == static_cast<std::size_t>(jobs_per_round) &&
+      stats.case_builds == unique_instances &&
+      engine_case_builds == unique_instances &&
+      stats.duplicate_deliveries == 0;
+
+  const bool ok = counters_ok && replay_identical && speedup >= 2.0;
+  std::cout << "\nAcceptance: repeated grid served from cache bitwise "
+               "identical, each unique instance built once per lifetime "
+               "(service) / per run (engine), resident throughput >= 2x the "
+               "cold path.\n"
+            << (ok ? "[REPRODUCED]" : "[MISMATCH]") << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,6 +1,9 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
 
 #include "generalize/grammar.h"
 #include "solver/lp.h"
@@ -14,15 +17,6 @@
 namespace xplain {
 
 namespace {
-
-/// Every job's RNG streams derive purely from (spec seed, base options,
-/// grid index): decorrelated across jobs and experiments, identical for
-/// any worker count.
-PipelineOptions job_options(const ExperimentSpec& spec, int index) {
-  if (!spec.reseed_jobs) return spec.options;
-  return apply_seed_salt(spec.options,
-                         util::Rng::derive_seed(spec.seed, index + 1));
-}
 
 /// Serializes the user's JobCallback across pool workers.  A named class
 /// (not a lambda-captured local mutex) so clang's thread-safety analysis
@@ -58,6 +52,20 @@ int count_significant(const PipelineResult& r) {
 
 }  // namespace
 
+PipelineOptions derived_job_options(const ExperimentSpec& spec, int index,
+                                    std::uint64_t* seed_out) {
+  // Every job's RNG streams derive purely from (spec seed, base options,
+  // grid index): decorrelated across jobs and experiments, identical for
+  // any worker count.
+  if (!spec.reseed_jobs) {
+    if (seed_out) *seed_out = spec.options.seed_salt;
+    return spec.options;
+  }
+  const std::uint64_t salt = util::Rng::derive_seed(spec.seed, index + 1);
+  if (seed_out) *seed_out = salt;
+  return apply_seed_salt(spec.options, salt);
+}
+
 bool JobSummary::operator==(const JobSummary& o) const {
   return case_name == o.case_name && scenario == o.scenario &&
          index == o.index && ok == o.ok && error == o.error &&
@@ -68,7 +76,8 @@ bool JobSummary::operator==(const JobSummary& o) const {
          lp_iterations == o.lp_iterations &&
          lp_columns_priced == o.lp_columns_priced &&
          lp_candidate_refills == o.lp_candidate_refills &&
-         features == o.features;
+         features == o.features && seed == o.seed &&
+         options_fingerprint == o.options_fingerprint;
 }
 
 bool TrendSummary::operator==(const TrendSummary& o) const {
@@ -85,31 +94,79 @@ bool ExperimentSummary::operator==(const ExperimentSummary& o) const {
          lp_candidate_refills == o.lp_candidate_refills;
 }
 
+util::Json JobSummary::to_json_value() const {
+  util::Json jj = util::Json::object();
+  jj.set("case", case_name);
+  jj.set("scenario", scenario.empty() ? util::Json() : util::Json(scenario));
+  jj.set("index", index);
+  jj.set("ok", ok);
+  if (!error.empty()) jj.set("error", error);
+  jj.set("subspaces", subspaces);
+  jj.set("significant", significant);
+  jj.set("best_gap_found", best_gap_found);
+  jj.set("max_seed_gap", max_seed_gap);
+  jj.set("gap_scale", gap_scale);
+  jj.set("wall_seconds", wall_seconds);
+  jj.set("lp_solves", lp_solves);
+  jj.set("lp_iterations", lp_iterations);
+  jj.set("lp_columns_priced", lp_columns_priced);
+  jj.set("lp_candidate_refills", lp_candidate_refills);
+  // All 64 bits of the salt survive only as a string (doubles clip at
+  // 2^53); from_json_value parses it back with strtoull.
+  jj.set("seed", std::to_string(seed));
+  jj.set("options_fingerprint", options_fingerprint);
+  util::Json feats = util::Json::object();
+  for (const auto& [k, v] : features) feats.set(k, v);
+  jj.set("features", std::move(feats));
+  return jj;
+}
+
+std::optional<JobSummary> JobSummary::from_json_value(const util::Json& jj) {
+  if (jj.kind() != util::Json::Kind::kObject) return std::nullopt;
+  const auto num = [&](const char* key) {
+    const util::Json* v = jj.find(key);
+    return v ? v->as_num() : 0.0;
+  };
+  const auto str = [&](const char* key) {
+    const util::Json* v = jj.find(key);
+    return v ? v->as_str() : std::string();
+  };
+  JobSummary j;
+  j.case_name = str("case");
+  j.scenario = str("scenario");  // null -> "" (the default instance)
+  j.index = static_cast<int>(num("index"));
+  const util::Json* ok = jj.find("ok");
+  j.ok = ok && ok->as_bool();
+  j.error = str("error");
+  j.subspaces = static_cast<int>(num("subspaces"));
+  j.significant = static_cast<int>(num("significant"));
+  j.best_gap_found = num("best_gap_found");
+  j.max_seed_gap = num("max_seed_gap");
+  j.gap_scale = num("gap_scale");
+  j.wall_seconds = num("wall_seconds");
+  j.lp_solves = static_cast<long>(num("lp_solves"));
+  j.lp_iterations = static_cast<long>(num("lp_iterations"));
+  j.lp_columns_priced = static_cast<long>(num("lp_columns_priced"));
+  j.lp_candidate_refills = static_cast<long>(num("lp_candidate_refills"));
+  const std::string seed_str = str("seed");
+  if (!seed_str.empty()) {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(seed_str.c_str(), &end, 10);
+    if (errno != 0 || end == seed_str.c_str() || *end != '\0')
+      return std::nullopt;
+    j.seed = static_cast<std::uint64_t>(v);
+  }
+  j.options_fingerprint = str("options_fingerprint");
+  if (const util::Json* feats = jj.find("features"))
+    for (const auto& [k, v] : feats->members()) j.features[k] = v.as_num();
+  return j;
+}
+
 std::string ExperimentSummary::to_json(int indent) const {
   util::Json root = util::Json::object();
   util::Json job_arr = util::Json::array();
-  for (const auto& j : jobs) {
-    util::Json jj = util::Json::object();
-    jj.set("case", j.case_name);
-    jj.set("scenario", j.scenario.empty() ? util::Json() : util::Json(j.scenario));
-    jj.set("index", j.index);
-    jj.set("ok", j.ok);
-    if (!j.error.empty()) jj.set("error", j.error);
-    jj.set("subspaces", j.subspaces);
-    jj.set("significant", j.significant);
-    jj.set("best_gap_found", j.best_gap_found);
-    jj.set("max_seed_gap", j.max_seed_gap);
-    jj.set("gap_scale", j.gap_scale);
-    jj.set("wall_seconds", j.wall_seconds);
-    jj.set("lp_solves", j.lp_solves);
-    jj.set("lp_iterations", j.lp_iterations);
-    jj.set("lp_columns_priced", j.lp_columns_priced);
-    jj.set("lp_candidate_refills", j.lp_candidate_refills);
-    util::Json feats = util::Json::object();
-    for (const auto& [k, v] : j.features) feats.set(k, v);
-    jj.set("features", std::move(feats));
-    job_arr.push(std::move(jj));
-  }
+  for (const auto& j : jobs) job_arr.push(j.to_json_value());
   root.set("jobs", std::move(job_arr));
 
   util::Json trend_arr = util::Json::array();
@@ -155,28 +212,9 @@ std::optional<ExperimentSummary> ExperimentSummary::from_json(
 
   ExperimentSummary out;
   for (const auto& jj : jobs->items()) {
-    if (jj.kind() != util::Json::Kind::kObject) return std::nullopt;
-    JobSummary j;
-    j.case_name = str(jj, "case");
-    j.scenario = str(jj, "scenario");  // null -> "" (the default instance)
-    j.index = static_cast<int>(num(jj, "index"));
-    const util::Json* ok = jj.find("ok");
-    j.ok = ok && ok->as_bool();
-    j.error = str(jj, "error");
-    j.subspaces = static_cast<int>(num(jj, "subspaces"));
-    j.significant = static_cast<int>(num(jj, "significant"));
-    j.best_gap_found = num(jj, "best_gap_found");
-    j.max_seed_gap = num(jj, "max_seed_gap");
-    j.gap_scale = num(jj, "gap_scale");
-    j.wall_seconds = num(jj, "wall_seconds");
-    j.lp_solves = static_cast<long>(num(jj, "lp_solves"));
-    j.lp_iterations = static_cast<long>(num(jj, "lp_iterations"));
-    j.lp_columns_priced = static_cast<long>(num(jj, "lp_columns_priced"));
-    j.lp_candidate_refills =
-        static_cast<long>(num(jj, "lp_candidate_refills"));
-    if (const util::Json* feats = jj.find("features"))
-      for (const auto& [k, v] : feats->members()) j.features[k] = v.as_num();
-    out.jobs.push_back(std::move(j));
+    std::optional<JobSummary> j = JobSummary::from_json_value(jj);
+    if (!j) return std::nullopt;
+    out.jobs.push_back(std::move(*j));
   }
   for (const auto& tj : trends->items()) {
     if (tj.kind() != util::Json::Kind::kObject) return std::nullopt;
@@ -206,32 +244,34 @@ int ExperimentResult::total_subspaces() const {
   return n;
 }
 
-ExperimentSummary ExperimentResult::summary() const {
-  ExperimentSummary out;
-  out.jobs.reserve(jobs.size());
-  for (const auto& j : jobs) {
-    JobSummary s;
-    s.case_name = j.job.case_name;
-    s.scenario =
-        j.job.scenario ? j.job.scenario->display_name() : std::string();
-    s.index = j.job.index;
-    s.ok = j.ok;
-    s.error = j.error;
-    s.subspaces = static_cast<int>(j.pipeline.subspaces.size());
-    s.significant = count_significant(j.pipeline);
-    s.best_gap_found = j.pipeline.best_gap_found;
-    s.max_seed_gap = j.pipeline.max_gap();
-    s.gap_scale = j.pipeline.gap_scale;
-    s.wall_seconds = j.pipeline.wall_seconds;
-    s.lp_solves = j.pipeline.stages.lp_solves;
-    s.lp_iterations = j.pipeline.stages.lp_iterations;
-    s.lp_columns_priced = j.pipeline.stages.lp_columns_priced;
-    s.lp_candidate_refills = j.pipeline.stages.lp_candidate_refills;
-    s.features = j.pipeline.features;
-    out.jobs.push_back(std::move(s));
-  }
-  out.trends.reserve(trends.predicates.size());
-  for (const auto& p : trends.predicates) {
+JobSummary make_job_summary(const JobResult& j) {
+  JobSummary s;
+  s.case_name = j.job.case_name;
+  s.scenario = j.job.scenario ? j.job.scenario->display_name() : std::string();
+  s.index = j.job.index;
+  s.ok = j.ok;
+  s.error = j.error;
+  s.subspaces = static_cast<int>(j.pipeline.subspaces.size());
+  s.significant = count_significant(j.pipeline);
+  s.best_gap_found = j.pipeline.best_gap_found;
+  s.max_seed_gap = j.pipeline.max_gap();
+  s.gap_scale = j.pipeline.gap_scale;
+  s.wall_seconds = j.pipeline.wall_seconds;
+  s.lp_solves = j.pipeline.stages.lp_solves;
+  s.lp_iterations = j.pipeline.stages.lp_iterations;
+  s.lp_columns_priced = j.pipeline.stages.lp_columns_priced;
+  s.lp_candidate_refills = j.pipeline.stages.lp_candidate_refills;
+  s.features = j.pipeline.features;
+  s.seed = j.seed;
+  s.options_fingerprint = j.options_fingerprint;
+  return s;
+}
+
+std::vector<TrendSummary> make_trend_summaries(
+    const generalize::GeneralizerResult& g) {
+  std::vector<TrendSummary> out;
+  out.reserve(g.predicates.size());
+  for (const auto& p : g.predicates) {
     TrendSummary t;
     t.predicate = p.to_string();
     t.feature = p.feature;
@@ -239,8 +279,16 @@ ExperimentSummary ExperimentResult::summary() const {
     t.rho = p.rho;
     t.p_value = p.p_value;
     t.support = p.support;
-    out.trends.push_back(std::move(t));
+    out.push_back(std::move(t));
   }
+  return out;
+}
+
+ExperimentSummary ExperimentResult::summary() const {
+  ExperimentSummary out;
+  out.jobs.reserve(jobs.size());
+  for (const auto& j : jobs) out.jobs.push_back(make_job_summary(j));
+  out.trends = make_trend_summaries(trends);
   out.observations = static_cast<int>(trends.observations.size());
   out.wall_seconds = wall_seconds;
   out.lp_solves = stages.lp_solves;
@@ -287,6 +335,56 @@ ExperimentResult Engine::run(const ExperimentSpec& spec,
                                 static_cast<int>(jobs.size())));
   CallbackStream stream(on_job);
 
+  // Hoist scenario builds: a replication grid lists the same scenario cell
+  // many times (the spec's seed decorrelates the jobs, not the instance),
+  // and building the instance per JOB repeats identical topology/demand
+  // construction.  Build each UNIQUE (case, scenario.cache_key()) pair
+  // once, share it across its jobs, and drop it when its last job retires
+  // (refcount below) so peak memory stays one instance per distinct cell.
+  // Built fresh (create, not the registry's keyed cache): caching every
+  // cell in the registry would retain it for the process lifetime.
+  // Default jobs keep going through the registry's one-per-name default.
+  struct HoistedCase {
+    const std::string* name = nullptr;
+    const scenario::ScenarioSpec* scen = nullptr;
+    std::shared_ptr<const HeuristicCase> c;
+    std::string error;
+    std::atomic<int> remaining{0};
+  };
+  std::map<std::pair<std::string, std::string>, HoistedCase> built;
+  std::vector<HoistedCase*> job_case(jobs.size(), nullptr);
+  std::vector<HoistedCase*> build_list;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!jobs[i].scenario) continue;
+    auto [it, fresh] = built.try_emplace(
+        {jobs[i].case_name, jobs[i].scenario->cache_key()});
+    if (fresh) {
+      it->second.name = &jobs[i].case_name;
+      it->second.scen = &*jobs[i].scenario;
+      build_list.push_back(&it->second);
+    }
+    it->second.remaining.fetch_add(1, std::memory_order_relaxed);
+    job_case[i] = &it->second;
+  }
+  out.case_builds = static_cast<int>(build_list.size());
+  if (!build_list.empty()) {
+    util::parallel_chunks(
+        build_list.size(),
+        std::min<int>(workers, static_cast<int>(build_list.size())),
+        [&](std::size_t begin, std::size_t end, int) {
+          for (std::size_t i = begin; i < end; ++i) {
+            HoistedCase& h = *build_list[i];
+            h.c = registry_->create(*h.name, *h.scen);
+            if (!h.c) {
+              h.error = registry_->contains(*h.name)
+                            ? "case cannot build from a scenario "
+                              "(default-only registration)"
+                            : "unknown case";
+            }
+          }
+        });
+  }
+
   // Slot-determinism (util/parallel.h): each job's result lands in its grid
   // slot and depends only on (registry content, spec, index) — scheduling
   // changes wall clock and callback order, never content.  out.jobs is the
@@ -299,22 +397,23 @@ ExperimentResult Engine::run(const ExperimentSpec& spec,
         for (std::size_t i = begin; i < end; ++i) {
           JobResult jr;
           jr.job = jobs[i];
-          // Scenario cells build fresh (create): a grid visits each cell
-          // once, and pumping every cell into the registry's keyed cache
-          // would retain one full instance per cell for the process
-          // lifetime.  Default jobs share the registry's (bounded,
-          // one-per-name) cached default.
+          HoistedCase* h = job_case[i];
+          // Copying the shared_ptr is safe against the release below: every
+          // job copies before decrementing, so the last decrement — the
+          // only reset — happens after all copies.
           std::shared_ptr<const HeuristicCase> c =
-              jr.job.scenario ? registry_->create(jr.job.case_name,
-                                                  *jr.job.scenario)
-                              : registry_->find(jr.job.case_name);
+              h ? h->c : registry_->find(jr.job.case_name);
           if (!c) {
-            jr.error = registry_->contains(jr.job.case_name)
-                           ? "case cannot build from a scenario "
-                             "(default-only registration)"
-                           : "unknown case";
+            jr.error = h ? h->error
+                         : (registry_->contains(jr.job.case_name)
+                                ? "case cannot build from a scenario "
+                                  "(default-only registration)"
+                                : "unknown case");
           } else {
-            PipelineOptions o = job_options(spec, jr.job.index);
+            std::uint64_t seed = 0;
+            PipelineOptions o = derived_job_options(spec, jr.job.index, &seed);
+            jr.seed = seed;
+            jr.options_fingerprint = o.fingerprint();
             // The grid already fans out across jobs; an "auto" explain pool
             // inside every concurrent pipeline would oversubscribe the
             // machine workers-fold.  An explicit positive count is
@@ -323,6 +422,9 @@ ExperimentResult Engine::run(const ExperimentSpec& spec,
             jr.pipeline = run_pipeline(*c, o);
             jr.ok = true;
           }
+          c.reset();
+          if (h && h->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            h->c.reset();  // last job out drops the hoisted instance
           out.jobs[i] = std::move(jr);
           if (stream) stream.emit(out.jobs[i]);
         }

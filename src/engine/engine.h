@@ -40,6 +40,7 @@
 
 #include "generalize/generalizer.h"
 #include "scenario/spec.h"
+#include "util/json.h"
 #include "xplain/case.h"
 #include "xplain/pipeline.h"
 
@@ -97,6 +98,14 @@ struct JobResult {
   bool ok = false;
   std::string error;
   PipelineResult pipeline;
+  /// The seed salt this job's RNG streams derived from (spec.seed mixed
+  /// with the grid index when reseed_jobs is on; spec.options.seed_salt
+  /// verbatim otherwise) — see derived_job_options.
+  std::uint64_t seed = 0;
+  /// fingerprint() of the job's fully-derived PipelineOptions: together
+  /// with (case, scenario.cache_key()) this content-addresses the job —
+  /// the server's result cache keys on exactly this triple.
+  std::string options_fingerprint;
 };
 
 /// The JSON-serializable digest of one job — exactly what to_json writes.
@@ -120,8 +129,20 @@ struct JobSummary {
   long lp_columns_priced = 0;
   long lp_candidate_refills = 0;
   std::map<std::string, double> features;
+  /// Replication provenance (JobResult::seed / ::options_fingerprint).
+  /// `seed` serializes as a decimal STRING: derived salts use all 64 bits
+  /// and a JSON number (double) would corrupt values above 2^53.
+  std::uint64_t seed = 0;
+  std::string options_fingerprint;
 
   bool operator==(const JobSummary& o) const;
+
+  /// One job as a JSON value / parsed back (std::nullopt on malformed
+  /// input).  ExperimentSummary::to_json/from_json are built on these; the
+  /// server's result cache serializes cached jobs through the same pair so
+  /// repeat queries are bitwise identical to the original emission.
+  util::Json to_json_value() const;
+  static std::optional<JobSummary> from_json_value(const util::Json& v);
 };
 
 struct TrendSummary {
@@ -163,6 +184,11 @@ struct ExperimentResult {
   subspace::GenerationTrace trace;
   StageTimes stages;
   double wall_seconds = 0.0;
+  /// Scenario-parameterized case constructions this run performed: one per
+  /// UNIQUE (case, scenario.cache_key()) pair, not per job — a 10-seed
+  /// replication grid builds each instance once (bench_service measures
+  /// this).  Not serialized: it is an execution statistic, not a result.
+  int case_builds = 0;
 
   int total_subspaces() const;
   ExperimentSummary summary() const;
@@ -189,5 +215,21 @@ class Engine {
  private:
   CaseRegistry* registry_;
 };
+
+/// The per-job options derivation Engine::run uses, exposed so other
+/// drivers (the xplain::Service worker pool) reproduce a grid job bit for
+/// bit: a pure function of (spec, index).  `seed_out`, when non-null,
+/// receives the salt the streams derived from (== JobResult::seed).
+PipelineOptions derived_job_options(const ExperimentSpec& spec, int index,
+                                    std::uint64_t* seed_out = nullptr);
+
+/// The JobResult -> JobSummary digest ExperimentResult::summary() applies
+/// per job, exposed for drivers that stream summaries job by job.
+JobSummary make_job_summary(const JobResult& r);
+
+/// The GeneralizerResult -> TrendSummary digest summary() applies, exposed
+/// for drivers that mine trends themselves (the server's Service::wait).
+std::vector<TrendSummary> make_trend_summaries(
+    const generalize::GeneralizerResult& g);
 
 }  // namespace xplain

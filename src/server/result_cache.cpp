@@ -1,0 +1,97 @@
+#include "server/result_cache.h"
+
+#include <optional>
+#include <utility>
+
+#include "util/json.h"
+
+namespace xplain::server {
+
+std::string ResultCache::key(const std::string& case_name,
+                             const std::string& scenario_cache_key,
+                             const std::string& options_fingerprint,
+                             std::uint64_t seed) {
+  // '\n' never occurs in any leg (case names, cache keys and fingerprints
+  // are single-line by construction), so the join is injective.
+  std::string k = case_name;
+  k += '\n';
+  k += scenario_cache_key;
+  k += '\n';
+  k += options_fingerprint;
+  k += '\n';
+  k += std::to_string(seed);
+  return k;
+}
+
+bool ResultCache::lookup_or_claim(const std::string& key, JobSummary* out) {
+  mu_.lock();
+  bool counted_wait = false;
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      // Claim: insert the in-flight marker; we are now the owner.
+      entries_.emplace(key, Entry{});
+      ++misses_;
+      mu_.unlock();
+      return false;
+    }
+    if (it->second.ready) {
+      const std::string json = it->second.json;
+      ++hits_;
+      mu_.unlock();
+      // Parse outside the lock: the exact util/json round-trip is the
+      // serving path, not just the storage format.
+      std::optional<util::Json> v = util::Json::parse(json);
+      std::optional<JobSummary> s =
+          v ? JobSummary::from_json_value(*v) : std::nullopt;
+      if (s) {
+        *out = std::move(*s);
+        return true;
+      }
+      // Unparsable entry (cannot happen for values fulfill() wrote):
+      // self-heal by dropping it and re-claiming.
+      mu_.lock();
+      auto bad = entries_.find(key);
+      if (bad != entries_.end() && bad->second.ready) entries_.erase(bad);
+      continue;
+    }
+    // In flight on another worker: wait for fulfill (-> hit) or abandon
+    // (-> the find above misses and we inherit the claim).
+    if (!counted_wait) {
+      ++inflight_waits_;
+      counted_wait = true;
+    }
+    ready_cv_.wait(mu_);
+  }
+}
+
+void ResultCache::fulfill(const std::string& key, const JobSummary& s) {
+  std::string json = s.to_json_value().dump(0);
+  mu_.lock();
+  Entry& e = entries_[key];
+  e.ready = true;
+  e.json = std::move(json);
+  mu_.unlock();
+  ready_cv_.notify_all();
+}
+
+void ResultCache::abandon(const std::string& key) {
+  mu_.lock();
+  auto it = entries_.find(key);
+  if (it != entries_.end() && !it->second.ready) entries_.erase(it);
+  mu_.unlock();
+  ready_cv_.notify_all();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  util::MutexLock lock(&mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.inflight_waits = inflight_waits_;
+  for (const auto& [k, e] : entries_)
+    if (e.ready) ++s.entries;
+  return s;
+}
+
+}  // namespace xplain::server

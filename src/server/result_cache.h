@@ -1,0 +1,89 @@
+// Content-addressed result cache for the resident explanation service.
+//
+// Key: (case name, scenario.cache_key(), PipelineOptions::fingerprint(),
+// derived seed) — every input that can change a job's RESULT, each leg
+// injective on its own (the scenario key and the options fingerprint both
+// encode doubles by bit pattern).  Worker counts are absent by
+// construction: the determinism contract (util/parallel.h) makes them
+// wall-clock-only, so a grid re-submitted with a different pool size still
+// hits.
+//
+// Value: the job's JobSummary as util/json TEXT.  Storing the serialized
+// form (rather than the struct) makes the cache honest about what it
+// serves: a hit re-parses through the exact util::Json round-trip
+// (ordered members, max_digits10 doubles), so a repeat submission emits
+// job JSON bitwise identical to the first run's — which is also what the
+// acceptance test asserts.
+//
+// In-flight dedup: lookup_or_claim on a key someone else is computing
+// BLOCKS until that computation fulfills (then returns the hit) or
+// abandons (then the caller inherits the claim and computes).  Failed jobs
+// are never cached — abandon() erases the entry so a transient failure
+// does not poison the key.  Deadlock-free because every in-flight entry
+// has exactly one live owner that will fulfill or abandon it.
+//
+// No eviction: the resident server retains its working set for the
+// process lifetime (the same policy as CaseRegistry's keyed cache); an
+// eviction policy is a tracked ROADMAP follow-on.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "engine/engine.h"
+#include "util/thread_annotations.h"
+
+namespace xplain::server {
+
+class ResultCache {
+ public:
+  struct Stats {
+    long hits = 0;
+    long misses = 0;
+    /// lookup_or_claim calls that blocked on someone else's computation
+    /// (each counts once, whether it ended in a hit or an inherited claim).
+    long inflight_waits = 0;
+    std::size_t entries = 0;  // ready entries resident right now
+  };
+
+  /// Composes the cache key for one job (see file comment).
+  static std::string key(const std::string& case_name,
+                         const std::string& scenario_cache_key,
+                         const std::string& options_fingerprint,
+                         std::uint64_t seed);
+
+  /// Hit: returns true with *out filled from the cached JSON.  Miss: (after
+  /// waiting out any in-flight computation) claims the key and returns
+  /// false — the caller MUST later call fulfill(key, ...) or abandon(key),
+  /// or every future lookup of the key blocks forever.
+  bool lookup_or_claim(const std::string& key, JobSummary* out)
+      XPLAIN_EXCLUDES(mu_);
+
+  /// Publishes a computed summary and wakes waiters.  Only ok results
+  /// should be published (failures: abandon).
+  void fulfill(const std::string& key, const JobSummary& s)
+      XPLAIN_EXCLUDES(mu_);
+
+  /// Releases a claim without publishing (job failed): the entry is erased
+  /// and waiters wake, the first of which inherits the claim.
+  void abandon(const std::string& key) XPLAIN_EXCLUDES(mu_);
+
+  Stats stats() const XPLAIN_EXCLUDES(mu_);
+
+ private:
+  struct Entry {
+    bool ready = false;   // false: claimed, computation in flight
+    std::string json;     // JobSummary::to_json_value().dump (when ready)
+  };
+
+  mutable util::Mutex mu_;
+  std::condition_variable_any ready_cv_;
+  std::map<std::string, Entry> entries_ XPLAIN_GUARDED_BY(mu_);
+  long hits_ XPLAIN_GUARDED_BY(mu_) = 0;
+  long misses_ XPLAIN_GUARDED_BY(mu_) = 0;
+  long inflight_waits_ XPLAIN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace xplain::server

@@ -1,0 +1,278 @@
+#include "server/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace xplain::server {
+
+Service::Service(const ServiceOptions& opts, CaseRegistry& reg)
+    : registry_(&reg),
+      pool_size_(std::max(1, util::resolve_workers(opts.workers))),
+      queue_(opts.queue_capacity) {
+  // The pool starts last: by the time a worker can run, every other member
+  // is constructed.
+  pool_ = std::make_unique<WorkerPool>(
+      &queue_, pool_size_, opts.batch_size,
+      [this](const QueuedJob& q, int worker) { run_job(q, worker); });
+  XPLAIN_INFO << "service: " << pool_size_ << " resident workers, queue "
+              << queue_.capacity() << ", batch " << opts.batch_size;
+}
+
+Service::~Service() { shutdown(); }
+
+std::uint64_t Service::submit(const ExperimentSpec& spec, JobCallback on_job) {
+  auto sub = std::make_shared<Submission>();
+  sub->spec = spec;
+  sub->jobs = Engine(*registry_).expand(spec);
+  sub->on_job = std::move(on_job);
+  const int n = static_cast<int>(sub->jobs.size());
+  {
+    util::MutexLock lock(&sub->mu);
+    sub->results.resize(n);
+    sub->delivered.assign(n, 0);
+    sub->remaining = n;
+  }
+  {
+    util::MutexLock lock(&mu_);
+    if (!accepting_) return kRejected;
+    sub->id = next_id_++;
+    submissions_[sub->id] = sub;
+    // Counted under the same lock as the accept check: once drain() sees
+    // accepting_ == false, every accepted job is already in pending_jobs_.
+    pending_jobs_ += n;
+    ++submissions_total_;
+    jobs_submitted_ += n;
+  }
+  for (int i = 0; i < n; ++i) {
+    if (queue_.push({sub->id, i})) continue;
+    // Unreachable in the sanctioned lifecycle (shutdown() drains before
+    // closing the queue, and drain waits for these very jobs) — but a lost
+    // job must never strand wait(), so fail it loudly instead.
+    JobSummary s;
+    s.case_name = sub->jobs[i].case_name;
+    s.scenario = sub->jobs[i].scenario ? sub->jobs[i].scenario->display_name()
+                                       : std::string();
+    s.index = i;
+    s.error = "service shut down before the job could be enqueued";
+    deliver(*sub, i, s, /*from_cache=*/false);
+  }
+  return sub->id;
+}
+
+ExperimentSummary Service::wait(std::uint64_t id) {
+  std::shared_ptr<Submission> sub;
+  {
+    util::MutexLock lock(&mu_);
+    auto it = submissions_.find(id);
+    if (it == submissions_.end()) return {};
+    sub = it->second;
+  }
+  ExperimentSummary out;
+  sub->mu.lock();
+  while (sub->remaining > 0) sub->done_cv.wait(sub->mu);
+  out.jobs = sub->results;
+  out.wall_seconds = sub->wall_seconds;
+  sub->mu.unlock();
+  {
+    util::MutexLock lock(&mu_);
+    submissions_.erase(id);
+  }
+  // Thread-inclusive per-job LP tallies sum to the submission's exact total
+  // (each job's delta was measured on the worker that ran it).
+  for (const JobSummary& j : out.jobs) {
+    out.lp_solves += j.lp_solves;
+    out.lp_iterations += j.lp_iterations;
+    out.lp_columns_priced += j.lp_columns_priced;
+    out.lp_candidate_refills += j.lp_candidate_refills;
+  }
+  if (sub->spec.run_generalizer) {
+    // The same slim reconstruction Engine::run feeds generalize_batch —
+    // the summaries carry everything the generalizer reads (features, best
+    // gap, gap scale), so service trends match Engine trends bit for bit.
+    std::vector<PipelineResult> slim;
+    slim.reserve(out.jobs.size());
+    for (const JobSummary& j : out.jobs) {
+      if (!j.ok) continue;
+      PipelineResult r;
+      r.features = j.features;
+      r.gap_scale = j.gap_scale;
+      r.best_gap_found = std::max(j.max_seed_gap, j.best_gap_found);
+      slim.push_back(std::move(r));
+    }
+    generalize::GeneralizerResult g = generalize::generalize_batch(
+        slim, sub->spec.grammar, sub->spec.normalize_gap);
+    out.trends = make_trend_summaries(g);
+    out.observations = static_cast<int>(g.observations.size());
+  }
+  return out;
+}
+
+ExperimentSummary Service::run(const ExperimentSpec& spec,
+                               JobCallback on_job) {
+  const std::uint64_t id = submit(spec, std::move(on_job));
+  if (id == kRejected) return {};
+  return wait(id);
+}
+
+void Service::drain() {
+  mu_.lock();
+  accepting_ = false;
+  while (pending_jobs_ > 0) idle_cv_.wait(mu_);
+  mu_.unlock();
+}
+
+void Service::shutdown() {
+  // Sequentially idempotent: drain re-checks pending (0), close and join
+  // are no-ops the second time.
+  drain();
+  queue_.close();
+  pool_->join();
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats s;
+  {
+    util::MutexLock lock(&mu_);
+    s.submissions = submissions_total_;
+    s.jobs_submitted = jobs_submitted_;
+    s.jobs_completed = jobs_completed_;
+    s.jobs_failed = jobs_failed_;
+    s.duplicate_deliveries = duplicate_deliveries_;
+  }
+  {
+    util::MutexLock lock(&case_mu_);
+    s.case_builds = case_builds_;
+  }
+  const ResultCache::Stats cs = cache_.stats();
+  s.cache_hits = cs.hits;
+  s.cache_misses = cs.misses;
+  s.cache_inflight_waits = cs.inflight_waits;
+  s.cache_entries = cs.entries;
+  return s;
+}
+
+void Service::run_job(const QueuedJob& q, int worker) {
+  (void)worker;  // per-worker batching state lives in WorkerPool
+  std::shared_ptr<Submission> sub;
+  {
+    util::MutexLock lock(&mu_);
+    auto it = submissions_.find(q.submission);
+    if (it == submissions_.end()) return;  // defensive; wait() erases only
+    sub = it->second;                      // after the last delivery
+  }
+  const ExperimentJob& job = sub->jobs[q.index];
+  // The identical pure derivation Engine::run uses: content depends on
+  // (spec, index) only, never on worker or batch placement.
+  std::uint64_t seed = 0;
+  PipelineOptions o = derived_job_options(sub->spec, q.index, &seed);
+  const std::string fp = o.fingerprint();
+  const std::string scen_key =
+      job.scenario ? job.scenario->cache_key() : std::string();
+  const std::string key = ResultCache::key(job.case_name, scen_key, fp, seed);
+
+  JobSummary s;
+  if (cache_.lookup_or_claim(key, &s)) {
+    // Grid position is submission-local, not content — everything else in
+    // the cached summary is identical by the key's construction.
+    s.index = q.index;
+    deliver(*sub, q.index, s, /*from_cache=*/true);
+    return;
+  }
+  JobResult jr;
+  jr.job = job;
+  jr.seed = seed;
+  jr.options_fingerprint = fp;
+  const std::shared_ptr<const HeuristicCase> c =
+      job.scenario ? scenario_case(job.case_name, *job.scenario, scen_key)
+                   : registry_->find(job.case_name);
+  if (!c) {
+    jr.error = registry_->contains(job.case_name)
+                   ? "case cannot build from a scenario "
+                     "(default-only registration)"
+                   : "unknown case";
+  } else {
+    // The pool already fans out across jobs; an "auto" explain pool inside
+    // every concurrent pipeline would oversubscribe the machine
+    // pool-size-fold.  An explicit positive count is respected.
+    if (pool_size_ > 1 && o.explain.workers <= 0) o.explain.workers = 1;
+    jr.pipeline = run_pipeline(*c, o);
+    jr.ok = true;
+  }
+  s = make_job_summary(jr);
+  if (jr.ok) {
+    cache_.fulfill(key, s);
+  } else {
+    cache_.abandon(key);  // failures are not cached
+  }
+  deliver(*sub, q.index, s, /*from_cache=*/false);
+}
+
+void Service::deliver(Submission& sub, int index, const JobSummary& s,
+                      bool from_cache) {
+  bool dup = false;
+  bool done = false;
+  {
+    util::MutexLock lock(&sub.mu);
+    if (sub.delivered[index]) {
+      dup = true;
+    } else {
+      sub.delivered[index] = 1;
+      sub.results[index] = s;
+      --sub.remaining;
+      if (sub.on_job) sub.on_job(s, from_cache);
+      if (sub.remaining == 0) {
+        sub.wall_seconds = sub.timer.seconds();
+        done = true;
+      }
+    }
+  }
+  {
+    util::MutexLock lock(&mu_);
+    if (dup) {
+      ++duplicate_deliveries_;
+    } else {
+      ++jobs_completed_;
+      if (!s.ok) ++jobs_failed_;
+      if (--pending_jobs_ == 0) idle_cv_.notify_all();
+    }
+  }
+  // Wake the waiter last, so a wait() that returns sees the service
+  // counters already covering this delivery.
+  if (done) sub.done_cv.notify_all();
+}
+
+std::shared_ptr<const HeuristicCase> Service::scenario_case(
+    const std::string& name, const scenario::ScenarioSpec& scen,
+    const std::string& scen_key) {
+  const std::pair<std::string, std::string> k(name, scen_key);
+  case_mu_.lock();
+  for (;;) {
+    auto it = cases_.find(k);
+    if (it == cases_.end()) {
+      // Claim and build outside the lock (builds can be expensive and
+      // other workers may need DIFFERENT cases meanwhile).
+      cases_.emplace(k, CaseEntry{});
+      ++case_builds_;
+      case_mu_.unlock();
+      std::shared_ptr<const HeuristicCase> c = registry_->create(name, scen);
+      case_mu_.lock();
+      CaseEntry& e = cases_[k];
+      e.ready = true;
+      e.c = c;  // nullptr is cached too: unknown stays unknown
+      case_mu_.unlock();
+      case_ready_cv_.notify_all();
+      return c;
+    }
+    if (it->second.ready) {
+      std::shared_ptr<const HeuristicCase> c = it->second.c;
+      case_mu_.unlock();
+      return c;
+    }
+    case_ready_cv_.wait(case_mu_);
+  }
+}
+
+}  // namespace xplain::server

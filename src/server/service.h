@@ -1,0 +1,182 @@
+// xplain::server::Service — the resident explanation service's front door.
+//
+// The paper's pipeline explains one study per process; the ROADMAP
+// north-star serves a query STREAM.  Service keeps an Engine-shaped job
+// path resident: submit() expands an ExperimentSpec grid into jobs (the
+// same Engine::expand order), enqueues them on the bounded JobQueue, and a
+// persistent WorkerPool runs each job through run_pipeline with options
+// from derived_job_options — so every job's content is the same pure
+// function of (spec, index) that Engine::run computes, bitwise identical
+// for any pool size and unaffected by concurrent unrelated jobs (the
+// thread-inclusive solver::lp_counters keep each job's LP tallies exact).
+//
+// Results dedup through the content-addressed ResultCache: a job whose
+// (case, scenario.cache_key(), options fingerprint, seed) was already
+// computed is served from memory — bitwise identical JSON, zero LP work —
+// and concurrent duplicates collapse to one computation (the second
+// submitter waits).
+//
+// Streaming: an optional per-submission callback fires as each job
+// finishes (serialized per submission; completion ORDER depends on
+// scheduling, job CONTENT does not).  The callback receives the
+// JobSummary — the serializable digest — rather than the full JobResult:
+// a cache hit has no PipelineResult to resurrect, and the summary is
+// exactly what the service can promise to reproduce bit for bit.  Do not
+// call back into the Service from the callback (it runs under the
+// submission's lock).
+//
+// Lifecycle: drain() stops intake and blocks until every accepted job has
+// finished (workers stay up); shutdown() drains, closes the queue, and
+// joins the pool.  The destructor shuts down.  Submissions after drain are
+// rejected (submit returns kRejected).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.h"
+#include "server/job_queue.h"
+#include "server/result_cache.h"
+#include "server/worker_pool.h"
+#include "util/thread_annotations.h"
+#include "util/timer.h"
+#include "xplain/case.h"
+
+namespace xplain::server {
+
+struct ServiceOptions {
+  /// Worker threads; <= 0 resolves via util::resolve_workers (one per
+  /// hardware thread unless XPLAIN_WORKERS overrides).
+  int workers = 0;
+  /// Job-queue bound (backpressure: submit blocks when full).
+  std::size_t queue_capacity = 256;
+  /// Jobs per rxloop batch dequeue.
+  std::size_t batch_size = 4;
+};
+
+struct ServiceStats {
+  long submissions = 0;
+  long jobs_submitted = 0;
+  long jobs_completed = 0;
+  long jobs_failed = 0;  // completed with ok = false (subset of completed)
+  /// A slot delivered twice would indicate a scheduling bug; the drain
+  /// test asserts this stays 0.
+  long duplicate_deliveries = 0;
+  long cache_hits = 0;
+  long cache_misses = 0;
+  long cache_inflight_waits = 0;
+  std::size_t cache_entries = 0;
+  /// Scenario instances this service constructed (once per unique
+  /// (case, scenario.cache_key()) across its lifetime — the resident
+  /// analogue of ExperimentResult::case_builds).
+  long case_builds = 0;
+};
+
+class Service {
+ public:
+  /// Fires per finished job, serialized per submission.  `from_cache` is
+  /// true when the summary was served without running the pipeline.
+  using JobCallback = std::function<void(const JobSummary&, bool from_cache)>;
+
+  explicit Service(const ServiceOptions& opts = {},
+                   CaseRegistry& reg = registry());
+  ~Service();  // shutdown()
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// submit() result when the service is draining / shut down.
+  static constexpr std::uint64_t kRejected = 0;
+
+  /// Enqueues the spec's full grid; returns a handle for wait(), or
+  /// kRejected after drain()/shutdown().  Blocks only for queue
+  /// backpressure.  The spec's `workers` field is ignored (the pool is the
+  /// service's); everything else — including reseed_jobs, run_generalizer,
+  /// grammar — behaves exactly as in Engine::run.
+  std::uint64_t submit(const ExperimentSpec& spec, JobCallback on_job = {})
+      XPLAIN_EXCLUDES(mu_);
+
+  /// Blocks until every job of `id` finished; returns the submission's
+  /// summary (jobs in grid order, trends mined like Engine::run does) and
+  /// releases the handle.  A second wait on the same id returns an empty
+  /// summary.
+  ExperimentSummary wait(std::uint64_t id) XPLAIN_EXCLUDES(mu_);
+
+  /// submit + wait.
+  ExperimentSummary run(const ExperimentSpec& spec, JobCallback on_job = {});
+
+  /// Stops intake and blocks until all accepted jobs finished.  Workers
+  /// stay resident (more submissions are still rejected).
+  void drain() XPLAIN_EXCLUDES(mu_);
+
+  /// drain() + close the queue + join the pool.  Idempotent.
+  void shutdown() XPLAIN_EXCLUDES(mu_);
+
+  ServiceStats stats() const XPLAIN_EXCLUDES(mu_);
+
+  int pool_size() const { return pool_size_; }
+
+ private:
+  struct Submission {
+    // Immutable after submit() registers the entry.
+    std::uint64_t id = 0;
+    ExperimentSpec spec;
+    std::vector<ExperimentJob> jobs;
+    JobCallback on_job;
+    util::Timer timer;
+
+    util::Mutex mu;
+    std::condition_variable_any done_cv;
+    std::vector<JobSummary> results XPLAIN_GUARDED_BY(mu);
+    std::vector<char> delivered XPLAIN_GUARDED_BY(mu);
+    int remaining XPLAIN_GUARDED_BY(mu) = 0;
+    double wall_seconds XPLAIN_GUARDED_BY(mu) = 0.0;
+  };
+
+  void run_job(const QueuedJob& q, int worker);
+  void deliver(Submission& sub, int index, const JobSummary& s,
+               bool from_cache) XPLAIN_EXCLUDES(mu_);
+  /// The service's resident case memo: one build per unique
+  /// (case, scenario.cache_key()), with in-flight dedup like the result
+  /// cache.  Never evicted (ROADMAP follow-on).
+  std::shared_ptr<const HeuristicCase> scenario_case(
+      const std::string& name, const scenario::ScenarioSpec& scen,
+      const std::string& scen_key) XPLAIN_EXCLUDES(case_mu_);
+
+  CaseRegistry* registry_;
+  const int pool_size_;
+  JobQueue queue_;
+  ResultCache cache_;
+  std::unique_ptr<WorkerPool> pool_;  // constructed last, joined first
+
+  mutable util::Mutex mu_;
+  std::condition_variable_any idle_cv_;  // pending_jobs_ hit 0
+  bool accepting_ XPLAIN_GUARDED_BY(mu_) = true;
+  std::uint64_t next_id_ XPLAIN_GUARDED_BY(mu_) = 1;
+  std::map<std::uint64_t, std::shared_ptr<Submission>> submissions_
+      XPLAIN_GUARDED_BY(mu_);
+  long pending_jobs_ XPLAIN_GUARDED_BY(mu_) = 0;
+  long submissions_total_ XPLAIN_GUARDED_BY(mu_) = 0;
+  long jobs_submitted_ XPLAIN_GUARDED_BY(mu_) = 0;
+  long jobs_completed_ XPLAIN_GUARDED_BY(mu_) = 0;
+  long jobs_failed_ XPLAIN_GUARDED_BY(mu_) = 0;
+  long duplicate_deliveries_ XPLAIN_GUARDED_BY(mu_) = 0;
+
+  struct CaseEntry {
+    bool ready = false;
+    std::shared_ptr<const HeuristicCase> c;
+  };
+  mutable util::Mutex case_mu_;
+  std::condition_variable_any case_ready_cv_;
+  std::map<std::pair<std::string, std::string>, CaseEntry> cases_
+      XPLAIN_GUARDED_BY(case_mu_);
+  long case_builds_ XPLAIN_GUARDED_BY(case_mu_) = 0;
+};
+
+}  // namespace xplain::server

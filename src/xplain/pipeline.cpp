@@ -1,6 +1,7 @@
 #include "xplain/pipeline.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "solver/lp.h"
 #include "util/logging.h"
@@ -54,6 +55,47 @@ PipelineOptions apply_seed_salt(PipelineOptions opts, std::uint64_t salt) {
   opts.subspace.significance.seed += salt;
   opts.explain.seed += salt;
   return opts;
+}
+
+std::string PipelineOptions::fingerprint() const {
+  // Doubles by bit pattern (the ScenarioSpec::cache_key idiom): printing
+  // would truncate and alias nearby values, breaking injectivity.
+  const auto bits = [](double v) {
+    std::uint64_t u = 0;
+    std::memcpy(&u, &v, sizeof(u));
+    return std::to_string(u);
+  };
+  const auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+  std::string f = "pf1";
+  f += ";mg=" + bits(min_gap);
+  f += ";salt=" + u64(seed_salt);
+  // Subspace generation (worker counts excluded; significance.workers is
+  // wall-clock-only by the slot-determinism contract).
+  f += ";s.bgf=" + bits(subspace.bad_gap_fraction);
+  f += ";s.dt=" + bits(subspace.density_threshold);
+  f += ";s.de=" + bits(subspace.dkw_eps);
+  f += ";s.dd=" + bits(subspace.dkw_delta);
+  f += ";s.ihw=" + bits(subspace.init_half_width_frac);
+  f += ";s.sf=" + bits(subspace.slice_frac);
+  f += ";s.mer=" + std::to_string(subspace.max_expansion_rounds);
+  f += ";s.t.md=" + std::to_string(subspace.tree.max_depth);
+  f += ";s.t.msl=" + std::to_string(subspace.tree.min_samples_leaf);
+  f += ";s.t.mt=" + std::to_string(subspace.tree.max_thresholds);
+  f += ";s.ts=" + std::to_string(subspace.tree_samples);
+  f += ";s.tif=" + bits(subspace.tree_inflate_frac);
+  f += ";s.sig.p=" + std::to_string(subspace.significance.pairs);
+  f += ";s.sig.pt=" + bits(subspace.significance.p_threshold);
+  f += ";s.sig.sh=" + bits(subspace.significance.shell_frac);
+  f += ";s.sig.seed=" + u64(subspace.significance.seed);
+  f += ";s.max=" + std::to_string(subspace.max_subspaces);
+  f += ";s.seed=" + u64(subspace.seed);
+  f += ";s.ki=" + std::to_string(subspace.keep_insignificant ? 1 : 0);
+  // Type-2 explanation sampling.
+  f += ";e.n=" + std::to_string(explain.samples);
+  f += ";e.eps=" + bits(explain.flow_eps);
+  f += ";e.seed=" + u64(explain.seed);
+  f += ";e.att=" + std::to_string(explain.attempts_per_sample);
+  return f;
 }
 
 StageTimes& StageTimes::operator+=(const StageTimes& o) {

@@ -38,6 +38,17 @@ struct PipelineOptions {
   /// Passed to HeuristicCase::make_analyzer to decorrelate stochastic
   /// analyzers; run_batch overwrites it per instance (from the index).
   std::uint64_t seed_salt = 0;
+
+  /// Stable, injective serialization of every knob that can change a
+  /// pipeline's RESULT (gaps, subspaces, explanations, trends feed) —
+  /// thresholds, budgets, and seeds, with doubles encoded by bit pattern.
+  /// Worker-count fields are deliberately excluded: the parallel
+  /// determinism contract (util/parallel.h) makes them wall-clock-only.
+  /// This is the options leg of the server's result-cache key
+  /// ((case, scenario.cache_key(), fingerprint)); two options values that
+  /// could produce different results must never share a fingerprint, and
+  /// the version prefix changes whenever a result-bearing knob is added.
+  std::string fingerprint() const;
 };
 
 /// Per-stage wall-clock breakdown of one pipeline run, plus the LP solver

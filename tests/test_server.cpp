@@ -1,0 +1,406 @@
+// Resident explanation service: job-queue FIFO/close/backpressure
+// semantics, result-cache round-trip + in-flight dedup, and the Service
+// acceptance criteria — a repeated submission is served bitwise identical
+// from cache with ZERO new LP work, results match Engine::run for any pool
+// size, and drain-under-load neither loses nor duplicates a job.  Runs
+// under TSan in CI with XPLAIN_WORKERS=4.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "scenario/spec.h"
+#include "server/job_queue.h"
+#include "server/result_cache.h"
+#include "server/service.h"
+#include "solver/lp.h"
+
+using namespace xplain;
+using server::JobQueue;
+using server::QueuedJob;
+using server::ResultCache;
+using server::Service;
+using server::ServiceOptions;
+using server::ServiceStats;
+
+namespace {
+
+scenario::ScenarioSpec line(int n) {
+  scenario::ScenarioSpec s;
+  s.kind = scenario::TopologyKind::kLine;
+  s.size = n;
+  return s;
+}
+
+/// A cheap 6-job grid (two VBP-ish cases x three line sizes) with the
+/// pipeline knobs turned down — the same shape test_engine sweeps.
+ExperimentSpec small_grid() {
+  ExperimentSpec spec;
+  spec.cases = {"first_fit", "demand_pinning_chain"};
+  spec.scenarios = {line(3), line(4), line(5)};
+  spec.options.min_gap = 1.0;
+  spec.options.subspace.max_subspaces = 1;
+  spec.options.subspace.tree_samples = 60;
+  spec.options.subspace.significance.pairs = 30;
+  spec.options.subspace.significance.p_threshold = 0.5;
+  spec.options.explain.samples = 40;
+  spec.grammar.p_threshold = 0.5;
+  return spec;
+}
+
+std::string job_json(const JobSummary& s) { return s.to_json_value().dump(0); }
+
+/// Wall time is the one legitimately nondeterministic field of a FRESH
+/// run; zero it when comparing service output against Engine output.
+ExperimentSummary scrub_wall(ExperimentSummary s) {
+  s.wall_seconds = 0.0;
+  for (JobSummary& j : s.jobs) j.wall_seconds = 0.0;
+  return s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- JobQueue
+
+TEST(JobQueue, FifoAcrossBatchDequeues) {
+  JobQueue q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push({1, i}));
+  EXPECT_EQ(q.size(), 5u);
+
+  // pop_batch clears the (reusable per-worker) output vector each call.
+  std::vector<QueuedJob> batch;
+  ASSERT_EQ(q.pop_batch(&batch, 2), 2u);
+  EXPECT_EQ(batch[0].index, 0);
+  EXPECT_EQ(batch[1].index, 1);
+  ASSERT_EQ(q.pop_batch(&batch, 8), 3u);  // drains the rest
+  ASSERT_EQ(batch.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(batch[i].index, 2 + i) << "slot " << i;
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(JobQueue, CloseDrainsThenSignalsEnd) {
+  JobQueue q(4);
+  ASSERT_TRUE(q.push({1, 0}));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push({1, 1})) << "push after close must be refused";
+
+  // Residual jobs still drain; only then does pop_batch report the end.
+  std::vector<QueuedJob> batch;
+  ASSERT_EQ(q.pop_batch(&batch, 4), 1u);
+  EXPECT_EQ(batch[0].index, 0);
+  EXPECT_EQ(q.pop_batch(&batch, 4), 0u);
+}
+
+TEST(JobQueue, BackpressureProducerUnblocksOnConsumeOrClose) {
+  JobQueue q(1);
+  ASSERT_TRUE(q.push({1, 0}));  // full
+
+  std::atomic<int> second_push{-1};  // -1 pending, 1 accepted, 0 refused
+  std::thread producer(
+      [&] { second_push.store(q.push({1, 1}) ? 1 : 0); });
+  std::vector<QueuedJob> batch;
+  ASSERT_EQ(q.pop_batch(&batch, 1), 1u);  // frees the slot
+  producer.join();
+  EXPECT_EQ(second_push.load(), 1);
+  ASSERT_EQ(q.pop_batch(&batch, 1), 1u);
+  EXPECT_EQ(batch[0].index, 1);
+
+  // A producer stuck on a full queue is released (with failure) by close.
+  ASSERT_TRUE(q.push({1, 2}));
+  std::atomic<int> third_push{-1};
+  std::thread blocked(
+      [&] { third_push.store(q.push({1, 3}) ? 1 : 0); });
+  q.close();
+  blocked.join();
+  EXPECT_EQ(third_push.load(), 0);
+}
+
+// -------------------------------------------------------------- ResultCache
+
+TEST(ResultCache, MissFulfillHitReplaysTheExactJson) {
+  ResultCache cache;
+  const std::string key = ResultCache::key(
+      "wcmp", "fat_tree_k4_s1", "pf1:deadbeef", 0xFEEDFACECAFEBEEFull);
+
+  JobSummary s;
+  s.case_name = "wcmp";
+  s.scenario = "fat_tree_k4_s1";
+  s.ok = true;
+  s.subspaces = 2;
+  s.significant = 1;
+  s.best_gap_found = 0.3251;
+  s.gap_scale = 2.0;
+  s.wall_seconds = 1.25;
+  s.lp_solves = 17;
+  s.features["pinned_sp_hops"] = 3.0;
+  s.seed = 0xFEEDFACECAFEBEEFull;  // above 2^53: exercises the string path
+  s.options_fingerprint = "pf1:deadbeef";
+
+  JobSummary out;
+  ASSERT_FALSE(cache.lookup_or_claim(key, &out)) << "first lookup is a miss";
+  cache.fulfill(key, s);
+  ASSERT_TRUE(cache.lookup_or_claim(key, &out));
+  // The cache serves through the exact to_json_value/from_json_value
+  // round-trip — the replay is bitwise identical, wall clock included.
+  EXPECT_EQ(job_json(out), job_json(s));
+  EXPECT_TRUE(out == s);
+
+  const ResultCache::Stats cs = cache.stats();
+  EXPECT_EQ(cs.hits, 1);
+  EXPECT_EQ(cs.misses, 1);
+  EXPECT_EQ(cs.entries, 1u);
+}
+
+TEST(ResultCache, SecondSubmitterWaitsForTheInflightOwner) {
+  ResultCache cache;
+  const std::string key = ResultCache::key("c", "s", "pf", 7);
+  JobSummary mine;
+  ASSERT_FALSE(cache.lookup_or_claim(key, &mine));  // we own the claim
+
+  std::atomic<bool> looking{false};
+  JobSummary theirs;
+  std::atomic<bool> their_hit{false};
+  std::thread waiter([&] {
+    looking.store(true);
+    JobSummary got;
+    their_hit.store(cache.lookup_or_claim(key, &got));
+    theirs = got;  // joined before read below
+  });
+  while (!looking.load()) std::this_thread::yield();
+
+  JobSummary s;
+  s.case_name = "c";
+  s.ok = true;
+  s.best_gap_found = 1.5;
+  cache.fulfill(key, s);
+  waiter.join();
+  EXPECT_TRUE(their_hit.load()) << "the waiter must be served the result";
+  EXPECT_EQ(job_json(theirs), job_json(s));
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST(ResultCache, AbandonReopensTheKey) {
+  ResultCache cache;
+  const std::string key = ResultCache::key("c", "", "pf", 1);
+  JobSummary out;
+  ASSERT_FALSE(cache.lookup_or_claim(key, &out));
+  cache.abandon(key);  // e.g. the job failed — failures are not cached
+  ASSERT_FALSE(cache.lookup_or_claim(key, &out)) << "key is claimable again";
+  JobSummary s;
+  s.case_name = "c";
+  s.ok = true;
+  cache.fulfill(key, s);
+  EXPECT_TRUE(cache.lookup_or_claim(key, &out));
+  const ResultCache::Stats cs = cache.stats();
+  EXPECT_EQ(cs.misses, 2);
+  EXPECT_EQ(cs.hits, 1);
+  EXPECT_EQ(cs.entries, 1u);
+}
+
+// ------------------------------------------------------------------ Service
+
+TEST(Service, RepeatSubmissionIsBitwiseCachedWithZeroNewLpWork) {
+  const ExperimentSpec spec = small_grid();
+  const int n = static_cast<int>(Engine().expand(spec).size());
+  ASSERT_EQ(n, 6);
+
+  // Reference: a service that answers the grid ONCE.  Measured across
+  // construction..destruction on this thread: the pool join flushes every
+  // worker's thread-inclusive LP tallies, so the delta is exact.
+  const solver::LpCounters before_once = solver::lp_counters();
+  {
+    ServiceOptions o;
+    o.workers = 2;
+    Service svc(o);
+    const ExperimentSummary s = svc.run(spec);
+    ASSERT_EQ(s.jobs.size(), static_cast<std::size_t>(n));
+  }
+  const long solves_once =
+      solver::lp_counters().solves - before_once.solves;
+  ASSERT_GT(solves_once, 0);
+
+  // The submission under test answers the same grid TWICE.
+  const solver::LpCounters before_twice = solver::lp_counters();
+  std::vector<std::string> first_json(n), second_json(n);
+  ServiceStats stats;
+  {
+    ServiceOptions o;
+    o.workers = 2;
+    Service svc(o);
+    std::atomic<int> fresh{0}, cached{0};
+    const ExperimentSummary s1 =
+        svc.run(spec, [&](const JobSummary&, bool from_cache) {
+          (from_cache ? cached : fresh).fetch_add(1);
+        });
+    for (int i = 0; i < n; ++i) first_json[i] = job_json(s1.jobs[i]);
+    EXPECT_EQ(fresh.load(), n);
+    EXPECT_EQ(cached.load(), 0);
+
+    const ExperimentSummary s2 =
+        svc.run(spec, [&](const JobSummary& j, bool from_cache) {
+          EXPECT_TRUE(from_cache) << "job " << j.index;
+        });
+    for (int i = 0; i < n; ++i) second_json[i] = job_json(s2.jobs[i]);
+    // Trends are re-mined from identical job digests: identical too.
+    EXPECT_TRUE(scrub_wall(s1) == scrub_wall(s2));
+    ASSERT_EQ(s1.trends.size(), s2.trends.size());
+
+    stats = svc.stats();
+  }
+  const long solves_twice =
+      solver::lp_counters().solves - before_twice.solves;
+
+  // The replay is byte-for-byte what the first round emitted — including
+  // the cached wall_seconds, which the cache preserves by design.
+  for (int i = 0; i < n; ++i)
+    EXPECT_EQ(first_json[i], second_json[i]) << "job " << i;
+  EXPECT_EQ(stats.cache_hits, n);
+  EXPECT_EQ(stats.cache_misses, n);
+  EXPECT_EQ(stats.cache_entries, static_cast<std::size_t>(n));
+  EXPECT_EQ(stats.jobs_completed, 2 * n);
+  EXPECT_EQ(stats.duplicate_deliveries, 0);
+  // Each (case, scenario) instance was constructed once, not once per job
+  // or per submission.
+  EXPECT_EQ(stats.case_builds, n);
+  // The acceptance criterion: the cached round added NOTHING to the LP
+  // tally — running the grid twice cost exactly one grid of solves.
+  EXPECT_EQ(solves_twice, solves_once);
+}
+
+TEST(Service, MatchesEngineBitwiseForAnyPoolSize) {
+  ExperimentSpec spec = small_grid();
+  spec.workers = 1;
+  const ExperimentSummary reference = scrub_wall(Engine().run(spec).summary());
+  ASSERT_GE(reference.jobs.size(), 6u);
+  for (const JobSummary& j : reference.jobs)
+    ASSERT_TRUE(j.ok) << j.case_name << "@" << j.scenario << ": " << j.error;
+
+  for (const int pool : {1, 2, 4}) {
+    ServiceOptions o;
+    o.workers = pool;
+    Service svc(o);
+    EXPECT_EQ(svc.pool_size(), pool);
+    // The spec's own workers field is the ENGINE's knob; the service pool
+    // is fixed at construction and must not change job content either way.
+    spec.workers = 7;
+    const ExperimentSummary got = scrub_wall(svc.run(spec));
+    ASSERT_EQ(got.jobs.size(), reference.jobs.size()) << "pool " << pool;
+    for (std::size_t i = 0; i < reference.jobs.size(); ++i) {
+      EXPECT_EQ(job_json(got.jobs[i]), job_json(reference.jobs[i]))
+          << "pool " << pool << " job " << i;
+    }
+    EXPECT_TRUE(got == reference) << "pool " << pool;
+    EXPECT_EQ(got.trends.size(), reference.trends.size());
+    EXPECT_EQ(got.observations, reference.observations);
+    EXPECT_EQ(got.lp_solves, reference.lp_solves);
+    EXPECT_EQ(got.lp_iterations, reference.lp_iterations);
+  }
+}
+
+TEST(Service, DrainUnderLoadLosesAndDuplicatesNothing) {
+  ServiceOptions o;
+  o.workers = 4;
+  o.queue_capacity = 4;  // small bound: submit exercises backpressure
+  o.batch_size = 2;
+  Service svc(o);
+
+  // Three submissions with distinct experiment seeds: distinct content
+  // (reseed_jobs salts every job from spec.seed), so the cache cannot
+  // collapse the load away.
+  const int kSubs = 3;
+  std::vector<std::uint64_t> ids;
+  // Per-slot delivery tallies.  Writes happen in the callback (serialized
+  // under the submission's lock); the reads below happen only after
+  // drain() returns, which orders after every delivery via the service
+  // mutex — plain ints are TSan-clean here.
+  std::vector<std::vector<int>> delivered(kSubs);
+  int jobs_per_sub = 0;
+  for (int s = 0; s < kSubs; ++s) {
+    ExperimentSpec spec = small_grid();
+    spec.seed = 1000 + s;
+    jobs_per_sub = static_cast<int>(Engine().expand(spec).size());
+    auto& counts = delivered[s];
+    counts.assign(jobs_per_sub, 0);
+    const std::uint64_t id =
+        svc.submit(spec, [&counts](const JobSummary& j, bool) {
+          ++counts[j.index];
+        });
+    ASSERT_NE(id, Service::kRejected);
+    ids.push_back(id);
+  }
+
+  // Drain while the grids are in flight: it must block until every
+  // accepted job is delivered, then reject new intake.
+  svc.drain();
+  ExperimentSpec late = small_grid();
+  EXPECT_EQ(svc.submit(late), Service::kRejected);
+
+  for (int s = 0; s < kSubs; ++s)
+    for (int i = 0; i < jobs_per_sub; ++i)
+      EXPECT_EQ(delivered[s][i], 1)
+          << "submission " << s << " slot " << i;
+
+  // wait() after drain still serves the finished submissions, complete
+  // and in grid order.
+  for (int s = 0; s < kSubs; ++s) {
+    const ExperimentSummary sum = svc.wait(ids[s]);
+    ASSERT_EQ(sum.jobs.size(), static_cast<std::size_t>(jobs_per_sub));
+    for (int i = 0; i < jobs_per_sub; ++i) {
+      EXPECT_EQ(sum.jobs[i].index, i);
+      EXPECT_TRUE(sum.jobs[i].ok) << sum.jobs[i].error;
+    }
+  }
+
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.jobs_submitted, kSubs * jobs_per_sub);
+  EXPECT_EQ(stats.jobs_completed, kSubs * jobs_per_sub);
+  EXPECT_EQ(stats.jobs_failed, 0);
+  EXPECT_EQ(stats.duplicate_deliveries, 0);
+}
+
+TEST(Service, UnknownCaseFailsLoudlyAndIsNeverCached) {
+  ExperimentSpec spec;
+  spec.cases = {"first_fit", "no_such_case"};
+  spec.scenarios = {line(3)};
+  spec.options.min_gap = 1.0;
+  spec.options.subspace.max_subspaces = 1;
+  spec.options.subspace.tree_samples = 60;
+  spec.options.subspace.significance.pairs = 30;
+  spec.options.explain.samples = 40;
+
+  ServiceOptions o;
+  o.workers = 2;
+  Service svc(o);
+  const ExperimentSummary s1 = svc.run(spec);
+  ASSERT_EQ(s1.jobs.size(), 2u);
+  EXPECT_TRUE(s1.jobs[0].ok);
+  EXPECT_FALSE(s1.jobs[1].ok);
+  EXPECT_EQ(s1.jobs[1].error, "unknown case");  // Engine's exact wording
+
+  // Resubmit: the ok job hits, the failed one is recomputed (failures are
+  // not cached — a transient condition must not be sticky).
+  const ExperimentSummary s2 = svc.run(spec);
+  EXPECT_FALSE(s2.jobs[1].ok);
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.cache_hits, 1);
+  EXPECT_EQ(stats.cache_misses, 3);
+  EXPECT_EQ(stats.cache_entries, 1u);
+  EXPECT_EQ(stats.jobs_failed, 2);
+}
+
+TEST(Service, ShutdownIsIdempotentAndTerminal) {
+  ServiceOptions o;
+  o.workers = 2;
+  Service svc(o);
+  EXPECT_TRUE(svc.wait(42).jobs.empty()) << "unknown handle: empty summary";
+  svc.shutdown();
+  svc.shutdown();  // second call is a no-op
+  ExperimentSpec spec = small_grid();
+  EXPECT_EQ(svc.submit(spec), Service::kRejected);
+  EXPECT_TRUE(svc.run(spec).jobs.empty());
+  // The destructor's shutdown() is then also a no-op.
+}

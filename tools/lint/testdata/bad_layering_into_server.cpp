@@ -1,0 +1,13 @@
+// lint-as: src/engine/bad_layering_into_server.cpp
+// Known-bad corpus: a lower layer including the resident service.  The
+// engine (rank 13) is the service's substrate, not its client — an upward
+// include would make the job path depend on the queue/cache machinery that
+// wraps it.
+#include "server/service.h"   // expect-lint: layering
+#include "xplain/pipeline.h"  // downward: OK
+
+namespace xplain::engine_bad {
+
+int calls_back_up_into_the_service() { return 0; }
+
+}  // namespace xplain::engine_bad

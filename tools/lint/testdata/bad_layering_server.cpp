@@ -1,0 +1,15 @@
+// lint-as: src/server/bad_layering_server.cpp
+// Known-bad corpus: the service layer reaching into a concrete case study.
+// server sits at the top of the rank order, so only the explicit
+// SERVER_FORBIDDEN ban catches this — the service must stay as
+// heuristic-agnostic as the engine and resolve cases through the
+// CaseRegistry at runtime.
+#include "cases/ff_case.h"    // expect-lint: layering
+#include "engine/engine.h"    // downward: OK
+#include "xplain/case.h"      // downward: OK (the registry interface)
+
+namespace xplain::server_bad {
+
+int builds_a_concrete_case() { return 0; }
+
+}  // namespace xplain::server_bad

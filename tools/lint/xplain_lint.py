@@ -78,6 +78,7 @@ LAYER_RANK = {
     "generalize": 12,
     "engine": 13,
     "cases": 13,
+    "server": 14,
 }
 
 # Core layers stay case-agnostic: the rank order alone would let analyzer
@@ -86,7 +87,12 @@ LAYER_RANK = {
 CORE_DIRS = {"analyzer", "subspace", "explain", "flowgraph", "model",
              "solver", "stats", "util"}
 DOMAIN_DIRS = {"te", "vbp", "lb", "scenario", "cases", "generalize",
-               "xplain", "engine"}
+               "xplain", "engine", "server"}
+# The service sits above the engine but stays heuristic-agnostic exactly
+# the way the engine does: cases are driven through the CaseRegistry at
+# runtime, never via an include.  Rank alone cannot enforce this (cases is
+# rank 13, below server's 14), so the ban is explicit.
+SERVER_FORBIDDEN = {"cases"}
 # src/xplain is core too, with two sanctioned exceptions: compat.h (the
 # deprecated shim header whose signatures need te/vbp types) and
 # scenario/spec.h (the dependency-free ScenarioSpec POD).
@@ -96,7 +102,7 @@ XPLAIN_ALLOWED_INCLUDES = {"scenario/spec.h"}
 # Layers where container iteration order reaches results, serialized output
 # or Type-3 feature vectors: any std::unordered_* use is banned here.
 RESULT_DIRS = {"analyzer", "stats", "subspace", "explain", "xplain",
-               "generalize", "engine", "cases"}
+               "generalize", "engine", "cases", "server"}
 
 # The sanctioned RNG wrapper sources (the only place entropy may enter).
 RANDOM_WRAPPER = re.compile(r"src/util/random\.(h|cpp)$")
@@ -259,6 +265,11 @@ def lint_file(virtual_path, text):
                         f'src/xplain must not include "{inc}" — the core '
                         "pipeline stays case-agnostic (compat.h and "
                         "scenario/spec.h are the sanctioned exceptions)")
+                elif layer == "server" and inc_dir in SERVER_FORBIDDEN:
+                    add(i, "layering",
+                        f'src/server must not include "{inc}" — the service '
+                        "drives cases through the CaseRegistry at runtime, "
+                        "exactly like the engine")
                 elif layer in CORE_DIRS and inc_dir in DOMAIN_DIRS:
                     add(i, "layering",
                         f'src/{layer} (core) must not include "{inc}" — '

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""xplain_client: submit experiment grids to a running xplaind and tail the
+result stream.
+
+xplaind speaks newline-delimited JSON on stdin/stdout (see tools/xplaind.cpp
+and the README's "Explanation as a service" section).  This client spawns
+the daemon (or talks to any command given via --daemon), submits the same
+spec --repeat times, verifies the protocol invariants, and prints a
+per-submission digest:
+
+  * one "job" event per grid cell plus a final "done" summary,
+  * on repeat submissions, every job served from cache with job JSON
+    bitwise identical to the first round's (the content-addressed cache's
+    exact util/json round-trip makes that a hard guarantee, not a hope).
+
+Examples:
+  # two cases x one scenario, submitted twice (second round: all hits)
+  tools/xplain_client.py --daemon build/xplaind \\
+      --case first_fit --case demand_pinning_chain \\
+      --scenario kind=line,size=3,seed=1 --repeat 2
+
+  # pass a full spec document instead of flags
+  tools/xplain_client.py --daemon build/xplaind --spec-json spec.json
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def parse_scenario(text):
+    """'kind=line,size=3,seed=1,capacity=35' -> scenario spec object."""
+    scen = {}
+    for part in text.split(","):
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if key == "kind":
+            scen[key] = value
+        elif key in ("size", "seed"):
+            scen[key] = int(value)
+        elif key in ("capacity", "waxman_alpha", "waxman_beta"):
+            scen[key] = float(value)
+        else:
+            raise ValueError(f"unknown scenario field {key!r}")
+    return scen
+
+
+def build_spec(args):
+    if args.spec_json:
+        with open(args.spec_json, encoding="utf-8") as f:
+            return json.load(f)
+    if not args.case:
+        raise SystemExit("need --case (or --spec-json)")
+    spec = {"cases": args.case, "seed": args.seed}
+    if args.scenario:
+        spec["scenarios"] = [parse_scenario(s) for s in args.scenario]
+    options = {}
+    if args.min_gap is not None:
+        options["min_gap"] = args.min_gap
+    if args.max_subspaces is not None:
+        options.setdefault("subspace", {})["max_subspaces"] = \
+            args.max_subspaces
+    if args.explain_samples is not None:
+        options.setdefault("explain", {})["samples"] = args.explain_samples
+    if options:
+        spec["options"] = options
+    return spec
+
+
+class Daemon:
+    """One xplaind process; request/response over NDJSON pipes."""
+
+    def __init__(self, argv):
+        self.proc = subprocess.Popen(
+            argv, stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True)
+
+    def request(self, obj):
+        self.proc.stdin.write(json.dumps(obj) + "\n")
+        self.proc.stdin.flush()
+
+    def events(self):
+        for line in self.proc.stdout:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+    def close(self):
+        try:
+            self.request({"op": "shutdown"})
+        except (BrokenPipeError, ValueError):
+            pass
+        self.proc.stdin.close()
+        self.proc.wait(timeout=120)
+
+
+def submit_and_tail(daemon, events, spec, request_id, verbose):
+    """Submits once; returns (job_json_lines_by_index, done_event)."""
+    daemon.request({"op": "submit", "id": request_id, "spec": spec})
+    jobs = {}
+    cached = 0
+    for ev in events:
+        kind = ev.get("event")
+        if kind == "error":
+            raise SystemExit(f"xplaind error: {ev.get('message')}")
+        if kind == "accepted":
+            continue
+        if kind == "job":
+            job = ev["job"]
+            # Canonical re-dump with sorted=False keeps the daemon's member
+            # order — identity is compared on this exact serialization.
+            jobs[job["index"]] = json.dumps(job)
+            cached += 1 if ev.get("cached") else 0
+            if verbose:
+                status = "cache" if ev.get("cached") else "fresh"
+                print(f"  job {job['index']:3d} [{status}] "
+                      f"{job['case']}@{job.get('scenario') or 'default'} "
+                      f"gap={job.get('best_gap_found', 0):.4g}")
+            continue
+        if kind == "done":
+            ev["_cached_jobs"] = cached
+            return jobs, ev
+    raise SystemExit("xplaind stream ended before the done event")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--daemon", default="build/xplaind", nargs="+",
+                    help="xplaind command (default: build/xplaind)")
+    ap.add_argument("--case", action="append", default=[],
+                    help="case name (repeatable)")
+    ap.add_argument("--scenario", action="append", default=[],
+                    help="scenario as k=v pairs, e.g. kind=line,size=3,seed=1"
+                         " (repeatable)")
+    ap.add_argument("--seed", type=int, default=0, help="experiment seed")
+    ap.add_argument("--min-gap", type=float, default=None)
+    ap.add_argument("--max-subspaces", type=int, default=None)
+    ap.add_argument("--explain-samples", type=int, default=None)
+    ap.add_argument("--spec-json", default=None,
+                    help="file with a full spec object (overrides flags)")
+    ap.add_argument("--repeat", type=int, default=1,
+                    help="submit the same spec N times (default 1)")
+    ap.add_argument("-q", "--quiet", action="store_true",
+                    help="suppress per-job lines")
+    args = ap.parse_args()
+
+    spec = build_spec(args)
+    daemon = Daemon(args.daemon)
+    events = daemon.events()
+    status = 0
+    first_jobs = None
+    try:
+        for round_no in range(1, args.repeat + 1):
+            print(f"submission {round_no}/{args.repeat}:")
+            jobs, done = submit_and_tail(
+                daemon, events, spec, round_no, not args.quiet)
+            stats = done.get("stats", {})
+            print(f"  done: {done.get('jobs')} jobs, "
+                  f"{done['_cached_jobs']} from cache "
+                  f"(service totals: hits={stats.get('cache_hits')}, "
+                  f"misses={stats.get('cache_misses')}, "
+                  f"case_builds={stats.get('case_builds')})")
+            if first_jobs is None:
+                first_jobs = jobs
+                continue
+            # Repeat rounds: every job must hit the cache and replay the
+            # identical JSON.
+            mismatched = [i for i, line in jobs.items()
+                          if first_jobs.get(i) != line]
+            if mismatched:
+                print(f"  FAIL: job JSON diverged from round 1 at indices "
+                      f"{mismatched}", file=sys.stderr)
+                status = 1
+            elif done["_cached_jobs"] != len(jobs):
+                print(f"  FAIL: only {done['_cached_jobs']}/{len(jobs)} "
+                      f"jobs served from cache", file=sys.stderr)
+                status = 1
+            else:
+                print(f"  repeat OK: {len(jobs)} jobs bitwise identical, "
+                      f"all from cache")
+    finally:
+        daemon.close()
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
