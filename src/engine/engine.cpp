@@ -56,14 +56,22 @@ PipelineOptions derived_job_options(const ExperimentSpec& spec, int index,
                                     std::uint64_t* seed_out) {
   // Every job's RNG streams derive purely from (spec seed, base options,
   // grid index): decorrelated across jobs and experiments, identical for
-  // any worker count.
+  // any worker count.  With an option axis the variant is recovered from
+  // the index alone (variants are the innermost expand() loop), keeping
+  // this a pure function of (spec, index) — the contract the server's
+  // worker pool replays jobs through.
+  const std::size_t n_variants = spec.option_variants.size();
+  const PipelineOptions& base =
+      n_variants == 0
+          ? spec.options
+          : spec.option_variants[static_cast<std::size_t>(index) % n_variants];
   if (!spec.reseed_jobs) {
-    if (seed_out) *seed_out = spec.options.seed_salt;
-    return spec.options;
+    if (seed_out) *seed_out = base.seed_salt;
+    return base;
   }
   const std::uint64_t salt = util::Rng::derive_seed(spec.seed, index + 1);
   if (seed_out) *seed_out = salt;
-  return apply_seed_salt(spec.options, salt);
+  return apply_seed_salt(base, salt);
 }
 
 bool JobSummary::operator==(const JobSummary& o) const {
@@ -299,24 +307,32 @@ ExperimentSummary ExperimentResult::summary() const {
 }
 
 std::vector<ExperimentJob> Engine::expand(const ExperimentSpec& spec) const {
+  // Variants are the INNERMOST axis so derived_job_options can recover the
+  // variant as index % n_variants without seeing the job list.
+  const int n_variants =
+      std::max(1, static_cast<int>(spec.option_variants.size()));
+  const bool has_variants = !spec.option_variants.empty();
   std::vector<ExperimentJob> jobs;
   jobs.reserve(spec.cases.size() *
-               std::max<std::size_t>(1, spec.scenarios.size()));
+               std::max<std::size_t>(1, spec.scenarios.size()) *
+               static_cast<std::size_t>(n_variants));
+  const auto push_cell = [&](const std::string& name,
+                             const scenario::ScenarioSpec* scen) {
+    for (int v = 0; v < n_variants; ++v) {
+      ExperimentJob job;
+      job.case_name = name;
+      if (scen) job.scenario = *scen;
+      job.index = static_cast<int>(jobs.size());
+      if (has_variants) job.option_index = v;
+      jobs.push_back(std::move(job));
+    }
+  };
   for (const auto& name : spec.cases) {
     if (spec.scenarios.empty()) {
-      ExperimentJob job;
-      job.case_name = name;
-      job.index = static_cast<int>(jobs.size());
-      jobs.push_back(std::move(job));
+      push_cell(name, nullptr);
       continue;
     }
-    for (const auto& scen : spec.scenarios) {
-      ExperimentJob job;
-      job.case_name = name;
-      job.scenario = scen;
-      job.index = static_cast<int>(jobs.size());
-      jobs.push_back(std::move(job));
-    }
+    for (const auto& scen : spec.scenarios) push_cell(name, &scen);
   }
   return jobs;
 }

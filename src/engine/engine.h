@@ -55,6 +55,15 @@ struct ExperimentSpec {
   std::vector<scenario::ScenarioSpec> scenarios;
   /// Per-job pipeline configuration (seeds are re-derived per job).
   PipelineOptions options;
+  /// Optional third grid axis (the ROADMAP's "pipeline-option sweeps"):
+  /// when non-empty the grid is cases x scenarios x these variants —
+  /// variants INNERMOST, so a job's variant is index % option_variants.size()
+  /// and derived_job_options stays a pure function of (spec, index) — and
+  /// `options` above is ignored.  Each variant's fingerprint() already
+  /// disambiguates result-cache keys.  This is how ablation sweeps (sample
+  /// budgets, significance thresholds, analyzer on/off) and the fuzzer's
+  /// cheap-probe-then-deep-run split ride one Engine grid.
+  std::vector<PipelineOptions> option_variants;
   /// Experiment-level seed, folded into every job's RNG streams: two
   /// experiments differing only in seed are decorrelated replications.
   std::uint64_t seed = 0;
@@ -81,13 +90,20 @@ struct ExperimentJob {
   std::optional<scenario::ScenarioSpec> scenario;
   /// Position in the expanded grid (drives the job's derived seeds).
   int index = 0;
+  /// Position in spec.option_variants; -1 when the spec's single `options`
+  /// value applies (no option axis).
+  int option_index = -1;
 
   /// "wcmp@fat_tree_k4_s1" / "demand_pinning@default".  Uses the spec's
   /// display_name(), which appends capacity / Waxman suffixes when they
   /// differ from the defaults — grid cells that differ only in those
-  /// fields keep distinct labels (e.g. "...@line_n2_s1_c35").
+  /// fields keep distinct labels (e.g. "...@line_n2_s1_c35").  Option-axis
+  /// cells get a "#o<variant>" suffix for the same reason.
   std::string label() const {
-    return case_name + "@" + (scenario ? scenario->display_name() : "default");
+    std::string l =
+        case_name + "@" + (scenario ? scenario->display_name() : "default");
+    if (option_index >= 0) l += "#o" + std::to_string(option_index);
+    return l;
   }
 };
 
@@ -205,7 +221,8 @@ class Engine {
   /// deterministic content).
   using JobCallback = std::function<void(const JobResult&)>;
 
-  /// The (case x scenario) grid in its canonical order.
+  /// The (case x scenario x option-variant) grid in its canonical order:
+  /// cases outer, scenarios inner, option variants innermost.
   std::vector<ExperimentJob> expand(const ExperimentSpec& spec) const;
 
   /// Runs the experiment.  Bitwise-deterministic for any worker count.

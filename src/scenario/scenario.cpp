@@ -1,5 +1,6 @@
 #include "scenario/scenario.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <set>
@@ -115,16 +116,89 @@ std::vector<std::pair<int, int>> pick_pairs(const ScenarioSpec& spec,
   return pairs;
 }
 
+/// The spec's failure dimensions, applied to the healthy topology: remove
+/// `failed_links` physical (bidirectional) links — candidates drawn
+/// seed-deterministically from their own stream (index 2, disjoint from
+/// topology=0 and endpoints=1), accepting one only if the surviving graph
+/// stays connected, so shapes made of bridges (lines, stars) lose fewer or
+/// none — then scale every surviving capacity by `capacity_degradation`.
+/// The survivors are re-added in original link-id order, so the result is a
+/// pure function of the spec like everything else here.
+te::Topology apply_failures(te::Topology topo, const ScenarioSpec& spec) {
+  const bool degrade = spec.capacity_degradation != 1.0;
+  if ((spec.failed_links <= 0 && !degrade) || topo.num_nodes() == 0)
+    return topo;
+
+  // Physical links as normalized (lo, hi) node pairs, in first-seen order.
+  std::vector<std::pair<int, int>> phys;
+  std::set<std::pair<int, int>> seen;
+  for (const auto& l : topo.links()) {
+    const std::pair<int, int> p{std::min(l.from, l.to),
+                                std::max(l.from, l.to)};
+    if (seen.insert(p).second) phys.push_back(p);
+  }
+
+  std::set<std::pair<int, int>> failed;
+  if (spec.failed_links > 0) {
+    const int n = topo.num_nodes();
+    const auto connected_without = [&](const std::set<std::pair<int, int>>&
+                                           dead) {
+      std::vector<std::vector<int>> adj(n);
+      for (const auto& p : phys) {
+        if (dead.count(p)) continue;
+        adj[p.first].push_back(p.second);
+        adj[p.second].push_back(p.first);
+      }
+      std::vector<char> vis(n, 0);
+      std::vector<int> stack{0};
+      vis[0] = 1;
+      int reached = 1;
+      while (!stack.empty()) {
+        const int u = stack.back();
+        stack.pop_back();
+        for (const int v : adj[u])
+          if (!vis[v]) {
+            vis[v] = 1;
+            ++reached;
+            stack.push_back(v);
+          }
+      }
+      return reached == n;
+    };
+    util::Rng rng(util::Rng::derive_seed(spec.seed, /*index=*/2));
+    std::vector<std::pair<int, int>> order = phys;
+    rng.shuffle(order);
+    for (const auto& cand : order) {
+      if (static_cast<int>(failed.size()) >= spec.failed_links) break;
+      failed.insert(cand);
+      if (!connected_without(failed)) failed.erase(cand);
+    }
+  }
+
+  te::Topology out(topo.num_nodes());
+  for (const auto& l : topo.links()) {
+    const std::pair<int, int> p{std::min(l.from, l.to),
+                                std::max(l.from, l.to)};
+    if (failed.count(p)) continue;
+    out.add_link(l.from, l.to, l.capacity * spec.capacity_degradation);
+  }
+  return out;
+}
+
 }  // namespace
 
 te::Topology build_topology(const ScenarioSpec& spec) {
-  switch (spec.kind) {
-    case TopologyKind::kFatTree: return fat_tree(spec.size, spec.capacity);
-    case TopologyKind::kWaxman: return waxman(spec);
-    case TopologyKind::kLine: return te::Topology::line(spec.size, spec.capacity);
-    case TopologyKind::kStar: return star(spec.size, spec.capacity);
-  }
-  return te::Topology(0);
+  te::Topology healthy = [&] {
+    switch (spec.kind) {
+      case TopologyKind::kFatTree: return fat_tree(spec.size, spec.capacity);
+      case TopologyKind::kWaxman: return waxman(spec);
+      case TopologyKind::kLine:
+        return te::Topology::line(spec.size, spec.capacity);
+      case TopologyKind::kStar: return star(spec.size, spec.capacity);
+    }
+    return te::Topology(0);
+  }();
+  return apply_failures(std::move(healthy), spec);
 }
 
 te::TeInstance make_te_instance(const ScenarioSpec& spec, int num_pairs,

@@ -30,7 +30,10 @@
 
 namespace xplain::scenario {
 
-/// Builds the spec's topology (pure function of the spec).
+/// Builds the spec's topology (pure function of the spec), including its
+/// failure dimensions: `failed_links` non-bridge physical links removed
+/// seed-deterministically (the surviving graph stays connected) and every
+/// surviving capacity scaled by `capacity_degradation`.
 te::Topology build_topology(const ScenarioSpec& spec);
 
 /// A TE instance over the scenario: `num_pairs` distinct demand pairs

@@ -40,6 +40,14 @@ struct ScenarioSpec {
   double waxman_beta = 0.35;
   /// Seed for the randomized shapes AND for instance endpoint selection.
   std::uint64_t seed = 1;
+  /// Failure dimensions (the production what-if axis): fail this many
+  /// physical (bidirectional) links, chosen seed-deterministically among
+  /// non-bridge links so the surviving topology stays connected (shapes
+  /// where every link is a bridge — stars, lines — simply lose fewer or
+  /// none), and multiply every surviving link capacity by
+  /// `capacity_degradation` (a uniform brownout; 1.0 = healthy).
+  int failed_links = 0;
+  double capacity_degradation = 1.0;
 
   /// Corpus-stable label, e.g. "fat_tree_k4_s1" / "waxman_n12_s7".  The
   /// seed is always included — it selects instance endpoints for all kinds
@@ -68,6 +76,10 @@ struct ScenarioSpec {
          waxman_beta != defaults.waxman_beta))
       n += "_a" + compact_double(waxman_alpha) + "_b" +
            compact_double(waxman_beta);
+    if (failed_links != defaults.failed_links)
+      n += "_f" + std::to_string(failed_links);
+    if (capacity_degradation != defaults.capacity_degradation)
+      n += "_d" + compact_double(capacity_degradation);
     return n;
   }
 
@@ -87,6 +99,15 @@ struct ScenarioSpec {
     k += "_c" + bits(capacity);
     if (kind == TopologyKind::kWaxman)
       k += "_a" + bits(waxman_alpha) + "_b" + bits(waxman_beta);
+    // Failure fields joined the spec after the first committed baselines:
+    // appended only when non-default so every healthy spec keeps the exact
+    // key (and display name) it always had.  Still injective — the "_f"/"_d"
+    // markers cannot appear inside the fixed prefix structure.
+    const ScenarioSpec defaults{};
+    if (failed_links != defaults.failed_links)
+      k += "_f" + std::to_string(failed_links);
+    if (capacity_degradation != defaults.capacity_degradation)
+      k += "_d" + bits(capacity_degradation);
     return k;
   }
 

@@ -1,0 +1,74 @@
+#include "scenario/spec_json.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace xplain::scenario {
+
+namespace {
+
+using util::Json;
+
+double num_or(const Json& obj, const char* key, double dflt) {
+  const Json* v = obj.find(key);
+  return v && v->kind() == Json::Kind::kNumber ? v->as_num() : dflt;
+}
+
+std::uint64_t u64_or(const Json& obj, const char* key, std::uint64_t dflt) {
+  const Json* v = obj.find(key);
+  if (!v) return dflt;
+  if (v->kind() == Json::Kind::kNumber)
+    return static_cast<std::uint64_t>(v->as_num());
+  if (v->kind() == Json::Kind::kString) {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long u = std::strtoull(v->as_str().c_str(), &end, 10);
+    if (errno == 0 && end != v->as_str().c_str() && *end == '\0')
+      return static_cast<std::uint64_t>(u);
+  }
+  return dflt;
+}
+
+}  // namespace
+
+Json spec_to_json(const ScenarioSpec& spec) {
+  Json j = Json::object();
+  j.set("kind", to_string(spec.kind));
+  j.set("size", spec.size);
+  j.set("capacity", spec.capacity);
+  j.set("waxman_alpha", spec.waxman_alpha);
+  j.set("waxman_beta", spec.waxman_beta);
+  j.set("seed", std::to_string(spec.seed));
+  j.set("failed_links", spec.failed_links);
+  j.set("capacity_degradation", spec.capacity_degradation);
+  return j;
+}
+
+std::optional<ScenarioSpec> spec_from_json(const Json& v, std::string* err) {
+  const auto fail = [&](const std::string& message) {
+    if (err) *err = message;
+    return std::nullopt;
+  };
+  if (v.kind() != Json::Kind::kObject) return fail("scenario must be an object");
+  ScenarioSpec out;
+  const Json* kind = v.find("kind");
+  if (kind && kind->kind() == Json::Kind::kString) {
+    const std::string& k = kind->as_str();
+    if (k == "fat_tree") out.kind = TopologyKind::kFatTree;
+    else if (k == "waxman") out.kind = TopologyKind::kWaxman;
+    else if (k == "line") out.kind = TopologyKind::kLine;
+    else if (k == "star") out.kind = TopologyKind::kStar;
+    else return fail("unknown scenario kind \"" + k + "\"");
+  }
+  out.size = static_cast<int>(num_or(v, "size", out.size));
+  out.capacity = num_or(v, "capacity", out.capacity);
+  out.waxman_alpha = num_or(v, "waxman_alpha", out.waxman_alpha);
+  out.waxman_beta = num_or(v, "waxman_beta", out.waxman_beta);
+  out.seed = u64_or(v, "seed", out.seed);
+  out.failed_links = static_cast<int>(num_or(v, "failed_links", out.failed_links));
+  out.capacity_degradation =
+      num_or(v, "capacity_degradation", out.capacity_degradation);
+  return out;
+}
+
+}  // namespace xplain::scenario

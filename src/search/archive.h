@@ -1,0 +1,62 @@
+// The discovery archive — fuzzer output as a committed regression corpus.
+//
+// Each Discovery is one (case, scenario spec) pair whose cheap-probe gap
+// cleared the significance bar, together with the exact probe result
+// (`gap`, bitwise) and the options fingerprint it was measured under, so a
+// replay run can assert exact reproduction the way the committed bench
+// baselines do.  The archive keeps at most one entry per (case, coverage
+// bucket) — the incumbent with the largest normalized gap — and serializes
+// in a canonical order (case, then bucket) through util::Json with seeds as
+// decimal strings: two archives with equal content dump byte-for-byte equal
+// JSON no matter the insertion order, which is what the worker-count
+// determinism gate diffs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.h"
+#include "util/json.h"
+
+namespace xplain::search {
+
+struct Discovery {
+  std::string case_name;
+  scenario::ScenarioSpec spec;
+  /// Raw best analyzer gap under the probe options (bitwise replay target)
+  /// and the same normalized by the case's gap_scale().
+  double gap = 0.0;
+  double norm_gap = 0.0;
+  /// Coverage bucket key (search/coverage.h) the spec landed in.
+  std::string bucket;
+  /// Fuzzer generation that found it (0 = the seed corpus itself).
+  int generation = 0;
+  /// fingerprint() of the PipelineOptions `gap` was measured under.
+  std::string options_fingerprint;
+};
+
+class Archive {
+ public:
+  /// Inserts, keeping one entry per (case, bucket): an incoming duplicate
+  /// replaces the incumbent only with a strictly larger norm_gap.
+  void add(const Discovery& d);
+
+  /// Canonical (case, bucket) order regardless of insertion history.
+  const std::vector<Discovery>& discoveries() const { return entries_; }
+  int size() const { return static_cast<int>(entries_.size()); }
+
+  std::string to_json(int indent = 2) const;
+  static std::optional<Archive> from_json(const std::string& text,
+                                          std::string* err = nullptr);
+
+  /// Whole-file convenience wrappers (false / nullopt on I/O failure).
+  bool save(const std::string& path, int indent = 2) const;
+  static std::optional<Archive> load(const std::string& path,
+                                     std::string* err = nullptr);
+
+ private:
+  std::vector<Discovery> entries_;  // kept sorted by (case, bucket)
+};
+
+}  // namespace xplain::search

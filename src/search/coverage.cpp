@@ -1,0 +1,58 @@
+#include "search/coverage.h"
+
+#include <cmath>
+
+namespace xplain::search {
+
+int feature_bucket(double v) {
+  if (v == 0.0 || !std::isfinite(v)) return 0;
+  int e = 0;
+  std::frexp(std::fabs(v), &e);  // |v| in [2^(e-1), 2^e)
+  const int b = 2 * e + 1;       // odd: never collides with the zero bucket
+  return v > 0 ? b : -b;
+}
+
+std::string bucket_key(const std::string& case_name,
+                       const FeatureMap& features) {
+  std::string key = case_name;
+  for (const auto& [name, value] : features) {
+    key += '|';
+    key += name;
+    key += ':';
+    key += std::to_string(feature_bucket(value));
+  }
+  return key;
+}
+
+bool CoverageMap::offer(const std::string& case_name,
+                        const FeatureMap& features, double norm_gap) {
+  ++offers_;
+  const std::string key = bucket_key(case_name, features);
+  auto [it, fresh] = best_.try_emplace(key, norm_gap);
+  if (fresh) {
+    ++accepted_novel_;
+    return true;
+  }
+  const bool improved = norm_gap > it->second * (1.0 + min_gain_);
+  if (norm_gap > it->second) it->second = norm_gap;
+  if (improved) ++accepted_improved_;
+  return improved;
+}
+
+double CoverageMap::best(const std::string& key) const {
+  const auto it = best_.find(key);
+  return it == best_.end() ? 0.0 : it->second;
+}
+
+CoverageStats CoverageMap::stats() const {
+  CoverageStats s;
+  s.buckets = static_cast<int>(best_.size());
+  for (const auto& [key, gap] : best_)
+    if (gap >= significant_gap_) ++s.significant_buckets;
+  s.offers = offers_;
+  s.accepted_novel = accepted_novel_;
+  s.accepted_improved = accepted_improved_;
+  return s;
+}
+
+}  // namespace xplain::search

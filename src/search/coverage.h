@@ -1,0 +1,73 @@
+// Coverage map — the fuzzer's novelty signal.
+//
+// Every pipeline run already reports the instance's feature vector
+// (generalize/features: num_links, path_hops, demand_cap_ratio, ...).  The
+// coverage map coarsens each feature to its binary-exponent bucket and keys
+// on (case name, bucketed vector): two scenarios land in the same bucket
+// iff a case sees them as structurally similar inputs.  A candidate is kept
+// iff its bucket is unseen OR its normalized gap beats the bucket's
+// incumbent by a relative margin — the classic coverage-guided acceptance
+// rule, with gap magnitude standing in for "interesting".
+//
+// Bucketing is exact floating-point (std::frexp, no log2 rounding) and the
+// map is an ordered std::map, so bucket keys, acceptance decisions, and
+// iteration order are bitwise deterministic — the lint's result-path
+// unordered-container ban applies to this directory for that reason.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace xplain::search {
+
+using FeatureMap = std::map<std::string, double>;
+
+/// Coarse deterministic bucket of one feature value: 0 for zero, otherwise
+/// sign(v) * (2 * binary_exponent + 1) — odd, so never 0, and exact (frexp
+/// returns the exponent without rounding).  Values within the same power of
+/// two share a bucket: 40 and 50 links are "the same size", 40 and 80 are
+/// not.
+int feature_bucket(double v);
+
+/// The novelty key: "case|feat:bucket|feat:bucket|..." over the (ordered)
+/// feature map.
+std::string bucket_key(const std::string& case_name,
+                       const FeatureMap& features);
+
+struct CoverageStats {
+  int buckets = 0;              // distinct keys seen
+  int significant_buckets = 0;  // keys whose best gap >= significant_gap
+  int offers = 0;
+  int accepted_novel = 0;     // kept: unseen bucket
+  int accepted_improved = 0;  // kept: beat the incumbent gap
+};
+
+class CoverageMap {
+ public:
+  /// `significant_gap` is in normalized-gap units (gap / case gap_scale);
+  /// `min_gain` is the relative improvement an incumbent-beating offer
+  /// needs (0.05 = 5% better).
+  explicit CoverageMap(double significant_gap, double min_gain = 0.05)
+      : significant_gap_(significant_gap), min_gain_(min_gain) {}
+
+  /// Records the observation (bucket incumbents always track the max gap)
+  /// and returns the acceptance decision: true iff the bucket was unseen or
+  /// `norm_gap` beat its incumbent by min_gain relative.
+  bool offer(const std::string& case_name, const FeatureMap& features,
+             double norm_gap);
+
+  /// Best normalized gap seen in `key` (0 when unseen).
+  double best(const std::string& key) const;
+  const std::map<std::string, double>& buckets() const { return best_; }
+  CoverageStats stats() const;
+
+ private:
+  double significant_gap_;
+  double min_gain_;
+  std::map<std::string, double> best_;
+  int offers_ = 0;
+  int accepted_novel_ = 0;
+  int accepted_improved_ = 0;
+};
+
+}  // namespace xplain::search

@@ -1,0 +1,62 @@
+// Spec mutation operators — the fuzzer's move set over scenario space.
+//
+// A closed set of operators, each a small structured edit of one
+// ScenarioSpec: topology family swap, size step, capacity scale (which
+// shifts the demand/capacity ratio the instances are built against), Waxman
+// shape jitter, instance-seed reroll, and the failure dimensions
+// (failed_links / capacity_degradation).  mutate() is a PURE FUNCTION of
+// (parent spec, 64-bit seed): the same pair yields the bitwise-identical
+// mutant on any machine and any worker count — the property that lets the
+// fuzzer derive all its randomness from util::Rng::derive_seed counters and
+// stay deterministic under XPLAIN_WORKERS (util/parallel.h contract).
+//
+// Operators draw from util::SlotRng (pure splitmix64 — no
+// std::*_distribution, whose outputs are implementation-defined), and every
+// numeric edit lands inside MutatorLimits so candidates stay in the regime
+// the cheap gap probe can afford (a fat-tree k is worth thousands of LP
+// rows; the fuzzer's budget is evaluations, not hours).
+#pragma once
+
+#include <cstdint>
+
+#include "scenario/spec.h"
+
+namespace xplain::search {
+
+enum class MutationOp {
+  kTopologySwap,         // different topology family, size re-clamped
+  kSizeStep,             // +/- size (fat-trees step by 2, staying even)
+  kCapacityScale,        // scale base capacity: shifts demand/cap ratio
+  kSeedReroll,           // new instance seed: fresh endpoints / Waxman draw
+  kWaxmanShapeJitter,    // alpha/beta jitter (offered for Waxman parents)
+  kLinkFailure,          // step the failed_links dimension
+  kCapacityDegradation,  // move the uniform brownout factor
+};
+
+const char* to_string(MutationOp op);
+
+/// Clamp box every mutant lands in.  Defaults keep instances inside the
+/// cheap-probe regime: fat-trees at k in {4,6,8} (k=16 is a deep-mode
+/// target, not a probe candidate), other shapes at 3..14 nodes.
+struct MutatorLimits {
+  int min_size = 3;
+  int max_size = 14;
+  int min_fat_tree_k = 4;
+  int max_fat_tree_k = 8;
+  double min_capacity = 25.0;
+  double max_capacity = 400.0;
+  int max_failed_links = 4;
+  double min_degradation = 0.3;
+};
+
+struct Mutant {
+  scenario::ScenarioSpec spec;
+  MutationOp op = MutationOp::kSeedReroll;
+};
+
+/// The mutant of `parent` under `seed` — pure: same (parent, seed, limits)
+/// in, bitwise-identical Mutant out.
+Mutant mutate(const scenario::ScenarioSpec& parent, std::uint64_t seed,
+              const MutatorLimits& limits = {});
+
+}  // namespace xplain::search

@@ -126,6 +126,79 @@ TEST(Engine, ExpandIsTheCanonicalGridOrder) {
   EXPECT_FALSE(defaults[0].scenario.has_value());
 }
 
+TEST(Engine, ExpandPutsOptionVariantsInnermost) {
+  ExperimentSpec spec;
+  spec.cases = {"a", "b"};
+  spec.scenarios = {line(3)};
+  spec.option_variants.resize(2);
+  spec.option_variants[0].subspace.max_subspaces = 1;
+  spec.option_variants[1].subspace.max_subspaces = 3;
+  const auto jobs = Engine().expand(spec);
+  ASSERT_EQ(jobs.size(), 4u);
+  EXPECT_EQ(jobs[0].label(), "a@line_n3_s1#o0");
+  EXPECT_EQ(jobs[1].label(), "a@line_n3_s1#o1");
+  EXPECT_EQ(jobs[2].label(), "b@line_n3_s1#o0");
+  EXPECT_EQ(jobs[3].label(), "b@line_n3_s1#o1");
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(jobs[i].index, i);
+    EXPECT_EQ(jobs[i].option_index, i % 2);
+    // The variant is recoverable from the index alone — the purity property
+    // the server's job replay leans on.
+    std::uint64_t seed = 0;
+    const PipelineOptions o = derived_job_options(spec, jobs[i].index, &seed);
+    ExperimentSpec base = spec;
+    base.options = spec.option_variants[i % 2];
+    base.option_variants.clear();
+    EXPECT_EQ(o.fingerprint(),
+              derived_job_options(base, jobs[i].index).fingerprint())
+        << "job " << i;
+  }
+  // No variants: no #o suffix and option_index stays -1.
+  spec.option_variants.clear();
+  const auto flat = Engine().expand(spec);
+  ASSERT_EQ(flat.size(), 2u);
+  EXPECT_EQ(flat[0].label(), "a@line_n3_s1");
+  EXPECT_EQ(flat[0].option_index, -1);
+  // Variants also multiply default-instance jobs (empty scenario grid).
+  spec.scenarios.clear();
+  spec.option_variants.resize(3);
+  EXPECT_EQ(Engine().expand(spec).size(), 6u);
+}
+
+TEST(Engine, OptionAxisRunsEveryVariant) {
+  // One case, one scenario, two variants: analyzer budget 1 vs 2 subspaces
+  // and explainer off vs on — the fuzzer's cheap-probe/deep-run split in
+  // miniature.
+  ExperimentSpec spec;
+  spec.cases = {"demand_pinning_chain"};
+  spec.scenarios = {line(4)};
+  spec.run_generalizer = false;
+  spec.option_variants.resize(2);
+  spec.option_variants[0].subspace.max_subspaces = 1;
+  spec.option_variants[0].explain.samples = 0;
+  spec.option_variants[1].subspace.max_subspaces = 2;
+  spec.option_variants[1].explain.samples = 60;
+  const auto res = Engine().run(spec);
+  ASSERT_EQ(res.jobs.size(), 2u);
+  for (const auto& j : res.jobs) EXPECT_TRUE(j.ok) << j.error;
+  // Each job carries its own variant's fingerprint (distinct cache keys).
+  EXPECT_EQ(res.jobs[0].options_fingerprint,
+            apply_seed_salt(spec.option_variants[0], res.jobs[0].seed)
+                .fingerprint());
+  EXPECT_EQ(res.jobs[1].options_fingerprint,
+            apply_seed_salt(spec.option_variants[1], res.jobs[1].seed)
+                .fingerprint());
+  EXPECT_NE(res.jobs[0].options_fingerprint, res.jobs[1].options_fingerprint);
+  // The probe variant (samples=0) measures gaps without sampling stories.
+  for (const auto& e : res.jobs[0].pipeline.explanations)
+    EXPECT_EQ(e.samples_used, 0);
+  EXPECT_LE(res.jobs[0].pipeline.subspaces.size(), 1u);
+  // Both probed the same instance, so both report identical features.
+  EXPECT_EQ(res.jobs[0].pipeline.features, res.jobs[1].pipeline.features);
+  // The scenario instance is built once and shared across the variant axis.
+  EXPECT_EQ(res.case_builds, 1);
+}
+
 TEST(Engine, GridIsBitwiseDeterministicAcrossWorkerCounts) {
   const auto spec = small_grid();  // workers = 0: resolves via env
   ASSERT_GE(Engine().expand(spec).size(), 6u);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "scenario/scenario.h"
+#include "scenario/spec_json.h"
 #include "te/paths.h"
 #include "util/parallel.h"
 
@@ -125,6 +126,117 @@ TEST(Scenario, LbInstanceIsDeterministicAndSkewed) {
     EXPECT_EQ(a.skewed[l],
               a.topo.link(te::LinkId{l}).capacity == 2.0 * spec.capacity);
   EXPECT_EQ(a.input_dim(), 9);
+}
+
+TEST(Scenario, FailureSpecsGenerateDeterministically) {
+  ScenarioSpec spec;
+  spec.kind = TopologyKind::kFatTree;
+  spec.size = 4;
+  spec.failed_links = 2;
+  spec.capacity_degradation = 0.7;
+  const te::Topology healthy = build_topology([&] {
+    ScenarioSpec h = spec;
+    h.failed_links = 0;
+    h.capacity_degradation = 1.0;
+    return h;
+  }());
+  const te::Topology reference = build_topology(spec);
+  // Two physical links fail = four directed links gone; survivors keep
+  // exactly 0.7x their healthy capacity, and the fabric stays connected.
+  EXPECT_EQ(reference.num_links(), healthy.num_links() - 2 * 2);
+  for (const auto& l : reference.links()) {
+    const bool edge_tier = l.capacity == 0.7 * spec.capacity;
+    const bool core_tier = l.capacity == 0.7 * (2.0 * spec.capacity);
+    EXPECT_TRUE(edge_tier || core_tier) << l.capacity;
+  }
+  for (int v = 1; v < reference.num_nodes(); ++v)
+    EXPECT_FALSE(te::shortest_path(reference, 0, v).empty()) << "node " << v;
+  // Bitwise identical on any worker count, like every other generator.
+  for (int workers : {1, 8}) {
+    std::vector<te::Topology> built(16);
+    util::parallel_chunks(built.size(), workers,
+                          [&](std::size_t begin, std::size_t end, int) {
+                            for (std::size_t i = begin; i < end; ++i)
+                              built[i] = build_topology(spec);
+                          });
+    for (const auto& t : built) EXPECT_TRUE(same_topology(reference, t));
+  }
+  // The failure dimensions flow through to the instances.
+  auto lb = make_lb_instance(spec, 8, 3, 100.0, 0.25, 1.0);
+  EXPECT_GT(lb.num_commodities(), 0);
+  EXPECT_EQ(lb.topo.num_links(), reference.num_links());
+  auto t = make_te_instance(spec, 6, 2, 100.0);
+  EXPECT_EQ(t.topo.num_links(), reference.num_links());
+}
+
+TEST(Scenario, FailuresNeverDisconnect) {
+  // Every star link is a bridge: requesting failures must remove nothing.
+  ScenarioSpec star;
+  star.kind = TopologyKind::kStar;
+  star.size = 8;
+  star.failed_links = 3;
+  EXPECT_EQ(build_topology(star).num_links(), 2 * 7);
+  // A Waxman WAN loses at most the requested count and stays connected.
+  ScenarioSpec wax;
+  wax.kind = TopologyKind::kWaxman;
+  wax.size = 12;
+  wax.seed = 7;
+  wax.failed_links = 3;
+  const te::Topology t = build_topology(wax);
+  for (int v = 1; v < t.num_nodes(); ++v)
+    EXPECT_FALSE(te::shortest_path(t, 0, v).empty()) << "node " << v;
+}
+
+TEST(Scenario, FailureFieldsExtendKeysOnlyWhenActive) {
+  // Healthy specs keep the exact pre-failure-dimension key and label (the
+  // committed bench baselines embed them).
+  ScenarioSpec healthy;
+  healthy.kind = TopologyKind::kFatTree;
+  healthy.size = 4;
+  EXPECT_EQ(healthy.display_name(), "fat_tree_k4_s1");
+  EXPECT_EQ(healthy.cache_key().find("_f"), std::string::npos);
+  ScenarioSpec failed = healthy;
+  failed.failed_links = 2;
+  failed.capacity_degradation = 0.5;
+  EXPECT_NE(failed.cache_key(), healthy.cache_key());
+  EXPECT_NE(failed.display_name(), healthy.display_name());
+  EXPECT_NE(failed.display_name().find("_f2"), std::string::npos);
+  EXPECT_NE(failed.display_name().find("_d"), std::string::npos);
+  ScenarioSpec degraded_only = healthy;
+  degraded_only.capacity_degradation = 0.5;
+  EXPECT_NE(degraded_only.cache_key(), healthy.cache_key());
+  EXPECT_NE(degraded_only.cache_key(), failed.cache_key());
+}
+
+TEST(Scenario, SpecJsonRoundTripsByteForByte) {
+  ScenarioSpec spec;
+  spec.kind = TopologyKind::kWaxman;
+  spec.size = 11;
+  spec.capacity = 137.25;
+  spec.waxman_alpha = 0.625;
+  spec.waxman_beta = 0.4;
+  spec.seed = 0xFFFFFFFFFFFFFFFFull;  // above 2^53: must survive as string
+  spec.failed_links = 2;
+  spec.capacity_degradation = 0.7;
+  const std::string once = spec_to_json(spec).dump(2);
+  const auto parsed = util::Json::parse(once);
+  ASSERT_TRUE(parsed.has_value());
+  const auto back = spec_from_json(*parsed);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->kind, spec.kind);
+  EXPECT_EQ(back->size, spec.size);
+  EXPECT_EQ(back->capacity, spec.capacity);
+  EXPECT_EQ(back->seed, spec.seed);
+  EXPECT_EQ(back->failed_links, spec.failed_links);
+  EXPECT_EQ(back->capacity_degradation, spec.capacity_degradation);
+  EXPECT_EQ(back->cache_key(), spec.cache_key());
+  EXPECT_EQ(spec_to_json(*back).dump(2), once);
+  // Unknown kinds are an error, not a silent default.
+  std::string err;
+  const auto bad = spec_from_json(*util::Json::parse("{\"kind\":\"torus\"}"),
+                                  &err);
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_NE(err.find("torus"), std::string::npos);
 }
 
 TEST(Scenario, DefaultCorpusCoversAllShapes) {

@@ -149,7 +149,8 @@ def main():
     # grid's unique instances), so these top-level metrics are gated
     # EXACTLY on every machine — unlike wall time and throughput, which
     # are scrubbed.
-    exact_counters = ("cache_", "case_builds", "replay_")
+    exact_counters = ("cache_", "case_builds", "replay_", "discovered_",
+                      "fuzz_evals")
     for key in sorted(set(fresh) & set(base)):
         if not any(tag in key for tag in exact_counters):
             continue

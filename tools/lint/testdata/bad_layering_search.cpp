@@ -1,0 +1,16 @@
+// lint-as: src/search/bad_layering_search.cpp
+// Known-bad corpus: the fuzzer reaching into a concrete case study and
+// into its rank peer, the resident service.  search probes candidates
+// through Engine grids (cases resolved via the CaseRegistry at runtime),
+// so the cases ban is the explicit SEARCH_FORBIDDEN rule; server shares
+// search's rank, so that include falls to the equal-rank rejection.
+#include "cases/ff_case.h"      // expect-lint: layering
+#include "server/service.h"     // expect-lint: layering
+#include "engine/engine.h"      // downward: OK (the probe substrate)
+#include "scenario/spec.h"      // downward: OK (the mutation target)
+
+namespace xplain::search_bad {
+
+int builds_a_concrete_case() { return 0; }
+
+}  // namespace xplain::search_bad

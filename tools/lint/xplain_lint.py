@@ -79,6 +79,7 @@ LAYER_RANK = {
     "engine": 13,
     "cases": 13,
     "server": 14,
+    "search": 14,
 }
 
 # Core layers stay case-agnostic: the rank order alone would let analyzer
@@ -87,12 +88,17 @@ LAYER_RANK = {
 CORE_DIRS = {"analyzer", "subspace", "explain", "flowgraph", "model",
              "solver", "stats", "util"}
 DOMAIN_DIRS = {"te", "vbp", "lb", "scenario", "cases", "generalize",
-               "xplain", "engine", "server"}
+               "xplain", "engine", "server", "search"}
 # The service sits above the engine but stays heuristic-agnostic exactly
 # the way the engine does: cases are driven through the CaseRegistry at
 # runtime, never via an include.  Rank alone cannot enforce this (cases is
 # rank 13, below server's 14), so the ban is explicit.
 SERVER_FORBIDDEN = {"cases"}
+# The fuzzer (search) shares server's rank — it is a peer consumer of the
+# engine, so search<->server includes are rejected in both directions by
+# the equal-rank rule — and it probes cases the same registry-driven way,
+# so the cases ban is explicit here too.
+SEARCH_FORBIDDEN = {"cases"}
 # src/xplain is core too, with two sanctioned exceptions: compat.h (the
 # deprecated shim header whose signatures need te/vbp types) and
 # scenario/spec.h (the dependency-free ScenarioSpec POD).
@@ -102,7 +108,7 @@ XPLAIN_ALLOWED_INCLUDES = {"scenario/spec.h"}
 # Layers where container iteration order reaches results, serialized output
 # or Type-3 feature vectors: any std::unordered_* use is banned here.
 RESULT_DIRS = {"analyzer", "stats", "subspace", "explain", "xplain",
-               "generalize", "engine", "cases", "server"}
+               "generalize", "engine", "cases", "server", "search"}
 
 # The sanctioned RNG wrapper sources (the only place entropy may enter).
 RANDOM_WRAPPER = re.compile(r"src/util/random\.(h|cpp)$")
@@ -270,6 +276,11 @@ def lint_file(virtual_path, text):
                         f'src/server must not include "{inc}" — the service '
                         "drives cases through the CaseRegistry at runtime, "
                         "exactly like the engine")
+                elif layer == "search" and inc_dir in SEARCH_FORBIDDEN:
+                    add(i, "layering",
+                        f'src/search must not include "{inc}" — the fuzzer '
+                        "probes cases through Engine grids (CaseRegistry at "
+                        "runtime), never via an include")
                 elif layer in CORE_DIRS and inc_dir in DOMAIN_DIRS:
                     add(i, "layering",
                         f'src/{layer} (core) must not include "{inc}" — '

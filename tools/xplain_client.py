@@ -40,9 +40,10 @@ def parse_scenario(text):
         value = value.strip()
         if key == "kind":
             scen[key] = value
-        elif key in ("size", "seed"):
+        elif key in ("size", "seed", "failed_links"):
             scen[key] = int(value)
-        elif key in ("capacity", "waxman_alpha", "waxman_beta"):
+        elif key in ("capacity", "waxman_alpha", "waxman_beta",
+                     "capacity_degradation"):
             scen[key] = float(value)
         else:
             raise ValueError(f"unknown scenario field {key!r}")

@@ -19,11 +19,14 @@
 //
 // The spec object mirrors xplain::ExperimentSpec: cases (array of registry
 // names), scenarios (array of {kind,size,capacity,waxman_alpha,waxman_beta,
-// seed}), seed, reseed_jobs, run_generalizer, normalize_gap, and options
+// seed,failed_links,capacity_degradation} — the shared scenario/spec_json.h
+// codec), seed, reseed_jobs, run_generalizer, normalize_gap, options
 // covering every result-bearing PipelineOptions knob (min_gap, subspace.*,
-// subspace.tree.*, subspace.significance.*, explain.*).  64-bit seeds are
-// accepted as JSON numbers or decimal strings (numbers lose precision
-// above 2^53 — use strings for salted seeds).
+// subspace.tree.*, subspace.significance.*, explain.*), and
+// option_variants (array of options objects, each an overlay on the base
+// options; the grid crosses them innermost — labels gain "#o<i>").  64-bit
+// seeds are accepted as JSON numbers or decimal strings (numbers lose
+// precision above 2^53 — use strings for salted seeds).
 #include <cerrno>
 #include <cstdlib>
 #include <iostream>
@@ -31,7 +34,7 @@
 #include <string>
 
 #include "engine/engine.h"
-#include "scenario/spec.h"
+#include "scenario/spec_json.h"
 #include "server/service.h"
 #include "util/json.h"
 
@@ -66,33 +69,6 @@ std::uint64_t u64_or(const Json& obj, const char* key, std::uint64_t dflt) {
       return static_cast<std::uint64_t>(u);
   }
   return dflt;
-}
-
-bool parse_scenario(const Json& v, xplain::scenario::ScenarioSpec* out,
-                    std::string* err) {
-  if (v.kind() != Json::Kind::kObject) {
-    *err = "scenario must be an object";
-    return false;
-  }
-  const Json* kind = v.find("kind");
-  if (kind && kind->kind() == Json::Kind::kString) {
-    const std::string& k = kind->as_str();
-    using xplain::scenario::TopologyKind;
-    if (k == "fat_tree") out->kind = TopologyKind::kFatTree;
-    else if (k == "waxman") out->kind = TopologyKind::kWaxman;
-    else if (k == "line") out->kind = TopologyKind::kLine;
-    else if (k == "star") out->kind = TopologyKind::kStar;
-    else {
-      *err = "unknown scenario kind \"" + k + "\"";
-      return false;
-    }
-  }
-  out->size = int_or(v, "size", out->size);
-  out->capacity = num_or(v, "capacity", out->capacity);
-  out->waxman_alpha = num_or(v, "waxman_alpha", out->waxman_alpha);
-  out->waxman_beta = num_or(v, "waxman_beta", out->waxman_beta);
-  out->seed = u64_or(v, "seed", out->seed);
-  return true;
 }
 
 void parse_pipeline_options(const Json& v, xplain::PipelineOptions* o) {
@@ -169,9 +145,12 @@ bool parse_spec(const Json& v, xplain::ExperimentSpec* spec,
       return false;
     }
     for (const Json& s : scens->items()) {
-      xplain::scenario::ScenarioSpec scen;
-      if (!parse_scenario(s, &scen, err)) return false;
-      spec->scenarios.push_back(scen);
+      // The shared scenario JSON codec (scenario/spec_json.h) — the same
+      // parser the fuzzer's discovery archive uses, so the daemon accepts
+      // failed_links / capacity_degradation and string seeds for free.
+      const auto scen = xplain::scenario::spec_from_json(s, err);
+      if (!scen) return false;
+      spec->scenarios.push_back(*scen);
     }
   }
   spec->seed = u64_or(v, "seed", spec->seed);
@@ -179,6 +158,24 @@ bool parse_spec(const Json& v, xplain::ExperimentSpec* spec,
   spec->run_generalizer = bool_or(v, "run_generalizer", spec->run_generalizer);
   spec->normalize_gap = bool_or(v, "normalize_gap", spec->normalize_gap);
   if (const Json* o = v.find("options")) parse_pipeline_options(*o, &spec->options);
+  // The option axis: each entry starts from the parsed base options and
+  // applies its own overrides; the grid crosses cases x scenarios x
+  // variants with variants innermost (ExperimentSpec::option_variants).
+  if (const Json* vars = v.find("option_variants")) {
+    if (vars->kind() != Json::Kind::kArray) {
+      *err = "spec.option_variants must be an array of options objects";
+      return false;
+    }
+    for (const Json& ov : vars->items()) {
+      if (ov.kind() != Json::Kind::kObject) {
+        *err = "spec.option_variants entries must be objects";
+        return false;
+      }
+      xplain::PipelineOptions variant = spec->options;
+      parse_pipeline_options(ov, &variant);
+      spec->option_variants.push_back(variant);
+    }
+  }
   return true;
 }
 
