@@ -8,10 +8,42 @@
 
 namespace xplain::server {
 
+namespace {
+
+/// Runs `f` on scope exit unless disarmed — the unwind arm of the RAII
+/// claim guards (release a claimed-but-unpublished entry so waiters can
+/// inherit instead of blocking forever).
+template <class F>
+class ScopeFail {
+ public:
+  explicit ScopeFail(F f) : f_(std::move(f)) {}
+  ~ScopeFail() {
+    if (armed_) f_();
+  }
+  ScopeFail(const ScopeFail&) = delete;
+  ScopeFail& operator=(const ScopeFail&) = delete;
+  void disarm() { armed_ = false; }
+
+ private:
+  F f_;
+  bool armed_ = true;
+};
+
+CacheOptions cache_options(const ServiceOptions& o) {
+  CacheOptions c;
+  c.max_bytes = o.cache_max_bytes;
+  c.journal_path = o.cache_path;
+  c.fail_fast_after = o.cache_fail_fast_after;
+  return c;
+}
+
+}  // namespace
+
 Service::Service(const ServiceOptions& opts, CaseRegistry& reg)
     : registry_(&reg),
       pool_size_(std::max(1, util::resolve_workers(opts.workers))),
-      queue_(opts.queue_capacity) {
+      queue_(opts.queue_capacity),
+      cache_(cache_options(opts)) {
   // The pool starts last: by the time a worker can run, every other member
   // is constructed.
   pool_ = std::make_unique<WorkerPool>(
@@ -126,10 +158,15 @@ void Service::drain() {
 
 void Service::shutdown() {
   // Sequentially idempotent: drain re-checks pending (0), close and join
-  // are no-ops the second time.
+  // are no-ops the second time, compaction rewrites an already-compact
+  // journal in place.
   drain();
   queue_.close();
   pool_->join();
+  // With every worker joined the cache is quiescent: rewrite the journal
+  // to exactly the resident entries (drops tombstones and superseded
+  // lines) so the next startup replays a minimal file.
+  cache_.compact();
 }
 
 ServiceStats Service::stats() const {
@@ -150,7 +187,11 @@ ServiceStats Service::stats() const {
   s.cache_hits = cs.hits;
   s.cache_misses = cs.misses;
   s.cache_inflight_waits = cs.inflight_waits;
+  s.cache_fast_fails = cs.fast_fails;
+  s.cache_evictions = cs.evictions;
+  s.cache_replayed = cs.replayed;
   s.cache_entries = cs.entries;
+  s.cache_bytes = cs.bytes;
   return s;
 }
 
@@ -174,7 +215,8 @@ void Service::run_job(const QueuedJob& q, int worker) {
   const std::string key = ResultCache::key(job.case_name, scen_key, fp, seed);
 
   JobSummary s;
-  if (cache_.lookup_or_claim(key, &s)) {
+  const ResultCache::Outcome lookup = cache_.lookup_or_claim(key, &s);
+  if (lookup == ResultCache::Outcome::kHit) {
     // Grid position is submission-local, not content — everything else in
     // the cached summary is identical by the key's construction.
     s.index = q.index;
@@ -185,27 +227,49 @@ void Service::run_job(const QueuedJob& q, int worker) {
   jr.job = job;
   jr.seed = seed;
   jr.options_fingerprint = fp;
-  const std::shared_ptr<const HeuristicCase> c =
-      job.scenario ? scenario_case(job.case_name, *job.scenario, scen_key)
-                   : registry_->find(job.case_name);
-  if (!c) {
-    jr.error = registry_->contains(job.case_name)
-                   ? "case cannot build from a scenario "
-                     "(default-only registration)"
-                   : "unknown case";
-  } else {
-    // The pool already fans out across jobs; an "auto" explain pool inside
-    // every concurrent pipeline would oversubscribe the machine
-    // pool-size-fold.  An explicit positive count is respected.
-    if (pool_size_ > 1 && o.explain.workers <= 0) o.explain.workers = 1;
-    jr.pipeline = run_pipeline(*c, o);
-    jr.ok = true;
+  if (lookup == ResultCache::Outcome::kFastFail) {
+    // Poisoned-key back-off: the same key keeps getting abandoned and one
+    // prober is already retrying it — fail this submission immediately
+    // instead of joining a convoy behind a job that keeps dying.
+    jr.error =
+        "job fast-failed: this key was repeatedly abandoned and is being "
+        "re-probed (resubmit later)";
+    deliver(*sub, q.index, make_job_summary(jr), /*from_cache=*/false);
+    return;
+  }
+  // kClaimed: from here until the claim is resolved, ANY unwind — a
+  // throwing case build, pipeline, or summary serialization — must
+  // abandon, or every future claimant of the key blocks forever.
+  ClaimGuard claim(&cache_, key);
+  try {
+    const std::shared_ptr<const HeuristicCase> c =
+        job.scenario ? scenario_case(job.case_name, *job.scenario, scen_key)
+                     : registry_->find(job.case_name);
+    if (!c) {
+      jr.error = registry_->contains(job.case_name)
+                     ? "case cannot build from a scenario "
+                       "(default-only registration)"
+                     : "unknown case";
+    } else {
+      // The pool already fans out across jobs; an "auto" explain pool
+      // inside every concurrent pipeline would oversubscribe the machine
+      // pool-size-fold.  An explicit positive count is respected.
+      if (pool_size_ > 1 && o.explain.workers <= 0) o.explain.workers = 1;
+      jr.pipeline = run_pipeline(*c, o);
+      jr.ok = true;
+    }
+  } catch (const std::exception& e) {
+    jr.ok = false;
+    jr.error = std::string("job threw: ") + e.what();
+  } catch (...) {
+    jr.ok = false;
+    jr.error = "job threw a non-standard exception";
   }
   s = make_job_summary(jr);
   if (jr.ok) {
-    cache_.fulfill(key, s);
+    claim.fulfill(s);
   } else {
-    cache_.abandon(key);  // failures are not cached
+    claim.abandon();  // failures are not cached
   }
   deliver(*sub, q.index, s, /*from_cache=*/false);
 }
@@ -257,7 +321,18 @@ std::shared_ptr<const HeuristicCase> Service::scenario_case(
       cases_.emplace(k, CaseEntry{});
       ++case_builds_;
       case_mu_.unlock();
+      // A factory that throws must not strand the claim: on unwind, erase
+      // the in-flight entry and wake the waiters — the first re-finds
+      // nothing, inherits the claim, and retries the build (its own job
+      // fails with the same error if the factory keeps throwing).
+      ScopeFail claim([&] {
+        case_mu_.lock();
+        cases_.erase(k);
+        case_mu_.unlock();
+        case_ready_cv_.notify_all();
+      });
       std::shared_ptr<const HeuristicCase> c = registry_->create(name, scen);
+      claim.disarm();
       case_mu_.lock();
       CaseEntry& e = cases_[k];
       e.ready = true;

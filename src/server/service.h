@@ -29,6 +29,14 @@
 // finished (workers stay up); shutdown() drains, closes the queue, and
 // joins the pool.  The destructor shuts down.  Submissions after drain are
 // rejected (submit returns kRejected).
+//
+// Hardening: every cache claim is held in a RAII ClaimGuard and the whole
+// job path runs under a catch-all, so an exception anywhere (case build,
+// pipeline, serialization) abandons the claim, fails the job loudly, and
+// still delivers — no claimant ever blocks forever on a stranded key.
+// ServiceOptions::cache_max_bytes bounds resident cache memory (LRU by
+// bytes) and cache_path persists it across restarts; see
+// server/result_cache.h for the policy details.
 #pragma once
 
 #include <condition_variable>
@@ -58,6 +66,17 @@ struct ServiceOptions {
   std::size_t queue_capacity = 256;
   /// Jobs per rxloop batch dequeue.
   std::size_t batch_size = 4;
+  /// Result-cache high-water mark in summed JSON bytes; fulfills past it
+  /// evict least-recently-served entries.  0 = unbounded (the pre-eviction
+  /// behavior).
+  std::size_t cache_max_bytes = 0;
+  /// Result-cache journal replayed at startup and compacted on shutdown;
+  /// "" = in-memory only.  A restarted service serves the prior working
+  /// set byte-for-byte from this file with zero new LP solves.
+  std::string cache_path;
+  /// Consecutive failures of one cache key before other submitters
+  /// fast-fail instead of queuing behind the re-prober; 0 disables.
+  int cache_fail_fast_after = 3;
 };
 
 struct ServiceStats {
@@ -71,7 +90,17 @@ struct ServiceStats {
   long cache_hits = 0;
   long cache_misses = 0;
   long cache_inflight_waits = 0;
+  /// Submissions answered with an immediate failure because the key was
+  /// repeatedly abandoned (ServiceOptions::cache_fail_fast_after).
+  long cache_fast_fails = 0;
+  /// Ready entries evicted by the cache_max_bytes LRU policy.
+  long cache_evictions = 0;
+  /// Ready entries replayed from cache_path at startup.
+  long cache_replayed = 0;
   std::size_t cache_entries = 0;
+  /// Summed JSON bytes of the resident ready entries (the quantity
+  /// cache_max_bytes bounds).
+  std::size_t cache_bytes = 0;
   /// Scenario instances this service constructed (once per unique
   /// (case, scenario.cache_key()) across its lifetime — the resident
   /// analogue of ExperimentResult::case_builds).

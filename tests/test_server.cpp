@@ -1,12 +1,18 @@
 // Resident explanation service: job-queue FIFO/close/backpressure
-// semantics, result-cache round-trip + in-flight dedup, and the Service
+// semantics, result-cache round-trip + in-flight dedup + LRU eviction +
+// journal persistence + claim handoff/fast-fail, and the Service
 // acceptance criteria — a repeated submission is served bitwise identical
 // from cache with ZERO new LP work, results match Engine::run for any pool
-// size, and drain-under-load neither loses nor duplicates a job.  Runs
-// under TSan in CI with XPLAIN_WORKERS=4.
+// size, drain-under-load neither loses nor duplicates a job, a throwing
+// case build strands no claimant, and a restarted service replays the
+// journaled working set with zero new LP work.  Runs under TSan in CI with
+// XPLAIN_WORKERS=4 (and the persistence cases under ASan).
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,12 +25,14 @@
 #include "solver/lp.h"
 
 using namespace xplain;
+using server::CacheOptions;
 using server::JobQueue;
 using server::QueuedJob;
 using server::ResultCache;
 using server::Service;
 using server::ServiceOptions;
 using server::ServiceStats;
+using Outcome = ResultCache::Outcome;
 
 namespace {
 
@@ -52,6 +60,23 @@ ExperimentSpec small_grid() {
 }
 
 std::string job_json(const JobSummary& s) { return s.to_json_value().dump(0); }
+
+/// Minimal ok summary whose JSON size depends only on the argument LENGTHS
+/// — callers pick equal-length names/gaps so LRU byte accounting is exact.
+JobSummary tiny(const std::string& name, double gap, std::uint64_t seed) {
+  JobSummary s;
+  s.case_name = name;
+  s.ok = true;
+  s.best_gap_found = gap;
+  s.seed = seed;
+  return s;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
 
 /// Wall time is the one legitimately nondeterministic field of a FRESH
 /// run; zero it when comparing service output against Engine output.
@@ -141,9 +166,10 @@ TEST(ResultCache, MissFulfillHitReplaysTheExactJson) {
   s.options_fingerprint = "pf1:deadbeef";
 
   JobSummary out;
-  ASSERT_FALSE(cache.lookup_or_claim(key, &out)) << "first lookup is a miss";
+  ASSERT_EQ(cache.lookup_or_claim(key, &out), Outcome::kClaimed)
+      << "first lookup is a miss";
   cache.fulfill(key, s);
-  ASSERT_TRUE(cache.lookup_or_claim(key, &out));
+  ASSERT_EQ(cache.lookup_or_claim(key, &out), Outcome::kHit);
   // The cache serves through the exact to_json_value/from_json_value
   // round-trip — the replay is bitwise identical, wall clock included.
   EXPECT_EQ(job_json(out), job_json(s));
@@ -159,7 +185,7 @@ TEST(ResultCache, SecondSubmitterWaitsForTheInflightOwner) {
   ResultCache cache;
   const std::string key = ResultCache::key("c", "s", "pf", 7);
   JobSummary mine;
-  ASSERT_FALSE(cache.lookup_or_claim(key, &mine));  // we own the claim
+  ASSERT_EQ(cache.lookup_or_claim(key, &mine), Outcome::kClaimed);
 
   std::atomic<bool> looking{false};
   JobSummary theirs;
@@ -167,7 +193,7 @@ TEST(ResultCache, SecondSubmitterWaitsForTheInflightOwner) {
   std::thread waiter([&] {
     looking.store(true);
     JobSummary got;
-    their_hit.store(cache.lookup_or_claim(key, &got));
+    their_hit.store(cache.lookup_or_claim(key, &got) == Outcome::kHit);
     theirs = got;  // joined before read below
   });
   while (!looking.load()) std::this_thread::yield();
@@ -187,18 +213,287 @@ TEST(ResultCache, AbandonReopensTheKey) {
   ResultCache cache;
   const std::string key = ResultCache::key("c", "", "pf", 1);
   JobSummary out;
-  ASSERT_FALSE(cache.lookup_or_claim(key, &out));
+  ASSERT_EQ(cache.lookup_or_claim(key, &out), Outcome::kClaimed);
   cache.abandon(key);  // e.g. the job failed — failures are not cached
-  ASSERT_FALSE(cache.lookup_or_claim(key, &out)) << "key is claimable again";
+  ASSERT_EQ(cache.lookup_or_claim(key, &out), Outcome::kClaimed)
+      << "key is claimable again";
   JobSummary s;
   s.case_name = "c";
   s.ok = true;
   cache.fulfill(key, s);
-  EXPECT_TRUE(cache.lookup_or_claim(key, &out));
+  EXPECT_EQ(cache.lookup_or_claim(key, &out), Outcome::kHit);
   const ResultCache::Stats cs = cache.stats();
   EXPECT_EQ(cs.misses, 2);
   EXPECT_EQ(cs.hits, 1);
   EXPECT_EQ(cs.entries, 1u);
+}
+
+TEST(ResultCache, LruEvictionPrefersLeastRecentlyServed) {
+  // Probe: one entry's exact byte cost (equal-length names/gaps/seeds make
+  // every entry in this test the same size).
+  ResultCache probe;
+  probe.fulfill(ResultCache::key("a", "s", "pf", 1), tiny("a", 0.125, 1));
+  const std::size_t one = probe.stats().bytes;
+  ASSERT_GT(one, 0u);
+
+  CacheOptions co;
+  co.max_bytes = 2 * one;  // room for exactly two entries
+  ResultCache cache(co);
+  const std::string ka = ResultCache::key("a", "s", "pf", 1);
+  const std::string kb = ResultCache::key("b", "s", "pf", 2);
+  const std::string kc = ResultCache::key("c", "s", "pf", 3);
+  cache.fulfill(ka, tiny("a", 0.125, 1));
+  cache.fulfill(kb, tiny("b", 0.375, 2));
+  EXPECT_EQ(cache.stats().bytes, 2 * one) << "entries must be equal-sized";
+
+  // Serve A: it becomes most-recent, so the third insert must evict B —
+  // least-recently-SERVED, not least-recently-inserted.
+  JobSummary out;
+  ASSERT_EQ(cache.lookup_or_claim(ka, &out), Outcome::kHit);
+  cache.fulfill(kc, tiny("c", 0.625, 3));
+
+  EXPECT_EQ(cache.lookup_or_claim(ka, &out), Outcome::kHit) << "A survived";
+  EXPECT_EQ(cache.lookup_or_claim(kc, &out), Outcome::kHit) << "C survived";
+  EXPECT_EQ(cache.lookup_or_claim(kb, &out), Outcome::kClaimed)
+      << "B was the LRU victim";
+  cache.abandon(kb);
+
+  const ResultCache::Stats cs = cache.stats();
+  EXPECT_EQ(cs.evictions, 1);
+  EXPECT_EQ(cs.entries, 2u);
+  EXPECT_LE(cs.bytes, co.max_bytes) << "high-water mark holds";
+}
+
+TEST(ResultCache, MruEntryIsNeverEvictedEvenWhenOversized) {
+  ResultCache probe;
+  probe.fulfill(ResultCache::key("a", "s", "pf", 1), tiny("a", 0.125, 1));
+  const std::size_t one = probe.stats().bytes;
+
+  CacheOptions co;
+  co.max_bytes = one / 2;  // smaller than any single entry
+  ResultCache cache(co);
+  const std::string ka = ResultCache::key("a", "s", "pf", 1);
+  const std::string kb = ResultCache::key("b", "s", "pf", 2);
+  // A single oversized result is retained (not thrashed) — the MRU entry
+  // is exempt from eviction by design.
+  cache.fulfill(ka, tiny("a", 0.125, 1));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0);
+  // The next fulfill displaces it: A is now the LRU tail and goes.
+  cache.fulfill(kb, tiny("b", 0.375, 2));
+  JobSummary out;
+  EXPECT_EQ(cache.lookup_or_claim(kb, &out), Outcome::kHit);
+  EXPECT_EQ(cache.lookup_or_claim(ka, &out), Outcome::kClaimed);
+  cache.abandon(ka);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(ResultCache, InflightClaimsAreNeverEvicted) {
+  ResultCache probe;
+  probe.fulfill(ResultCache::key("a", "s", "pf", 1), tiny("a", 0.125, 1));
+  const std::size_t one = probe.stats().bytes;
+
+  CacheOptions co;
+  co.max_bytes = 2 * one;
+  ResultCache cache(co);
+  const std::string kx = ResultCache::key("x", "s", "pf", 9);
+  JobSummary out;
+  ASSERT_EQ(cache.lookup_or_claim(kx, &out), Outcome::kClaimed);
+
+  // Churn enough ready entries through the cache to evict everything
+  // evictable; the in-flight claim must ride it out untouched.
+  cache.fulfill(ResultCache::key("a", "s", "pf", 1), tiny("a", 0.125, 1));
+  cache.fulfill(ResultCache::key("b", "s", "pf", 2), tiny("b", 0.375, 2));
+  cache.fulfill(ResultCache::key("c", "s", "pf", 3), tiny("c", 0.625, 3));
+  EXPECT_GE(cache.stats().evictions, 1);
+
+  cache.fulfill(kx, tiny("x", 0.875, 9));
+  EXPECT_EQ(cache.lookup_or_claim(kx, &out), Outcome::kHit)
+      << "the claim survived the eviction churn and served its value";
+}
+
+TEST(ResultCache, StatsCountersMatchTheDebugRecount) {
+  ResultCache probe;
+  probe.fulfill(ResultCache::key("a", "s", "pf", 1), tiny("a", 0.125, 1));
+  CacheOptions co;
+  co.max_bytes = 2 * probe.stats().bytes;
+  ResultCache cache(co);
+
+  auto check = [&](const char* when) {
+    const ResultCache::Stats fast = cache.stats();
+    const ResultCache::Stats slow = cache.recount_stats();
+    EXPECT_EQ(fast.entries, slow.entries) << when;
+    EXPECT_EQ(fast.bytes, slow.bytes) << when;
+  };
+  check("empty");
+  JobSummary out;
+  const std::string ka = ResultCache::key("a", "s", "pf", 1);
+  ASSERT_EQ(cache.lookup_or_claim(ka, &out), Outcome::kClaimed);
+  check("one in-flight claim (zero ready bytes)");
+  cache.fulfill(ka, tiny("a", 0.125, 1));
+  check("one ready entry");
+  cache.fulfill(ResultCache::key("b", "s", "pf", 2), tiny("b", 0.375, 2));
+  cache.fulfill(ResultCache::key("c", "s", "pf", 3), tiny("c", 0.625, 3));
+  check("after an eviction");
+  EXPECT_EQ(cache.lookup_or_claim(ka, &out), Outcome::kClaimed);
+  cache.abandon(ka);
+  check("after a claim + abandon");
+}
+
+TEST(ResultCache, AbandonHandsTheClaimToExactlyOneWaiter) {
+  ResultCache cache;
+  const std::string key = ResultCache::key("c", "s", "pf", 7);
+  JobSummary mine;
+  ASSERT_EQ(cache.lookup_or_claim(key, &mine), Outcome::kClaimed);
+
+  const int kWaiters = 3;
+  std::atomic<int> claimed{0}, hits{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      JobSummary got;
+      const Outcome o = cache.lookup_or_claim(key, &got);
+      if (o == Outcome::kClaimed) {
+        // The inheritor recomputes and publishes; the others then hit.
+        claimed.fetch_add(1);
+        cache.fulfill(key, tiny("c", 0.125, 7));
+      } else if (o == Outcome::kHit) {
+        hits.fetch_add(1);
+      }
+    });
+  }
+  // inflight_waits is incremented in the same critical section that parks
+  // the waiter, so this rendezvous means all three are actually waiting.
+  while (cache.stats().inflight_waits < kWaiters) std::this_thread::yield();
+
+  cache.abandon(key);  // our job "failed": ONE waiter inherits the claim
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(claimed.load(), 1) << "exactly one waiter inherits";
+  EXPECT_EQ(hits.load(), kWaiters - 1) << "the rest are served its result";
+  JobSummary out;
+  EXPECT_EQ(cache.lookup_or_claim(key, &out), Outcome::kHit);
+}
+
+TEST(ResultCache, RepeatedAbandonsFastFailOtherClaimants) {
+  CacheOptions co;
+  co.fail_fast_after = 3;
+  ResultCache cache(co);
+  const std::string key = ResultCache::key("c", "s", "pf", 1);
+  JobSummary out;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(cache.lookup_or_claim(key, &out), Outcome::kClaimed) << i;
+    cache.abandon(key);
+  }
+  // The key is poisoned.  One prober still gets through (the claim), but
+  // anyone else arriving while it is in flight fails fast instead of
+  // convoying behind a job that keeps dying.
+  ASSERT_EQ(cache.lookup_or_claim(key, &out), Outcome::kClaimed);
+  EXPECT_EQ(cache.lookup_or_claim(key, &out), Outcome::kFastFail);
+  EXPECT_EQ(cache.stats().fast_fails, 1);
+
+  // One success heals the key completely.
+  cache.fulfill(key, tiny("c", 0.125, 1));
+  EXPECT_EQ(cache.lookup_or_claim(key, &out), Outcome::kHit);
+  EXPECT_EQ(cache.stats().fast_fails, 1) << "no new fast-fails after heal";
+}
+
+TEST(ResultCache, JournalReplayServesPriorEntriesByteForByte) {
+  const std::string path = "test_server_replay.journal";
+  std::remove(path.c_str());
+  const std::string ka = ResultCache::key("a", "s", "pf", 1);
+  const std::string kb = ResultCache::key("b", "s", "pf", 2);
+  const JobSummary a = tiny("a", 0.125, 1), b = tiny("b", 0.375, 2);
+  {
+    CacheOptions co;
+    co.journal_path = path;
+    ResultCache cache(co);
+    cache.fulfill(ka, a);
+    cache.fulfill(kb, b);
+  }  // destructor compacts (clean shutdown)
+  {
+    CacheOptions co;
+    co.journal_path = path;
+    ResultCache cache(co);
+    EXPECT_EQ(cache.stats().replayed, 2);
+    JobSummary out;
+    ASSERT_EQ(cache.lookup_or_claim(ka, &out), Outcome::kHit);
+    EXPECT_EQ(job_json(out), job_json(a)) << "replay is byte-for-byte";
+    ASSERT_EQ(cache.lookup_or_claim(kb, &out), Outcome::kHit);
+    EXPECT_EQ(job_json(out), job_json(b));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, JournalToleratesTruncationAndGarbage) {
+  const std::string path = "test_server_truncated.journal";
+  std::remove(path.c_str());
+  const std::string ka = ResultCache::key("a", "s", "pf", 1);
+  const std::string kb = ResultCache::key("b", "s", "pf", 2);
+  {
+    CacheOptions co;
+    co.journal_path = path;
+    ResultCache cache(co);
+    cache.fulfill(ka, tiny("a", 0.125, 1));
+    cache.fulfill(kb, tiny("b", 0.375, 2));
+  }
+  {
+    // Simulated corruption: a tab-less line, a line whose value is not
+    // JSON, and a final append cut off mid-line by a "crash".
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "garbage line without a tab\n";
+    out << "kx\tnot json at all\n";
+    out << "ky\t{\"trunc";  // no terminating newline
+  }
+  {
+    CacheOptions co;
+    co.journal_path = path;
+    ResultCache cache(co);
+    EXPECT_EQ(cache.stats().replayed, 2) << "only the intact records load";
+    JobSummary out;
+    EXPECT_EQ(cache.lookup_or_claim(ka, &out), Outcome::kHit);
+    EXPECT_EQ(cache.lookup_or_claim(kb, &out), Outcome::kHit);
+    EXPECT_EQ(cache.lookup_or_claim("ky\t{\"trunc", &out), Outcome::kClaimed)
+        << "the truncated record was dropped, not half-applied";
+    cache.abandon("ky\t{\"trunc");
+    // Startup compaction already rewrote the journal to the two survivors.
+    const std::string text = read_file(path);
+    EXPECT_EQ(text.find("garbage"), std::string::npos);
+    EXPECT_EQ(text.find("trunc"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, CompactionDropsTombstonesAndKeepsLruOrder) {
+  const std::string path = "test_server_compact.journal";
+  std::remove(path.c_str());
+  ResultCache probe;
+  probe.fulfill(ResultCache::key("a", "s", "pf", 1), tiny("a", 0.125, 1));
+  const std::size_t one = probe.stats().bytes;
+
+  const std::string ka = ResultCache::key("a", "s", "pf", 1);
+  const std::string kb = ResultCache::key("b", "s", "pf", 2);
+  const std::string kc = ResultCache::key("c", "s", "pf", 3);
+  const JobSummary a = tiny("a", 0.125, 1), c = tiny("c", 0.625, 3);
+  {
+    CacheOptions co;
+    co.journal_path = path;
+    co.max_bytes = 2 * one;
+    ResultCache cache(co);
+    cache.fulfill(ka, a);
+    cache.fulfill(kb, tiny("b", 0.375, 2));
+    JobSummary out;
+    ASSERT_EQ(cache.lookup_or_claim(ka, &out), Outcome::kHit);  // refresh A
+    cache.fulfill(kc, c);  // evicts B: a tombstone line in the live journal
+    EXPECT_NE(read_file(path).find(kb + "\t\n"), std::string::npos)
+        << "the live journal records the eviction as a tombstone";
+  }
+  // The clean-shutdown compaction rewrites exactly the survivors, oldest
+  // first (so replay rebuilds the same recency order: C is the MRU head).
+  const std::string expected =
+      ka + "\t" + job_json(a) + "\n" + kc + "\t" + job_json(c) + "\n";
+  EXPECT_EQ(read_file(path), expected);
+  std::remove(path.c_str());
 }
 
 // ------------------------------------------------------------------ Service
@@ -390,6 +685,92 @@ TEST(Service, UnknownCaseFailsLoudlyAndIsNeverCached) {
   EXPECT_EQ(stats.cache_misses, 3);
   EXPECT_EQ(stats.cache_entries, 1u);
   EXPECT_EQ(stats.jobs_failed, 2);
+}
+
+TEST(Service, ThrowingCaseBuildStrandsNoClaimant) {
+  // A factory that throws exercises every unwind guard on the job path:
+  // the case-memo claim (scenario_case), the result-cache claim
+  // (ClaimGuard), and the catch-all that still delivers the job.  The test
+  // passing AT ALL is the headline assertion — before the guards, the
+  // second submission of the same key blocked forever.
+  registry().add("test_throwing_case",
+                 CaseRegistry::Factory(
+                     [](const scenario::ScenarioSpec*)
+                         -> std::shared_ptr<HeuristicCase> {
+                       throw std::runtime_error("injected case-build failure");
+                     }));
+
+  ExperimentSpec spec;
+  spec.cases = {"test_throwing_case"};
+  spec.scenarios = {line(3)};
+
+  ServiceOptions o;
+  o.workers = 4;
+  Service svc(o);
+  // Three concurrent submissions of the SAME key: the first claims and
+  // throws; its abandon must hand the claim on (not strand the waiters),
+  // and each inheritor throws in turn.
+  const int kSubs = 3;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < kSubs; ++i) {
+    const std::uint64_t id = svc.submit(spec);
+    ASSERT_NE(id, Service::kRejected);
+    ids.push_back(id);
+  }
+  for (const std::uint64_t id : ids) {
+    const ExperimentSummary s = svc.wait(id);
+    ASSERT_EQ(s.jobs.size(), 1u);
+    EXPECT_FALSE(s.jobs[0].ok);
+    EXPECT_EQ(s.jobs[0].error, "job threw: injected case-build failure");
+  }
+  // A late submission still completes: nothing is stuck in-flight and the
+  // failure was never cached.
+  const ExperimentSummary late = svc.run(spec);
+  ASSERT_EQ(late.jobs.size(), 1u);
+  EXPECT_FALSE(late.jobs[0].ok);
+  EXPECT_EQ(late.jobs[0].error, "job threw: injected case-build failure");
+
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.jobs_failed, kSubs + 1);
+  EXPECT_EQ(stats.cache_entries, 0u) << "failures are never cached";
+}
+
+TEST(Service, RestartReplaysTheJournaledWorkingSetWithZeroLpWork) {
+  const std::string path = "test_server_service.journal";
+  std::remove(path.c_str());
+  const ExperimentSpec spec = small_grid();
+  const int n = static_cast<int>(Engine().expand(spec).size());
+
+  ServiceOptions o;
+  o.workers = 2;
+  o.cache_path = path;
+  std::vector<std::string> first_json(n);
+  {
+    Service svc(o);
+    const ExperimentSummary s = svc.run(spec);
+    ASSERT_EQ(s.jobs.size(), static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) first_json[i] = job_json(s.jobs[i]);
+  }  // clean shutdown compacts the journal
+
+  // The restarted service must serve the whole prior working set from the
+  // journal: bitwise identical, all from cache, ZERO new LP solves.
+  const solver::LpCounters before = solver::lp_counters();
+  {
+    Service svc(o);
+    EXPECT_EQ(svc.stats().cache_replayed, n);
+    const ExperimentSummary s =
+        svc.run(spec, [](const JobSummary& j, bool from_cache) {
+          EXPECT_TRUE(from_cache) << "job " << j.index;
+        });
+    ASSERT_EQ(s.jobs.size(), static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      EXPECT_EQ(job_json(s.jobs[i]), first_json[i]) << "job " << i;
+    const ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.cache_hits, n);
+    EXPECT_EQ(stats.cache_misses, 0);
+  }
+  EXPECT_EQ(solver::lp_counters().solves - before.solves, 0);
+  std::remove(path.c_str());
 }
 
 TEST(Service, ShutdownIsIdempotentAndTerminal) {

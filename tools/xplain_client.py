@@ -21,6 +21,12 @@ Examples:
 
   # pass a full spec document instead of flags
   tools/xplain_client.py --daemon build/xplaind --spec-json spec.json
+
+  # crash-safe persistence: restart the daemon between rounds and verify
+  # the journal replays the working set bitwise identically
+  tools/xplain_client.py --daemon build/xplaind --cache-path /tmp/x.journal \\
+      --restart-between-rounds --case first_fit \\
+      --scenario kind=line,size=3,seed=1 --repeat 2
 """
 
 import argparse
@@ -98,6 +104,14 @@ class Daemon:
         self.proc.wait(timeout=120)
 
 
+def stat_int(stats, key):
+    """Daemon counters arrive as decimal strings (exact past 2^53)."""
+    try:
+        return int(stats.get(key, 0))
+    except (TypeError, ValueError):
+        return 0
+
+
 def submit_and_tail(daemon, events, spec, request_id, verbose):
     """Submits once; returns (job_json_lines_by_index, done_event)."""
     daemon.request({"op": "submit", "id": request_id, "spec": spec})
@@ -146,26 +160,47 @@ def main():
                     help="file with a full spec object (overrides flags)")
     ap.add_argument("--repeat", type=int, default=1,
                     help="submit the same spec N times (default 1)")
+    ap.add_argument("--cache-path", default=None,
+                    help="persist the daemon's result cache to this journal "
+                         "file (passed through as xplaind --cache-path)")
+    ap.add_argument("--restart-between-rounds", action="store_true",
+                    help="shut the daemon down and respawn it between repeat "
+                         "rounds; with --cache-path, repeat rounds must still "
+                         "be fully cached and bitwise identical (the journal "
+                         "carries the working set across the restart)")
     ap.add_argument("-q", "--quiet", action="store_true",
                     help="suppress per-job lines")
     args = ap.parse_args()
 
     spec = build_spec(args)
-    daemon = Daemon(args.daemon)
+    if args.restart_between_rounds and args.repeat < 2:
+        raise SystemExit("--restart-between-rounds needs --repeat >= 2")
+    daemon_argv = list(args.daemon)
+    if args.cache_path:
+        daemon_argv += ["--cache-path", args.cache_path]
+    daemon = Daemon(daemon_argv)
     events = daemon.events()
     status = 0
     first_jobs = None
     try:
         for round_no in range(1, args.repeat + 1):
+            if round_no > 1 and args.restart_between_rounds:
+                # Clean shutdown compacts the journal; the fresh daemon
+                # replays it, so round N must serve round 1's bytes.
+                daemon.close()
+                print("  (daemon restarted)")
+                daemon = Daemon(daemon_argv)
+                events = daemon.events()
             print(f"submission {round_no}/{args.repeat}:")
             jobs, done = submit_and_tail(
                 daemon, events, spec, round_no, not args.quiet)
             stats = done.get("stats", {})
             print(f"  done: {done.get('jobs')} jobs, "
                   f"{done['_cached_jobs']} from cache "
-                  f"(service totals: hits={stats.get('cache_hits')}, "
-                  f"misses={stats.get('cache_misses')}, "
-                  f"case_builds={stats.get('case_builds')})")
+                  f"(service totals: hits={stat_int(stats, 'cache_hits')}, "
+                  f"misses={stat_int(stats, 'cache_misses')}, "
+                  f"replayed={stat_int(stats, 'cache_replayed')}, "
+                  f"case_builds={stat_int(stats, 'case_builds')})")
             if first_jobs is None:
                 first_jobs = jobs
                 continue

@@ -13,6 +13,12 @@
 //   {"op":"drain"}     -> {"event":"drained"}   (intake stays closed)
 //   {"op":"shutdown"}  -> {"event":"bye"}       (graceful; also on EOF)
 //
+// Stats counters are decimal strings (exact past 2^53 — see stats_json).
+//
+// Flags: --cache-path FILE persists the result cache across restarts
+// (journal replayed at startup, compacted on shutdown); --cache-max-bytes N
+// bounds resident cache memory (LRU eviction; 0 = unbounded).
+//
 // Requests are processed sequentially (the job-level parallelism lives in
 // the service's resident worker pool, sized by XPLAIN_WORKERS or one per
 // hardware thread); "id" is echoed verbatim so clients can correlate.
@@ -189,18 +195,27 @@ void emit_error(const Json* id, const std::string& message) {
   emit(e);
 }
 
+// Counters are emitted as decimal STRINGS, not JSON numbers: the util/json
+// number is a double, and a long-lived daemon's cumulative counters (or a
+// cache_bytes high-water on a big box) can exceed 2^53 — the same
+// precision convention PR 9 established for 64-bit seeds.  Clients parse
+// the strings back to exact integers (tools/xplain_client.py does).
 Json stats_json(const xplain::server::ServiceStats& s) {
   Json j = Json::object();
-  j.set("submissions", static_cast<double>(s.submissions));
-  j.set("jobs_submitted", static_cast<double>(s.jobs_submitted));
-  j.set("jobs_completed", static_cast<double>(s.jobs_completed));
-  j.set("jobs_failed", static_cast<double>(s.jobs_failed));
-  j.set("duplicate_deliveries", static_cast<double>(s.duplicate_deliveries));
-  j.set("cache_hits", static_cast<double>(s.cache_hits));
-  j.set("cache_misses", static_cast<double>(s.cache_misses));
-  j.set("cache_inflight_waits", static_cast<double>(s.cache_inflight_waits));
-  j.set("cache_entries", static_cast<double>(s.cache_entries));
-  j.set("case_builds", static_cast<double>(s.case_builds));
+  j.set("submissions", std::to_string(s.submissions));
+  j.set("jobs_submitted", std::to_string(s.jobs_submitted));
+  j.set("jobs_completed", std::to_string(s.jobs_completed));
+  j.set("jobs_failed", std::to_string(s.jobs_failed));
+  j.set("duplicate_deliveries", std::to_string(s.duplicate_deliveries));
+  j.set("cache_hits", std::to_string(s.cache_hits));
+  j.set("cache_misses", std::to_string(s.cache_misses));
+  j.set("cache_inflight_waits", std::to_string(s.cache_inflight_waits));
+  j.set("cache_fast_fails", std::to_string(s.cache_fast_fails));
+  j.set("cache_evictions", std::to_string(s.cache_evictions));
+  j.set("cache_replayed", std::to_string(s.cache_replayed));
+  j.set("cache_entries", std::to_string(s.cache_entries));
+  j.set("cache_bytes", std::to_string(s.cache_bytes));
+  j.set("case_builds", std::to_string(s.case_builds));
   return j;
 }
 
@@ -253,9 +268,38 @@ void handle_submit(xplain::server::Service& service, const Json& req) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::ios::sync_with_stdio(false);
-  xplain::server::Service service;
+  xplain::server::ServiceOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "xplaind: " << flag << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--cache-path") {
+      opts.cache_path = value("--cache-path");
+    } else if (arg == "--cache-max-bytes") {
+      errno = 0;
+      char* end = nullptr;
+      const char* v = value("--cache-max-bytes");
+      const unsigned long long n = std::strtoull(v, &end, 10);
+      if (errno != 0 || end == v || *end != '\0') {
+        std::cerr << "xplaind: --cache-max-bytes wants a byte count, got \""
+                  << v << "\"\n";
+        return 2;
+      }
+      opts.cache_max_bytes = static_cast<std::size_t>(n);
+    } else {
+      std::cerr << "xplaind: unknown flag \"" << arg
+                << "\" (want --cache-path FILE | --cache-max-bytes N)\n";
+      return 2;
+    }
+  }
+  xplain::server::Service service(opts);
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty()) continue;
